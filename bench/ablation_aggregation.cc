@@ -1,0 +1,72 @@
+// Ablation (§3.2 grouping + the radix idea generalized): hash-grouping is
+// fast while its group table fits the caches; with millions of distinct
+// groups it degrades to random access. Radix-partitioning the input first
+// (RadixGroupSum) keeps every partition's table cache-resident — the same
+// trade the paper makes for join. Sort-grouping is the §3.2 baseline.
+#include "bench_common.h"
+
+#include "algo/radix_aggregate.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace ccdb {
+namespace {
+
+using bench::BenchEnv;
+
+int Run(int argc, char** argv) {
+  BenchEnv env = BenchEnv::FromArgs(argc, argv);
+  env.PrintHeader("Ablation", "grouping: hash vs sort vs radix-partitioned");
+
+  const size_t kN = env.full ? (16u << 20) : (4u << 20);
+  Rng rng(404);
+  std::vector<uint32_t> values(kN);
+  for (auto& v : values) v = static_cast<uint32_t>(rng.NextBelow(1000));
+
+  TablePrinter table({"distinct groups", "hash_ms", "sort_ms", "radix_ms",
+                      "radix_bits"});
+  DirectMemory mem;
+  for (size_t groups : {64u, 4096u, 262144u, 2097152u}) {
+    std::vector<uint32_t> keys(kN);
+    for (auto& k : keys)
+      k = static_cast<uint32_t>(rng.NextBelow(groups) * 2654435761u);
+
+    double hash_ms = MinTimeMillis(2, [&] {
+      auto agg = HashGroupSum<DirectMemory, MurmurHash>(
+          std::span<const uint32_t>(keys), std::span<const uint32_t>(values),
+          mem, groups);
+      CCDB_CHECK(agg.size() <= groups);
+    });
+    double sort_ms = MinTimeMillis(2, [&] {
+      auto agg = SortGroupSum(std::span<const uint32_t>(keys),
+                              std::span<const uint32_t>(values), mem);
+      CCDB_CHECK(agg.size() <= groups);
+    });
+    // Partition so each cluster holds ~2k groups (table ~ L1/L2 resident).
+    int bits = std::max(Log2Ceil(groups / 2048 + 1), 0);
+    int passes = std::max((bits + 5) / 6, 1);
+    double radix_ms = MinTimeMillis(2, [&] {
+      auto agg = RadixGroupSum<DirectMemory, MurmurHash>(
+          std::span<const uint32_t>(keys), std::span<const uint32_t>(values),
+          bits, passes, mem);
+      CCDB_CHECK(agg.ok() && agg->size() <= groups);
+    });
+    table.AddRow({TablePrinter::Fmt(static_cast<uint64_t>(groups)),
+                  TablePrinter::Fmt(hash_ms, 1), TablePrinter::Fmt(sort_ms, 1),
+                  TablePrinter::Fmt(radix_ms, 1), TablePrinter::Fmt(bits)});
+  }
+  table.Print(stdout);
+  std::printf(
+      "\nExpected: few groups — plain hash wins (its table lives in L1, the\n"
+      "paper's §3.2 observation) and radix clustering is pure overhead.\n"
+      "As distinct groups outgrow the caches, plain hash degrades to one\n"
+      "random access per tuple and the radix-partitioned variant closes in\n"
+      "and overtakes it (the crossover depends on the host's cache sizes);\n"
+      "sort-grouping stays the baseline throughout.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ccdb
+
+int main(int argc, char** argv) { return ccdb::Run(argc, argv); }

@@ -1,0 +1,185 @@
+// Ablation (§3.2): selection acceleration structures under the memory
+// bottleneck. Reproduces the section's narrative:
+//   * [LC86] era: T-tree and bucket-chained hash are best for point access;
+//   * [Ron98]/paper: with cache misses dominant, a B-tree with node size
+//     near the cache line is optimal among order-preserving structures —
+//     hash wins raw point lookups but supports no ranges;
+//   * for low selectivities, nothing beats the scan-select.
+//
+// Point lookups and range selects over 1M tuples, measured on the host and
+// simulated on the Origin2000 profile (misses per probe).
+#include "bench_common.h"
+
+#include "algo/cc_btree.h"
+#include "algo/hash_table.h"
+#include "algo/select.h"
+#include "algo/sorted_search.h"
+#include "algo/ttree.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace ccdb {
+namespace {
+
+using bench::BenchEnv;
+
+int Run(int argc, char** argv) {
+  BenchEnv env = BenchEnv::FromArgs(argc, argv);
+  env.PrintHeader("Ablation", "selection structures: scan vs tree vs hash");
+
+  const size_t kN = env.full ? (4u << 20) : (1u << 20);
+  const size_t kProbes = 20000;
+  const size_t kSimProbes = 2000;
+
+  auto data = bench::UniqueRelation(kN, 20240611);
+  DirectMemory direct;
+  MachineProfile profile = env.profile;
+
+  // Probe keys: half present, half random (mostly absent).
+  Rng rng(5);
+  std::vector<uint32_t> probes(kProbes);
+  for (size_t i = 0; i < kProbes; ++i) {
+    probes[i] = (i % 2 == 0) ? data[rng.NextBelow(kN)].tail : rng.NextU32();
+  }
+
+  std::printf("point lookups over %zu tuples (%zu probes):\n\n", kN, kProbes);
+  TablePrinter table({"structure", "ns/probe", "simL1/probe", "simL2/probe",
+                      "simTLB/probe", "memory_MB", "height"});
+
+  auto add_row = [&](const char* name, double ns, MemEvents ev, size_t bytes,
+                     size_t height) {
+    auto per = [&](uint64_t v) {
+      return TablePrinter::Fmt(static_cast<double>(v) / kSimProbes, 2);
+    };
+    table.AddRow({name, TablePrinter::Fmt(ns, 1), per(ev.l1_misses),
+                  per(ev.l2_misses), per(ev.tlb_misses),
+                  TablePrinter::Fmt(bytes / 1048576.0, 1),
+                  TablePrinter::Fmt(static_cast<uint64_t>(height))});
+  };
+
+  // ---- binary search over the sorted array --------------------------------
+  {
+    auto bt = CacheConsciousBTree::Build(data, BTreeOptions{64});
+    CCDB_CHECK(bt.ok());
+    std::span<const uint32_t> keys = bt->keys();
+    volatile size_t sink = 0;
+    double ns = MinTimeMillis(3, [&] {
+                  for (uint32_t p : probes)
+                    sink = sink + BinarySearchLowerBound(keys, p, direct);
+                }) *
+                1e6 / kProbes;
+    MemoryHierarchy h(profile);
+    SimulatedMemory sim(&h);
+    for (size_t i = 0; i < kSimProbes; ++i)
+      BinarySearchLowerBound(keys, probes[i], sim);
+    add_row("binary search", ns, h.events(), keys.size() * 4,
+            Log2Ceil(kN));
+  }
+
+  // ---- B-trees over a node-size sweep --------------------------------------
+  for (size_t node_bytes : {32u, 64u, 128u, 256u, 1024u, 4096u}) {
+    auto bt = CacheConsciousBTree::Build(data, BTreeOptions{node_bytes});
+    CCDB_CHECK(bt.ok());
+    volatile size_t sink = 0;
+    double ns = MinTimeMillis(3, [&] {
+                  for (uint32_t p : probes) sink = sink + bt->LowerBound(p, direct);
+                }) *
+                1e6 / kProbes;
+    MemoryHierarchy h(profile);
+    SimulatedMemory sim(&h);
+    for (size_t i = 0; i < kSimProbes; ++i) bt->LowerBound(probes[i], sim);
+    char name[32];
+    std::snprintf(name, sizeof(name), "btree %zuB nodes", node_bytes);
+    add_row(name, ns, h.events(), bt->MemoryBytes(), bt->height());
+  }
+
+  // ---- T-tree ---------------------------------------------------------------
+  for (size_t cap : {8u, 32u}) {
+    auto tt = TTree::Build(data, TTreeOptions{cap});
+    CCDB_CHECK(tt.ok());
+    std::vector<oid_t> hits;
+    double ns = MinTimeMillis(3, [&] {
+                  for (uint32_t p : probes) {
+                    hits.clear();
+                    tt->FindEq(p, direct, &hits);
+                  }
+                }) *
+                1e6 / kProbes;
+    MemoryHierarchy h(profile);
+    SimulatedMemory sim(&h);
+    for (size_t i = 0; i < kSimProbes; ++i) {
+      hits.clear();
+      tt->FindEq(probes[i], sim, &hits);
+    }
+    char name[32];
+    std::snprintf(name, sizeof(name), "ttree cap %zu", cap);
+    add_row(name, ns, h.events(), tt->MemoryBytes(), tt->height());
+  }
+
+  // ---- bucket-chained hash ---------------------------------------------------
+  {
+    BucketChainedHashTable<DirectMemory> ht(data, 0, kDefaultChainLength,
+                                            direct);
+    volatile uint64_t sink = 0;
+    double ns = MinTimeMillis(3, [&] {
+                  for (uint32_t p : probes) {
+                    ht.Probe({0, p}, direct, [&](Bun b) { sink = sink + b.head; });
+                  }
+                }) *
+                1e6 / kProbes;
+    MemoryHierarchy h(profile);
+    SimulatedMemory sim(&h);
+    BucketChainedHashTable<SimulatedMemory> ht_sim(data, 0,
+                                                   kDefaultChainLength, sim);
+    h.ResetCounters();  // exclude the build
+    uint64_t sink2 = 0;
+    for (size_t i = 0; i < kSimProbes; ++i) {
+      ht_sim.Probe({0, probes[i]}, sim, [&](Bun b) { sink2 += b.head; });
+    }
+    add_row("bucket-chained hash", ns, h.events(),
+            data.size() * (sizeof(Bun) + 4), 1);
+  }
+
+  table.Print(stdout);
+
+  // ---- range selects: scan vs B-tree ----------------------------------------
+  std::printf("\nrange selects (selectivity sweep), scan vs 64B-node btree:\n\n");
+  TablePrinter rt({"selectivity", "scan_ms", "btree_ms"});
+  auto bt = CacheConsciousBTree::Build(data, BTreeOptions{64});
+  CCDB_CHECK(bt.ok());
+  std::vector<uint32_t> values(kN);
+  for (size_t i = 0; i < kN; ++i) values[i] = data[i].tail;
+  for (double sel : {0.0001, 0.001, 0.01, 0.1, 0.5}) {
+    uint32_t width = static_cast<uint32_t>(sel * 4294967295.0);
+    uint32_t lo = 1u << 30;
+    double scan_ms = MinTimeMillis(3, [&] {
+      DirectMemory m;
+      auto r = RangeSelect(std::span<const uint32_t>(values), lo,
+                           lo + width, m);
+      volatile size_t s = r.size();
+      (void)s;
+    });
+    double btree_ms = MinTimeMillis(3, [&] {
+      DirectMemory m;
+      std::vector<oid_t> out;
+      bt->FindRange(lo, lo + width, m, &out);
+      volatile size_t s = out.size();
+      (void)s;
+    });
+    rt.AddRow({TablePrinter::Fmt(sel * 100, 2) + "%",
+               TablePrinter::Fmt(scan_ms, 3), TablePrinter::Fmt(btree_ms, 3)});
+  }
+  rt.Print(stdout);
+  std::printf(
+      "\nExpected: hash wins raw point lookups (1 chain, no order); among\n"
+      "order-preserving structures the B-tree with nodes ~1-4 cache lines\n"
+      "minimizes misses/probe (the [Ron98] claim §3.2 endorses), beating\n"
+      "both binary search and the pointer-chasing T-tree; scan-select wins\n"
+      "range queries as soon as selectivity is non-trivial.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ccdb
+
+int main(int argc, char** argv) { return ccdb::Run(argc, argv); }

@@ -1,0 +1,71 @@
+// Ablation (§2's discussion of [Mow94]): software prefetching to hide
+// memory latency behind CPU work. The paper argued its effectiveness is
+// "limited due to the fact that the amount of CPU work per memory access
+// tends to be small in database operations" (4 cycles in their scan).
+// This bench measures probe-stream prefetching on the non-partitioned hash
+// join across prefetch distances — and contrasts it with the paper's
+// preferred cure, radix partitioning, which removes the misses instead of
+// hiding them.
+#include "bench_common.h"
+
+#include "algo/partitioned_hash_join.h"
+#include "algo/simple_hash_join.h"
+#include "model/cost_model.h"
+#include "util/table_printer.h"
+
+namespace ccdb {
+namespace {
+
+using bench::BenchEnv;
+
+int Run(int argc, char** argv) {
+  BenchEnv env = BenchEnv::FromArgs(argc, argv);
+  env.PrintHeader("Ablation", "software prefetch vs radix partitioning");
+
+  const size_t kC = env.full ? (8u << 20) : (2u << 20);
+  auto [l, r] = bench::JoinPair(kC, 61);
+  DirectMemory direct;
+
+  TablePrinter table({"variant", "ms", "speedup_vs_baseline"});
+  double baseline_ms = 0;
+  for (size_t distance : {0u, 1u, 2u, 4u, 8u, 16u, 32u}) {
+    double ms = MinTimeMillis(3, [&] {
+      auto out = SimpleHashJoinPrefetch(std::span<const Bun>(l),
+                                        std::span<const Bun>(r), distance,
+                                        nullptr, kC);
+      CCDB_CHECK(out.size() == kC);
+    });
+    if (distance == 0) baseline_ms = ms;
+    char name[40];
+    std::snprintf(name, sizeof(name), "simple hash, prefetch d=%zu", distance);
+    table.AddRow({name, TablePrinter::Fmt(ms, 1),
+                  TablePrinter::Fmt(baseline_ms / ms, 2)});
+  }
+
+  // The cache-conscious alternative: don't hide the misses, remove them.
+  CostModel model(env.profile);
+  int bits = model.BestPhashBits(kC);
+  double phash_ms = MinTimeMillis(3, [&] {
+    auto out = PartitionedHashJoin(std::span<const Bun>(l),
+                                   std::span<const Bun>(r), bits,
+                                   model.OptimalPasses(bits), direct);
+    CCDB_CHECK(out.ok() && out->size() == kC);
+  });
+  char name[40];
+  std::snprintf(name, sizeof(name), "partitioned hash (B=%d)", bits);
+  table.AddRow({name, TablePrinter::Fmt(phash_ms, 1),
+                TablePrinter::Fmt(baseline_ms / phash_ms, 2)});
+  table.Print(stdout);
+
+  std::printf(
+      "\nExpected: prefetching helps some (modern OoO cores overlap more\n"
+      "than a 1999 R10000 could) but plateaus quickly — there is little CPU\n"
+      "work to hide latency behind, as the paper argued. Radix partitioning\n"
+      "removes the misses and wins outright.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ccdb
+
+int main(int argc, char** argv) { return ccdb::Run(argc, argv); }

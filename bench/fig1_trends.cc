@@ -1,0 +1,60 @@
+// Figure 1 — "Hardware trends in DRAM and CPU speed" (1979-1997, data after
+// [Mow94]). Pure literature data, not a measurable experiment; this binary
+// records the trend and derives its consequence from the machine profiles
+// this library ships: the number of CPU cycles one main-memory access costs
+// — the quantity whose growth motivates the whole paper.
+#include <cstdio>
+
+#include "mem/machine.h"
+#include "util/table_printer.h"
+
+namespace ccdb {
+namespace {
+
+int Run() {
+  std::printf("== Figure 1: CPU vs DRAM speed trends (literature data) ==\n\n");
+
+  // Trend lines as the paper states them: CPU speed +70%/year, DRAM speed
+  // a little over +50% per *decade*. Anchors: ~1 MHz-class CPUs in 1979.
+  TablePrinter trend({"year", "CPU speed (MHz, ~70%/yr)",
+                      "DRAM speed (MHz, ~50%/decade)"});
+  double cpu = 1.0, dram = 0.5;
+  for (int year = 1979; year <= 1997; year += 2) {
+    trend.AddRow({TablePrinter::Fmt(year), TablePrinter::Fmt(cpu, 1),
+                  TablePrinter::Fmt(dram, 2)});
+    cpu *= 1.7 * 1.7;
+    dram *= 1.042 * 1.042;  // ~50% per decade
+  }
+  trend.Print(stdout);
+
+  std::printf("\nConsequence, from this library's machine profiles "
+              "(cycles per main-memory access):\n\n");
+  TablePrinter machines({"machine", "year", "clock MHz", "lMem ns",
+                         "cycles/mem access"});
+  struct Entry {
+    MachineProfile profile;
+    int year;
+  } entries[] = {
+      {MachineProfile::SunLX(), 1992},
+      {MachineProfile::UltraSparc1(), 1995},
+      {MachineProfile::Sun450(), 1997},
+      {MachineProfile::Origin2000(), 1998},
+  };
+  for (const auto& e : entries) {
+    machines.AddRow(
+        {e.profile.name, TablePrinter::Fmt(e.year),
+         TablePrinter::Fmt(e.profile.clock_mhz, 0),
+         TablePrinter::Fmt(e.profile.lat.mem_ns, 0),
+         TablePrinter::Fmt(e.profile.lat.mem_ns / e.profile.cycle_ns(), 1)});
+  }
+  machines.Print(stdout);
+  std::printf(
+      "\nThe 1992 SunLX lost ~11 cycles per memory access; the 1998\n"
+      "Origin2000 loses ~103 — the \"new bottleneck\" in one number.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ccdb
+
+int main() { return ccdb::Run(); }

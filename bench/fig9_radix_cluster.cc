@@ -1,0 +1,91 @@
+// Figure 9 — "Performance and Model of Radix-Cluster".
+// Sweeps the number of radix bits B (1..20) and passes P (1..4) for a fixed
+// cardinality, reporting measured wall time, the analytical model Tc(P,B,C)
+// on the selected profile, and simulated L1/L2/TLB miss counts (reduced
+// cardinality unless --full).
+//
+// Expected shape (paper §3.4.2): with one pass, TLB misses explode past
+// B=6 (64 TLB entries), L1 misses past B=10 (1024 lines), L2 past B=15;
+// P passes stay flat while B/P <= 6, so the optimal pass count switches at
+// B = 6, 12, 18; the best-case time grows slowly with B.
+#include "bench_common.h"
+
+#include "algo/radix_cluster.h"
+#include "model/cost_model.h"
+#include "util/table_printer.h"
+
+namespace ccdb {
+namespace {
+
+using bench::BenchEnv;
+
+int Run(int argc, char** argv) {
+  BenchEnv env = BenchEnv::FromArgs(argc, argv);
+  env.PrintHeader("Figure 9", "radix-cluster cost vs bits and passes");
+
+  const size_t kC = env.full ? (8u << 20) : (1u << 20);   // paper: 8M tuples
+  const size_t kSimC = env.full ? (1u << 20) : (1u << 18);
+  const int max_bits = 20;
+
+  std::printf("measured C=%zu, simulated C=%zu (8-byte BUNs)\n\n", kC, kSimC);
+
+  auto rel = bench::UniqueRelation(kC, 1234);
+  auto sim_rel = bench::UniqueRelation(kSimC, 1234);
+  CostModel model(env.profile);
+  DirectMemory direct;
+
+  TablePrinter table({"bits", "passes", "measured_ms", "model_ms", "sim_L1",
+                      "sim_L2", "sim_TLB"});
+  for (int bits = 1; bits <= max_bits; ++bits) {
+    for (int passes = 1; passes <= 4 && passes <= bits; ++passes) {
+      RadixClusterOptions opt{bits, passes, {}};
+
+      RadixClusterStats stats;
+      auto out = RadixCluster(std::span<const Bun>(rel), opt, direct, &stats);
+      CCDB_CHECK(out.ok());
+      double measured_ms = stats.total_ms;
+
+      double model_ms = model.Millis(model.Cluster(passes, bits, kC));
+
+      // Simulated miss counts at the (possibly reduced) sim cardinality,
+      // scaled up linearly so columns are comparable with the model.
+      MemoryHierarchy h(env.profile);
+      SimulatedMemory sim(&h);
+      auto sim_out = RadixCluster(std::span<const Bun>(sim_rel), opt, sim);
+      CCDB_CHECK(sim_out.ok());
+      double scale = static_cast<double>(kC) / static_cast<double>(kSimC);
+      MemEvents ev = h.events();
+
+      table.AddRow(
+          {TablePrinter::Fmt(bits), TablePrinter::Fmt(passes),
+           TablePrinter::Fmt(measured_ms, 1), TablePrinter::Fmt(model_ms, 1),
+           TablePrinter::Fmt(static_cast<uint64_t>(ev.l1_misses * scale)),
+           TablePrinter::Fmt(static_cast<uint64_t>(ev.l2_misses * scale)),
+           TablePrinter::Fmt(static_cast<uint64_t>(ev.tlb_misses * scale))});
+    }
+  }
+  table.Print(stdout);
+
+  // The paper's bottom panel: best pass count per bit budget.
+  std::printf("\nOptimal passes per B on profile '%s' (model): ",
+              env.profile_name.c_str());
+  for (int bits = 1; bits <= max_bits; ++bits) {
+    int best_p = 1;
+    double best = 1e300;
+    for (int p = 1; p <= 4 && p <= bits; ++p) {
+      double ms = model.Millis(model.Cluster(p, bits, kC));
+      if (ms < best) {
+        best = ms;
+        best_p = p;
+      }
+    }
+    std::printf("%d", best_p);
+  }
+  std::printf("  (digits = P for B=1..%d)\n", max_bits);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ccdb
+
+int main(int argc, char** argv) { return ccdb::Run(argc, argv); }

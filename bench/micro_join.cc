@@ -1,0 +1,166 @@
+// Join-kernel micro-benchmarks (google-benchmark): clustering throughput
+// per pass count, hash table build/probe, sorting kernels, grouping.
+#include <benchmark/benchmark.h>
+
+#include "algo/aggregate.h"
+#include "algo/hash_table.h"
+#include "algo/partitioned_hash_join.h"
+#include "algo/radix_cluster.h"
+#include "algo/radix_sort.h"
+#include "algo/simple_hash_join.h"
+#include "util/rng.h"
+
+namespace ccdb {
+namespace {
+
+std::vector<Bun> Relation(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Bun> v(n);
+  for (size_t i = 0; i < n; ++i)
+    v[i] = {static_cast<oid_t>(i), rng.NextU32()};
+  return v;
+}
+
+void BM_RadixCluster(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const int passes = static_cast<int>(state.range(1));
+  auto rel = Relation(1 << 20, 5);
+  DirectMemory mem;
+  for (auto _ : state) {
+    auto out = RadixCluster(std::span<const Bun>(rel),
+                            RadixClusterOptions{bits, passes, {}}, mem);
+    CCDB_CHECK(out.ok());
+    benchmark::DoNotOptimize(out->tuples.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rel.size());
+}
+BENCHMARK(BM_RadixCluster)
+    ->Args({6, 1})
+    ->Args({12, 1})
+    ->Args({12, 2})
+    ->Args({18, 1})
+    ->Args({18, 3});
+
+void BM_HashTableBuild(benchmark::State& state) {
+  auto rel = Relation(1 << 18, 6);
+  DirectMemory mem;
+  for (auto _ : state) {
+    BucketChainedHashTable<DirectMemory> t(rel, 0, kDefaultChainLength, mem);
+    benchmark::DoNotOptimize(t.bucket_count());
+  }
+  state.SetItemsProcessed(state.iterations() * rel.size());
+}
+BENCHMARK(BM_HashTableBuild);
+
+void BM_HashTableProbe(benchmark::State& state) {
+  auto rel = Relation(1 << 18, 7);
+  DirectMemory mem;
+  BucketChainedHashTable<DirectMemory> t(rel, 0, kDefaultChainLength, mem);
+  Rng rng(8);
+  for (auto _ : state) {
+    uint64_t hits = 0;
+    Bun probe{0, rng.NextU32()};
+    t.Probe(probe, mem, [&](Bun) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashTableProbe);
+
+void BM_SimpleHashJoin(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto l = Relation(n, 9);
+  auto r = Relation(n, 10);
+  DirectMemory mem;
+  for (auto _ : state) {
+    auto out = SimpleHashJoin(std::span<const Bun>(l), std::span<const Bun>(r),
+                              mem, nullptr, n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimpleHashJoin)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_PartitionedHashJoin(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto l = Relation(n, 11);
+  auto r = Relation(n, 12);
+  DirectMemory mem;
+  int bits = std::max(Log2Floor(n) - 8, 0);  // ~256-tuple clusters
+  int passes = std::max((bits + 5) / 6, 1);
+  for (auto _ : state) {
+    auto out = PartitionedHashJoin(std::span<const Bun>(l),
+                                   std::span<const Bun>(r), bits, passes, mem);
+    CCDB_CHECK(out.ok());
+    benchmark::DoNotOptimize(out->data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PartitionedHashJoin)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_RadixSort(benchmark::State& state) {
+  auto rel = Relation(1 << 20, 13);
+  DirectMemory mem;
+  for (auto _ : state) {
+    auto copy = rel;
+    RadixSortByTail(std::span<Bun>(copy), mem);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rel.size());
+}
+BENCHMARK(BM_RadixSort);
+
+void BM_QuickSort(benchmark::State& state) {
+  auto rel = Relation(1 << 20, 14);
+  DirectMemory mem;
+  for (auto _ : state) {
+    auto copy = rel;
+    QuickSortByTail(std::span<Bun>(copy), mem);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rel.size());
+}
+BENCHMARK(BM_QuickSort);
+
+void BM_HashGroupSum(benchmark::State& state) {
+  const size_t n = 1 << 20;
+  const uint32_t groups = static_cast<uint32_t>(state.range(0));
+  Rng rng(15);
+  std::vector<uint32_t> keys(n), vals(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = static_cast<uint32_t>(rng.NextBelow(groups));
+    vals[i] = static_cast<uint32_t>(rng.NextBelow(1000));
+  }
+  DirectMemory mem;
+  for (auto _ : state) {
+    auto agg = HashGroupSum<DirectMemory, MurmurHash>(
+        std::span<const uint32_t>(keys), std::span<const uint32_t>(vals), mem,
+        groups);
+    benchmark::DoNotOptimize(agg.keys.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HashGroupSum)->Arg(16)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_SortGroupSum(benchmark::State& state) {
+  const size_t n = 1 << 20;
+  Rng rng(16);
+  std::vector<uint32_t> keys(n), vals(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = static_cast<uint32_t>(rng.NextBelow(1 << 10));
+    vals[i] = static_cast<uint32_t>(rng.NextBelow(1000));
+  }
+  DirectMemory mem;
+  for (auto _ : state) {
+    auto agg = SortGroupSum(std::span<const uint32_t>(keys),
+                            std::span<const uint32_t>(vals), mem);
+    benchmark::DoNotOptimize(agg.keys.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SortGroupSum);
+
+}  // namespace
+}  // namespace ccdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,159 @@
+// Storage-layer micro-benchmarks (google-benchmark): the §3.1 claims.
+//   * scanning one attribute: NSM record stride vs DSM value stride vs
+//     1-byte encoded stride,
+//   * predicate remap on encoded columns,
+//   * tuple reconstruction via positional lookup,
+//   * dictionary encode/decode throughput.
+#include <benchmark/benchmark.h>
+
+#include "algo/select.h"
+#include "bat/dsm.h"
+#include "bat/encoding.h"
+#include "exec/table.h"
+#include "util/rng.h"
+
+namespace ccdb {
+namespace {
+
+constexpr size_t kRows = 1 << 20;
+
+RowStore MakeWideTable(size_t n) {
+  // ~88-byte records like the paper's Item table.
+  auto rs = RowStore::Make(
+      {
+          {"key", FieldType::kU32},
+          {"qty", FieldType::kU32},
+          {"price", FieldType::kF64},
+          {"pad1", FieldType::kChar27},
+          {"pad2", FieldType::kChar27},
+          {"shipmode", FieldType::kChar10},
+          {"flag", FieldType::kChar1},
+          {"date", FieldType::kU32},
+          {"tax", FieldType::kF64},
+      },
+      n);
+  CCDB_CHECK(rs.ok());
+  const char* modes[] = {"MAIL", "AIR", "TRUCK", "SHIP", "RAIL", "FOB"};
+  Rng rng(7);
+  for (size_t i = 0; i < n; ++i) {
+    size_t r = *rs->AppendRow();
+    rs->SetU32(r, 0, static_cast<uint32_t>(i));
+    rs->SetU32(r, 1, static_cast<uint32_t>(rng.NextBelow(100)));
+    rs->SetF64(r, 2, static_cast<double>(rng.NextBelow(10000)) / 100);
+    const char* m = modes[rng.NextBelow(6)];
+    rs->SetBytes(r, 5, m, strlen(m));
+    rs->SetU32(r, 7, static_cast<uint32_t>(19990000 + rng.NextBelow(365)));
+  }
+  return *std::move(rs);
+}
+
+const RowStore& WideTable() {
+  static RowStore rows = MakeWideTable(kRows);
+  return rows;
+}
+
+const Table& DecomposedWideTable() {
+  static Table t = *Table::FromRowStore(WideTable());
+  return t;
+}
+
+void BM_ScanQtyNsm(benchmark::State& state) {
+  const RowStore& rows = WideTable();
+  size_t f = *rows.FieldIndex("qty");
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (size_t r = 0; r < rows.size(); ++r) sum += rows.GetU32(r, f);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * rows.size());
+  state.SetLabel("stride=" + std::to_string(rows.record_width()) + "B");
+}
+BENCHMARK(BM_ScanQtyNsm);
+
+void BM_ScanQtyDsm(benchmark::State& state) {
+  const Table& t = DecomposedWideTable();
+  auto qty = t.column_bat(*t.schema().FieldIndex("qty")).tail().Span<uint32_t>();
+  DirectMemory mem;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SumColumn(qty, mem));
+  }
+  state.SetItemsProcessed(state.iterations() * qty.size());
+  state.SetLabel("stride=4B");
+}
+BENCHMARK(BM_ScanQtyDsm);
+
+void BM_SelectShipmodeNsm(benchmark::State& state) {
+  const RowStore& rows = WideTable();
+  size_t f = *rows.FieldIndex("shipmode");
+  for (auto _ : state) {
+    uint64_t hits = 0;
+    for (size_t r = 0; r < rows.size(); ++r) {
+      hits += std::memcmp(rows.GetBytes(r, f), "MAIL\0", 5) == 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * rows.size());
+}
+BENCHMARK(BM_SelectShipmodeNsm);
+
+void BM_SelectShipmodeEncodedDsm(benchmark::State& state) {
+  // §3.1: predicate remapped to a 1-byte code; scan stride 1 byte.
+  const Table& t = DecomposedWideTable();
+  for (auto _ : state) {
+    auto sel = t.SelectEqStr("shipmode", "MAIL");
+    CCDB_CHECK(sel.ok());
+    benchmark::DoNotOptimize(sel->size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+  state.SetLabel("stride=1B (encoded)");
+}
+BENCHMARK(BM_SelectShipmodeEncodedDsm);
+
+void BM_TupleReconstruct(benchmark::State& state) {
+  static auto dsm_or = DecomposedTable::Decompose(WideTable());
+  CCDB_CHECK(dsm_or.ok());
+  auto out = RowStore::Make(WideTable().fields(), 1);
+  CCDB_CHECK(out.ok());
+  CCDB_CHECK(out->AppendRow().ok());
+  Rng rng(3);
+  for (auto _ : state) {
+    oid_t o = static_cast<oid_t>(rng.NextBelow(kRows));
+    CCDB_CHECK(dsm_or->ReconstructRow(o, &*out, 0).ok());
+    benchmark::DoNotOptimize(out->RowPtr(0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TupleReconstruct);
+
+void BM_DictEncodeStrings(benchmark::State& state) {
+  std::vector<std::string> modes = {"MAIL", "AIR",  "TRUCK",
+                                    "SHIP", "RAIL", "FOB"};
+  std::vector<std::string> values;
+  Rng rng(11);
+  for (size_t i = 0; i < 100000; ++i)
+    values.push_back(modes[rng.NextBelow(6)]);
+  Column col = Column::Str(values);
+  for (auto _ : state) {
+    auto enc = DictEncode(col);
+    CCDB_CHECK(enc.ok());
+    benchmark::DoNotOptimize(enc->dict.size());
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_DictEncodeStrings);
+
+void BM_RangeSelectU32(benchmark::State& state) {
+  const Table& t = DecomposedWideTable();
+  for (auto _ : state) {
+    auto sel = t.SelectRangeU32("qty", 10, 20);
+    CCDB_CHECK(sel.ok());
+    benchmark::DoNotOptimize(sel->size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_RangeSelectU32);
+
+}  // namespace
+}  // namespace ccdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Monet-style operator pipeline over raw BATs (the §3.1 architecture).
+//
+// Runs the decomposed-query dance the paper's footnote 2 describes: the
+// bottom operator produces candidate OIDs; every further column access is a
+// "tuple-reconstruction join" on OID columns — which positional (void)
+// lookup makes essentially free.
+//
+//   SQL equivalent over item(qty, price, supp):
+//     SELECT supp, SUM(qty) FROM item WHERE price BETWEEN 2000 AND 3000
+//     GROUP BY supp;
+#include <cstdio>
+
+#include "algo/bat_algebra.h"
+#include "algo/radix_aggregate.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace ccdb;
+
+int main() {
+  constexpr size_t kRows = 1 << 20;
+  Rng rng(77);
+
+  // The decomposed table: three BATs with a shared void OID head.
+  std::vector<uint32_t> qty(kRows), price(kRows), supp(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    qty[i] = static_cast<uint32_t>(1 + rng.NextBelow(50));
+    price[i] = static_cast<uint32_t>(rng.NextBelow(10000));
+    supp[i] = static_cast<uint32_t>(rng.NextBelow(200));
+  }
+  Bat item_qty = Bat::DenseTail(Column::U32(qty));
+  Bat item_price = Bat::DenseTail(Column::U32(price));
+  Bat item_supp = Bat::DenseTail(Column::U32(supp));
+
+  std::printf("item table: %zu tuples, 3 decomposition BATs "
+              "(void heads cost 0 bytes; %zu bytes/BAT of values)\n\n",
+              kRows, item_qty.MemoryBytes());
+
+  WallTimer t;
+  // -- 1. selection on the price BAT -> candidate [OID, price] pairs.
+  auto candidates = BatSelect(item_price, 2000, 3000);
+  CCDB_CHECK(candidates.ok());
+  std::printf("select(price, 2000, 3000)          -> %8zu candidates\n",
+              candidates->size());
+
+  // -- 2. tuple reconstruction: fetch qty and supp for the candidate OIDs
+  //       via positional joins on the void-headed BATs ("eliminating all
+  //       join cost", §3.1).
+  auto cand_oids = *Bat::Make(candidates->head(), candidates->head());
+  auto cand_qty = BatJoin(cand_oids, item_qty);
+  auto cand_supp = BatJoin(cand_oids, item_supp);
+  CCDB_CHECK(cand_qty.ok() && cand_supp.ok());
+  std::printf("join(candidates, qty)  [positional] -> %8zu BUNs\n",
+              cand_qty->size());
+  std::printf("join(candidates, supp) [positional] -> %8zu BUNs\n",
+              cand_supp->size());
+
+  // -- 3. grouped aggregation on the reconstructed columns.
+  DirectMemory mem;
+  auto keys = cand_supp->tail().Span<uint32_t>();
+  auto vals = cand_qty->tail().Span<uint32_t>();
+  auto agg = RadixGroupSum<DirectMemory, MurmurHash>(keys, vals,
+                                                     /*bits=*/0, /*passes=*/1,
+                                                     mem);
+  CCDB_CHECK(agg.ok());
+  double ms = t.ElapsedMillis();
+  std::printf("group-sum over supp                 -> %8zu groups\n",
+              agg->size());
+  std::printf("\npipeline total: %.2f ms\n", ms);
+
+  uint64_t grand = 0;
+  for (uint64_t s : agg->sums) grand += s;
+  std::printf("checksum: SUM(qty) over all groups = %llu\n",
+              static_cast<unsigned long long>(grand));
+
+  // Cross-check against a straight scan.
+  uint64_t expect = 0;
+  for (size_t i = 0; i < kRows; ++i) {
+    if (2000 <= price[i] && price[i] <= 3000) expect += qty[i];
+  }
+  CCDB_CHECK(expect == grand);
+  std::printf("oracle agrees. The whole query ran as %s\n",
+              "BAT-algebra operators, no row ever materialized.");
+  return 0;
+}

@@ -1,0 +1,17 @@
+#include "algo/aggregate.h"
+
+namespace ccdb {
+
+template GroupAggregates HashGroupSum<DirectMemory, IdentityHash>(
+    std::span<const uint32_t>, std::span<const uint32_t>, DirectMemory&,
+    size_t);
+template GroupAggregates HashGroupSum<SimulatedMemory, IdentityHash>(
+    std::span<const uint32_t>, std::span<const uint32_t>, SimulatedMemory&,
+    size_t);
+template GroupAggregates SortGroupSum<DirectMemory>(std::span<const uint32_t>,
+                                                    std::span<const uint32_t>,
+                                                    DirectMemory&);
+template GroupAggregates SortGroupSum<SimulatedMemory>(
+    std::span<const uint32_t>, std::span<const uint32_t>, SimulatedMemory&);
+
+}  // namespace ccdb

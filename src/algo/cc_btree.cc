@@ -1,0 +1,63 @@
+#include "algo/cc_btree.h"
+
+#include "util/bits.h"
+
+namespace ccdb {
+
+Status BTreeOptions::Validate() const {
+  if (node_bytes < 8 || node_bytes > 65536)
+    return Status::InvalidArgument("node_bytes must be in [8, 65536]");
+  if (node_bytes % sizeof(uint32_t) != 0)
+    return Status::InvalidArgument("node_bytes must be a multiple of 4");
+  return Status::Ok();
+}
+
+StatusOr<CacheConsciousBTree> CacheConsciousBTree::Build(
+    std::span<const Bun> data, const BTreeOptions& options) {
+  CCDB_RETURN_IF_ERROR(options.Validate());
+  CacheConsciousBTree t;
+  t.fanout_ = options.node_bytes / sizeof(uint32_t);
+
+  std::vector<Bun> sorted(data.begin(), data.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Bun& a, const Bun& b) { return a.tail < b.tail; });
+  t.keys_.resize(sorted.size());
+  t.oids_.resize(sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    t.keys_[i] = sorted[i].tail;
+    t.oids_[i] = sorted[i].head;
+  }
+  if (t.keys_.empty()) return t;
+
+  // Build separator levels bottom-up: level entry = max key of each chunk
+  // of `fanout_` entries below; stop once a level fits one node.
+  std::vector<uint32_t> below_max;
+  {
+    size_t chunks = (t.keys_.size() + t.fanout_ - 1) / t.fanout_;
+    below_max.resize(chunks);
+    for (size_t c = 0; c < chunks; ++c) {
+      size_t end = std::min((c + 1) * t.fanout_, t.keys_.size());
+      below_max[c] = t.keys_[end - 1];
+    }
+  }
+  while (below_max.size() > 1) {
+    t.levels_.push_back(below_max);
+    size_t chunks = (below_max.size() + t.fanout_ - 1) / t.fanout_;
+    std::vector<uint32_t> next(chunks);
+    for (size_t c = 0; c < chunks; ++c) {
+      size_t end = std::min((c + 1) * t.fanout_, below_max.size());
+      next[c] = below_max[end - 1];
+    }
+    below_max.swap(next);
+  }
+  std::reverse(t.levels_.begin(), t.levels_.end());
+  return t;
+}
+
+size_t CacheConsciousBTree::MemoryBytes() const {
+  size_t total = (keys_.size() + oids_.size()) * sizeof(uint32_t);
+  for (const auto& level : levels_) total += level.size() * sizeof(uint32_t);
+  return total;
+}
+
+}  // namespace ccdb

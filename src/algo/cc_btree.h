@@ -1,0 +1,118 @@
+// Cache-conscious static B+-tree for accelerating selections (§3.2).
+//
+// The paper: "[LC86] concluded that the T-tree and bucket-chained hash-table
+// were the best data structures for accelerating selections in main-memory
+// databases. The work in [Ron98] reports, however, that a B-tree with a
+// block-size equal to the cache line size is optimal. Our findings about
+// the increased impact of cache misses indeed support this claim."
+//
+// This is that B-tree: bulk-loaded, read-only, with a configurable node
+// size in bytes so the [Ron98] claim can be measured (see
+// bench/ablation_index_selects). Nodes are flat arrays — one node = one
+// contiguous block of `node_bytes` — and children are located
+// arithmetically, so a lookup touches exactly `height` blocks.
+#ifndef CCDB_ALGO_CC_BTREE_H_
+#define CCDB_ALGO_CC_BTREE_H_
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "algo/join_common.h"
+#include "util/status.h"
+
+namespace ccdb {
+
+struct BTreeOptions {
+  /// Bytes per node; fanout = node_bytes / 4 keys. 32..4096, multiple of 4.
+  size_t node_bytes = 64;
+
+  Status Validate() const;
+};
+
+/// Read-only B+-tree over [key, OID] pairs. Duplicate keys are allowed;
+/// lookups return every matching OID.
+class CacheConsciousBTree {
+ public:
+  /// Bulk-loads from `data` (any order; a sorted copy is made).
+  static StatusOr<CacheConsciousBTree> Build(std::span<const Bun> data,
+                                             const BTreeOptions& options = {});
+
+  /// Appends the OIDs of all tuples with key == `key` to `out`.
+  template <class Mem>
+  void FindEq(uint32_t key, Mem& mem, std::vector<oid_t>* out) const {
+    size_t pos = LowerBound(key, mem);
+    while (pos < keys_.size()) {
+      uint32_t k = mem.Load(&keys_[pos]);
+      if (k != key) break;
+      out->push_back(mem.Load(&oids_[pos]));
+      ++pos;
+    }
+  }
+
+  /// Appends the OIDs of all tuples with lo <= key <= hi (a range select).
+  template <class Mem>
+  void FindRange(uint32_t lo, uint32_t hi, Mem& mem,
+                 std::vector<oid_t>* out) const {
+    if (lo > hi) return;
+    size_t pos = LowerBound(lo, mem);
+    while (pos < keys_.size()) {
+      uint32_t k = mem.Load(&keys_[pos]);
+      if (k > hi) break;
+      out->push_back(mem.Load(&oids_[pos]));
+      ++pos;
+    }
+  }
+
+  /// Index of the first leaf slot with key >= `key` (== size() when none).
+  /// Descends `height()` nodes, linearly scanning each — the access pattern
+  /// whose cost the node-size ablation measures.
+  template <class Mem>
+  size_t LowerBound(uint32_t key, Mem& mem) const {
+    if (keys_.empty()) return 0;
+    size_t node = 0;
+    for (const auto& level : levels_) {
+      size_t base = node * fanout_;
+      size_t slot = 0;
+      // Separator s holds the max key of child s: descend into the first
+      // child whose max covers `key`; the last child catches everything.
+      size_t nkeys = std::min(fanout_, level.size() - base);
+      while (slot + 1 < nkeys && mem.Load(&level[base + slot]) < key) {
+        ++slot;
+      }
+      node = base + slot;
+    }
+    // `node` is now a leaf-chunk index; scan within the chunk.
+    size_t begin = node * fanout_;
+    size_t end = std::min(begin + fanout_, keys_.size());
+    for (size_t i = begin; i < end; ++i) {
+      if (mem.Load(&keys_[i]) >= key) return i;
+    }
+    return end;
+  }
+
+  size_t size() const { return keys_.size(); }
+  size_t height() const { return levels_.size() + 1; }  // +1 for the leaves
+  size_t fanout() const { return fanout_; }
+  size_t node_bytes() const { return fanout_ * sizeof(uint32_t); }
+
+  /// Heap bytes: sorted key/OID arrays + internal separator levels.
+  size_t MemoryBytes() const;
+
+  /// Sorted leaf arrays (test/diagnostic access).
+  std::span<const uint32_t> keys() const { return keys_; }
+  std::span<const uint32_t> oids() const { return oids_; }
+
+ private:
+  size_t fanout_ = 0;
+  std::vector<uint32_t> keys_;   // sorted
+  std::vector<uint32_t> oids_;   // parallel to keys_
+  // levels_[0] = root level ... levels_.back() = just above the leaves.
+  // Each level stores, per node, up to `fanout_` separators (max key of the
+  // corresponding child at the next level).
+  std::vector<std::vector<uint32_t>> levels_;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_ALGO_CC_BTREE_H_

@@ -1,0 +1,4 @@
+#include "algo/hash_table.h"
+
+// BucketChainedHashTable is a header template; common instantiations are
+// anchored by the join translation units that use them.

@@ -1,0 +1,65 @@
+// Shared definitions for the join family: hash functors, result emission,
+// per-phase statistics. All join algorithms consume spans of 8-byte BUNs
+// [OID, value] and produce [OID, OID] join-indexes, matching the paper's
+// experimental setup (§3.4.1): join hit-rate one, result = [OID,OID] BAT.
+#ifndef CCDB_ALGO_JOIN_COMMON_H_
+#define CCDB_ALGO_JOIN_COMMON_H_
+
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "bat/types.h"
+#include "mem/access.h"
+#include "util/logging.h"
+
+namespace ccdb {
+
+/// Identity "hash": the paper clusters on "the lower B bits of the integer
+/// hash-value of a column"; for the uniformly distributed unique integers of
+/// the experiments the identity is a perfect hash, and it keeps radix bits
+/// interpretable. Default everywhere.
+struct IdentityHash {
+  static constexpr uint32_t Hash(uint32_t v) { return v; }
+};
+
+/// Finalizer-style mixing hash (murmur3 fmix32) for skewed or structured
+/// domains; every algorithm is templated so the choice is compile-time.
+struct MurmurHash {
+  static constexpr uint32_t Hash(uint32_t v) {
+    v ^= v >> 16;
+    v *= 0x85ebca6bu;
+    v ^= v >> 13;
+    v *= 0xc2b2ae35u;
+    v ^= v >> 16;
+    return v;
+  }
+};
+
+/// Timings of a two-phase (cluster + join) algorithm, milliseconds.
+struct JoinStats {
+  double cluster_left_ms = 0;
+  double cluster_right_ms = 0;
+  double join_ms = 0;
+  uint64_t result_count = 0;
+  int bits = 0;
+  int passes = 0;
+
+  double total_ms() const { return cluster_left_ms + cluster_right_ms + join_ms; }
+};
+
+/// Appends `b` to `out`, routing the write through the access policy so the
+/// simulator sees the (sequential) result-store traffic. DirectMemory pays
+/// nothing beyond the push_back.
+template <class Mem>
+CCDB_ALWAYS_INLINE void EmitResult(std::vector<Bun>& out, Bun b, Mem& mem) {
+  out.push_back(b);
+  if constexpr (!std::is_same_v<std::decay_t<Mem>, DirectMemory>) {
+    mem.Store(&out.back(), b);
+  }
+}
+
+}  // namespace ccdb
+
+#endif  // CCDB_ALGO_JOIN_COMMON_H_

@@ -1,0 +1,12 @@
+#include "algo/nested_loop_join.h"
+
+namespace ccdb {
+
+template std::vector<Bun> NestedLoopJoin<DirectMemory>(std::span<const Bun>,
+                                                       std::span<const Bun>,
+                                                       DirectMemory&);
+template std::vector<Bun> NestedLoopJoin<SimulatedMemory>(std::span<const Bun>,
+                                                          std::span<const Bun>,
+                                                          SimulatedMemory&);
+
+}  // namespace ccdb

@@ -1,0 +1,14 @@
+#include "algo/partitioned_hash_join.h"
+
+namespace ccdb {
+
+template std::vector<Bun>
+PartitionedHashJoinClustered<DirectMemory, IdentityHash>(
+    const ClusteredRelation&, const ClusteredRelation&, DirectMemory&, size_t,
+    size_t);
+template std::vector<Bun>
+PartitionedHashJoinClustered<SimulatedMemory, IdentityHash>(
+    const ClusteredRelation&, const ClusteredRelation&, SimulatedMemory&,
+    size_t, size_t);
+
+}  // namespace ccdb

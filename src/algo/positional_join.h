@@ -1,0 +1,58 @@
+// Positional join on virtual-OID columns (§3.1): "When one of the join
+// columns is VOID, Monet uses positional lookup instead of e.g.
+// hash-lookup; effectively eliminating all join cost."
+//
+// The canonical use is tuple reconstruction: after an operator produced a
+// BAT whose tail holds OIDs into a base table, joining it with any
+// decomposition BAT [void OID, value] is pure arithmetic — the matching
+// tuple of OID o *is* position o - base.
+#ifndef CCDB_ALGO_POSITIONAL_JOIN_H_
+#define CCDB_ALGO_POSITIONAL_JOIN_H_
+
+#include <span>
+#include <vector>
+
+#include "algo/join_common.h"
+
+namespace ccdb {
+
+/// Joins `l` (tail = OID references) against a void-headed relation
+/// [void(base..base+count), tail-position]: emits {l.head, position} for
+/// every l whose tail lands in [base, base+count). With a dense foreign key
+/// this is a hit-rate-1 join at one subtraction per tuple.
+template <class Mem>
+std::vector<Bun> PositionalJoin(std::span<const Bun> l, oid_t base,
+                                size_t count, Mem& mem) {
+  std::vector<Bun> out;
+  out.reserve(l.size());
+  for (size_t i = 0; i < l.size(); ++i) {
+    Bun t = mem.Load(&l[i]);
+    uint32_t offset = t.tail - base;  // wraps below base: filtered next line
+    if (offset < count) {
+      EmitResult(out, Bun{t.head, offset}, mem);
+    }
+  }
+  return out;
+}
+
+/// Tuple-reconstruction gather: fetches values[oids[i] - base] for each
+/// reference — the projection path a positional join enables. Returns the
+/// gathered values; out-of-range references are CCDB_DCHECKed (callers have
+/// validated OIDs at plan time).
+template <class Mem, typename T>
+std::vector<T> PositionalGather(std::span<const Bun> refs,
+                                std::span<const T> values, oid_t base,
+                                Mem& mem) {
+  std::vector<T> out(refs.size());
+  for (size_t i = 0; i < refs.size(); ++i) {
+    Bun t = mem.Load(&refs[i]);
+    uint32_t offset = t.tail - base;
+    CCDB_DCHECK(offset < values.size());
+    out[i] = mem.Load(&values[offset]);
+  }
+  return out;
+}
+
+}  // namespace ccdb
+
+#endif  // CCDB_ALGO_POSITIONAL_JOIN_H_

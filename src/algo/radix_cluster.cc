@@ -1,0 +1,41 @@
+#include "algo/radix_cluster.h"
+
+#include <numeric>
+
+namespace ccdb {
+
+Status RadixClusterOptions::Validate() const {
+  if (bits < 0 || bits > 30)
+    return Status::InvalidArgument("radix bits must be in [0, 30], got " +
+                                   std::to_string(bits));
+  if (passes < 1)
+    return Status::InvalidArgument("passes must be >= 1, got " +
+                                   std::to_string(passes));
+  if (bits == 0 && passes != 1)
+    return Status::InvalidArgument("0 bits requires exactly 1 pass");
+  if (bits > 0 && passes > bits)
+    return Status::InvalidArgument(
+        "more passes than bits: every pass needs at least one bit");
+  if (!bits_per_pass.empty()) {
+    if (static_cast<int>(bits_per_pass.size()) != passes)
+      return Status::InvalidArgument("bits_per_pass size must equal passes");
+    int sum = 0;
+    for (int bp : bits_per_pass) {
+      if (bp < 1 || bp > 30)
+        return Status::InvalidArgument("each pass needs 1..30 bits");
+      sum += bp;
+    }
+    if (sum != bits)
+      return Status::InvalidArgument("bits_per_pass must sum to bits");
+  }
+  return Status::Ok();
+}
+
+std::vector<int> RadixClusterOptions::EffectiveBits() const {
+  if (!bits_per_pass.empty()) return bits_per_pass;
+  std::vector<int> out(static_cast<size_t>(passes));
+  SplitBitsEvenly(bits, passes, out.data());
+  return out;
+}
+
+}  // namespace ccdb

@@ -1,0 +1,212 @@
+// Radix-cluster (§3.3.1, Fig. 6): splits a relation into H = 2^B clusters on
+// the lower B bits of the hash of the join column, in P passes of Bp bits
+// each (sum Bp = B), taking the *leftmost* of the B bits first. Each pass
+// subdivides every existing cluster into 2^Bp new ones, so the number of
+// concurrently written output regions per pass stays at 2^Bp — below the
+// number of cache lines / TLB entries if Bp is chosen well. With P = 1 this
+// is the straightforward clustering of [SKN94] (Fig. 5).
+//
+// After clustering on B bits the relation is ordered on its B radix bits, so
+// cluster boundaries need no extra structure: joins rediscover them with a
+// merge scan (MergeClusterPairs below), exactly as the paper describes.
+#ifndef CCDB_ALGO_RADIX_CLUSTER_H_
+#define CCDB_ALGO_RADIX_CLUSTER_H_
+
+#include <span>
+#include <vector>
+
+#include "algo/join_common.h"
+#include "util/bits.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace ccdb {
+
+/// Tuning parameters (§3.4): B (`bits`), P (`passes`), and optionally an
+/// explicit Bp split (`bits_per_pass`, must sum to `bits`). When
+/// `bits_per_pass` is empty the bits are distributed evenly, larger shares
+/// first, which §3.4.2 found essential.
+struct RadixClusterOptions {
+  int bits = 0;
+  int passes = 1;
+  std::vector<int> bits_per_pass;
+
+  Status Validate() const;
+  /// The effective Bp vector (even split unless given explicitly).
+  std::vector<int> EffectiveBits() const;
+};
+
+struct RadixClusterStats {
+  std::vector<double> pass_ms;
+  double total_ms = 0;
+};
+
+/// A relation radix-clustered on `bits` bits: tuples ordered ascending on
+/// (Hash(tail) & LowMask32(bits)).
+struct ClusteredRelation {
+  std::vector<Bun> tuples;
+  int bits = 0;
+};
+
+namespace internal {
+
+/// One clustering pass over [src, src+n) into dst, subdividing each region
+/// given in `region_bounds` (size R+1) on `pass_bits` bits at `shift`.
+/// Appends the new region bounds (size R*2^pass_bits+1) to `new_bounds`.
+/// Two-phase per region: histogram, then scatter — the classic
+/// implementation whose write pattern touches 2^pass_bits regions at a time.
+template <class Mem, class HashFn>
+void ClusterPass(const Bun* src, Bun* dst,
+                 const std::vector<uint64_t>& region_bounds, int shift,
+                 int pass_bits, Mem& mem, std::vector<uint64_t>* new_bounds) {
+  size_t hp = size_t{1} << pass_bits;
+  uint32_t mask = LowMask32(pass_bits);
+  std::vector<uint32_t> hist(hp);
+  std::vector<uint64_t> offset(hp);
+  new_bounds->clear();
+  new_bounds->push_back(region_bounds.front());
+  for (size_t r = 0; r + 1 < region_bounds.size(); ++r) {
+    uint64_t lo = region_bounds[r];
+    uint64_t hi = region_bounds[r + 1];
+    std::fill(hist.begin(), hist.end(), 0u);
+    for (uint64_t i = lo; i < hi; ++i) {
+      Bun t = mem.Load(&src[i]);
+      uint32_t d = (HashFn::Hash(t.tail) >> shift) & mask;
+      mem.Update(&hist[d], 1u);
+    }
+    uint64_t acc = lo;
+    for (size_t d = 0; d < hp; ++d) {
+      offset[d] = acc;
+      acc += hist[d];
+      new_bounds->push_back(acc);
+    }
+    for (uint64_t i = lo; i < hi; ++i) {
+      Bun t = mem.Load(&src[i]);
+      uint32_t d = (HashFn::Hash(t.tail) >> shift) & mask;
+      uint64_t pos = offset[d]++;
+      mem.Store(&dst[pos], t);
+    }
+  }
+}
+
+}  // namespace internal
+
+/// Clusters `input` on `options.bits` bits in `options.passes` passes.
+/// The input is left untouched; the result holds a clustered copy.
+template <class Mem, class HashFn = IdentityHash>
+StatusOr<ClusteredRelation> RadixCluster(std::span<const Bun> input,
+                                         const RadixClusterOptions& options,
+                                         Mem& mem,
+                                         RadixClusterStats* stats = nullptr) {
+  CCDB_RETURN_IF_ERROR(options.Validate());
+  ClusteredRelation out;
+  out.bits = options.bits;
+  if (options.bits == 0) {
+    // H = 1: clustering is the identity; still one counted copy pass so that
+    // time/miss comparisons against B > 0 are like-for-like.
+    out.tuples.resize(input.size());
+    WallTimer t;
+    for (size_t i = 0; i < input.size(); ++i) {
+      mem.Store(&out.tuples[i], mem.Load(&input[i]));
+    }
+    if (stats != nullptr) {
+      stats->pass_ms = {t.ElapsedMillis()};
+      stats->total_ms = t.ElapsedMillis();
+    }
+    return out;
+  }
+
+  std::vector<int> per_pass = options.EffectiveBits();
+  size_t n = input.size();
+  std::vector<Bun> a(n), b;
+  if (per_pass.size() > 1) b.resize(n);
+
+  std::vector<uint64_t> bounds = {0, n};
+  std::vector<uint64_t> next_bounds;
+  if (stats != nullptr) {
+    stats->pass_ms.clear();
+    stats->total_ms = 0;
+  }
+
+  const Bun* src = input.data();
+  Bun* dst = a.data();
+  bool dst_is_a = true;
+  int consumed = 0;
+  for (size_t p = 0; p < per_pass.size(); ++p) {
+    int bp = per_pass[p];
+    int shift = options.bits - consumed - bp;
+    WallTimer t;
+    internal::ClusterPass<Mem, HashFn>(src, dst, bounds, shift, bp, mem,
+                                       &next_bounds);
+    double ms = t.ElapsedMillis();
+    if (stats != nullptr) {
+      stats->pass_ms.push_back(ms);
+      stats->total_ms += ms;
+    }
+    bounds.swap(next_bounds);
+    consumed += bp;
+    src = dst;
+    if (p + 1 < per_pass.size()) {
+      dst = dst_is_a ? b.data() : a.data();
+      dst_is_a = !dst_is_a;
+    }
+  }
+  out.tuples = dst_is_a ? std::move(a) : std::move(b);
+  return out;
+}
+
+/// Cluster start offsets (H+1 entries, H = 2^bits) recovered by scanning the
+/// radix bits, as the paper notes is always possible. O(N + H).
+template <class HashFn = IdentityHash>
+std::vector<uint64_t> ClusterBounds(const ClusteredRelation& rel) {
+  size_t h = size_t{1} << rel.bits;
+  uint32_t mask = LowMask32(rel.bits);
+  std::vector<uint64_t> bounds(h + 1, 0);
+  for (const Bun& t : rel.tuples) {
+    ++bounds[(HashFn::Hash(t.tail) & mask) + 1];
+  }
+  for (size_t c = 1; c <= h; ++c) bounds[c] += bounds[c - 1];
+  return bounds;
+}
+
+/// Merge step over two relations clustered on the same bits (§3.3.1): walks
+/// both in radix order and invokes `fn(l_lo, l_hi, r_lo, r_hi)` for every
+/// pair of non-empty clusters with equal radix value. Boundaries are
+/// detected from the radix bits themselves; no bounds array is needed.
+template <class Mem, class HashFn, class Fn>
+void MergeClusterPairs(const ClusteredRelation& l, const ClusteredRelation& r,
+                       Mem& mem, Fn&& fn) {
+  CCDB_CHECK(l.bits == r.bits);
+  uint32_t mask = LowMask32(l.bits);
+  size_t nl = l.tuples.size(), nr = r.tuples.size();
+  size_t i = 0, j = 0;
+  auto radix_at_l = [&](size_t k) {
+    return HashFn::Hash(mem.Load(&l.tuples[k]).tail) & mask;
+  };
+  auto radix_at_r = [&](size_t k) {
+    return HashFn::Hash(mem.Load(&r.tuples[k]).tail) & mask;
+  };
+  while (i < nl && j < nr) {
+    uint32_t vl = radix_at_l(i);
+    uint32_t vr = radix_at_r(j);
+    if (vl < vr) {
+      ++i;
+      continue;
+    }
+    if (vr < vl) {
+      ++j;
+      continue;
+    }
+    size_t i2 = i + 1;
+    while (i2 < nl && radix_at_l(i2) == vl) ++i2;
+    size_t j2 = j + 1;
+    while (j2 < nr && radix_at_r(j2) == vr) ++j2;
+    fn(i, i2, j, j2);
+    i = i2;
+    j = j2;
+  }
+}
+
+}  // namespace ccdb
+
+#endif  // CCDB_ALGO_RADIX_CLUSTER_H_

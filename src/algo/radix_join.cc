@@ -1,0 +1,14 @@
+#include "algo/radix_join.h"
+
+// RadixJoin is a header template (two access policies, two hash functors);
+// this translation unit pre-instantiates the common combinations so client
+// code links fast.
+namespace ccdb {
+
+template std::vector<Bun> RadixJoinClustered<DirectMemory, IdentityHash>(
+    const ClusteredRelation&, const ClusteredRelation&, DirectMemory&, size_t);
+template std::vector<Bun> RadixJoinClustered<SimulatedMemory, IdentityHash>(
+    const ClusteredRelation&, const ClusteredRelation&, SimulatedMemory&,
+    size_t);
+
+}  // namespace ccdb

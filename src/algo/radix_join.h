@@ -1,0 +1,68 @@
+// Radix-join (§3.3.1, Figs. 7/8): radix-cluster both relations on B bits,
+// then nested-loop join each pair of matching clusters. Meant for very fine
+// clusterings — H is tuned to C divided by a small constant (the paper finds
+// ~8 tuples per cluster optimal); at 1 tuple/cluster it degenerates into
+// sort/merge-join with radix-sort as the sort.
+#ifndef CCDB_ALGO_RADIX_JOIN_H_
+#define CCDB_ALGO_RADIX_JOIN_H_
+
+#include "algo/radix_cluster.h"
+
+namespace ccdb {
+
+/// Join phase only (paper Fig. 10 measures exactly this): both inputs must
+/// be clustered on the same number of bits.
+template <class Mem, class HashFn = IdentityHash>
+std::vector<Bun> RadixJoinClustered(const ClusteredRelation& l,
+                                    const ClusteredRelation& r, Mem& mem,
+                                    size_t result_hint = 0) {
+  std::vector<Bun> out;
+  out.reserve(result_hint != 0 ? result_hint
+                               : std::min(l.tuples.size(), r.tuples.size()));
+  MergeClusterPairs<Mem, HashFn>(
+      l, r, mem,
+      [&](size_t l_lo, size_t l_hi, size_t r_lo, size_t r_hi) {
+        for (size_t i = l_lo; i < l_hi; ++i) {
+          Bun lt = mem.Load(&l.tuples[i]);
+          for (size_t j = r_lo; j < r_hi; ++j) {
+            Bun rt = mem.Load(&r.tuples[j]);
+            if (lt.tail == rt.tail) {
+              EmitResult(out, Bun{lt.head, rt.head}, mem);
+            }
+          }
+        }
+      });
+  return out;
+}
+
+/// Full radix-join: cluster both inputs on `bits` over `passes`, then join.
+/// Fills `stats` (cluster/join split) when non-null.
+template <class Mem, class HashFn = IdentityHash>
+StatusOr<std::vector<Bun>> RadixJoin(std::span<const Bun> l,
+                                     std::span<const Bun> r, int bits,
+                                     int passes, Mem& mem,
+                                     JoinStats* stats = nullptr) {
+  RadixClusterOptions opt{.bits = bits, .passes = passes, .bits_per_pass = {}};
+  RadixClusterStats cs;
+  CCDB_ASSIGN_OR_RETURN(ClusteredRelation cl,
+                        (RadixCluster<Mem, HashFn>(l, opt, mem, &cs)));
+  double l_ms = cs.total_ms;
+  CCDB_ASSIGN_OR_RETURN(ClusteredRelation cr,
+                        (RadixCluster<Mem, HashFn>(r, opt, mem, &cs)));
+  double r_ms = cs.total_ms;
+  WallTimer t;
+  std::vector<Bun> out = RadixJoinClustered<Mem, HashFn>(cl, cr, mem);
+  if (stats != nullptr) {
+    stats->cluster_left_ms = l_ms;
+    stats->cluster_right_ms = r_ms;
+    stats->join_ms = t.ElapsedMillis();
+    stats->result_count = out.size();
+    stats->bits = bits;
+    stats->passes = passes;
+  }
+  return out;
+}
+
+}  // namespace ccdb
+
+#endif  // CCDB_ALGO_RADIX_JOIN_H_

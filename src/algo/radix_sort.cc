@@ -1,0 +1,12 @@
+#include "algo/radix_sort.h"
+
+namespace ccdb {
+
+template void RadixSortByTail<DirectMemory>(std::span<Bun>, DirectMemory&);
+template void RadixSortByTail<SimulatedMemory>(std::span<Bun>,
+                                               SimulatedMemory&);
+template void QuickSortByTail<DirectMemory>(std::span<Bun>, DirectMemory&);
+template void QuickSortByTail<SimulatedMemory>(std::span<Bun>,
+                                               SimulatedMemory&);
+
+}  // namespace ccdb

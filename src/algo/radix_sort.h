@@ -1,0 +1,103 @@
+// LSB radix sort [Knu68] on the 32-bit tail of BUNs: four stable counting
+// passes of 8 bits. The paper points out that radix-join at cluster size 1
+// degenerates into sort/merge-join with radix-sort — this is that sort.
+#ifndef CCDB_ALGO_RADIX_SORT_H_
+#define CCDB_ALGO_RADIX_SORT_H_
+
+#include <span>
+#include <vector>
+
+#include "algo/join_common.h"
+
+namespace ccdb {
+
+/// Sorts `data` ascending by tail, stable. O(N) extra space.
+template <class Mem>
+void RadixSortByTail(std::span<Bun> data, Mem& mem) {
+  constexpr int kPassBits = 8;
+  constexpr size_t kBuckets = 1u << kPassBits;
+  std::vector<Bun> scratch(data.size());
+  Bun* src = data.data();
+  Bun* dst = scratch.data();
+  std::vector<uint32_t> hist(kBuckets);
+  std::vector<uint64_t> offset(kBuckets);
+  for (int pass = 0; pass < 4; ++pass) {
+    int shift = pass * kPassBits;
+    std::fill(hist.begin(), hist.end(), 0u);
+    for (size_t i = 0; i < data.size(); ++i) {
+      Bun t = mem.Load(&src[i]);
+      mem.Update(&hist[(t.tail >> shift) & 0xff], 1u);
+    }
+    uint64_t acc = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      offset[b] = acc;
+      acc += hist[b];
+    }
+    for (size_t i = 0; i < data.size(); ++i) {
+      Bun t = mem.Load(&src[i]);
+      mem.Store(&dst[offset[(t.tail >> shift) & 0xff]++], t);
+    }
+    std::swap(src, dst);
+  }
+  // Four passes: data ends up back in the original buffer.
+}
+
+/// In-place quicksort by tail (median-of-three, insertion sort below 16,
+/// recursion on the smaller side). The random partition exchanges are the
+/// cache-hostile access pattern the paper attributes to sort-merge-join.
+template <class Mem>
+void QuickSortByTail(std::span<Bun> data, Mem& mem) {
+  struct Range {
+    size_t lo, hi;
+  };
+  if (data.size() < 2) return;
+  std::vector<Range> stack;
+  stack.push_back({0, data.size()});
+  auto load = [&](size_t i) { return mem.Load(&data[i]); };
+  auto store = [&](size_t i, Bun v) { mem.Store(&data[i], v); };
+  while (!stack.empty()) {
+    auto [lo, hi] = stack.back();
+    stack.pop_back();
+    while (hi - lo > 16) {
+      size_t mid = lo + (hi - lo) / 2;
+      uint32_t a = load(lo).tail, b = load(mid).tail, c = load(hi - 1).tail;
+      uint32_t pivot = std::max(std::min(a, b), std::min(std::max(a, b), c));
+      size_t i = lo, j = hi - 1;
+      while (i <= j) {
+        while (load(i).tail < pivot) ++i;
+        while (load(j).tail > pivot) --j;
+        if (i <= j) {
+          Bun ti = load(i), tj = load(j);
+          store(i, tj);
+          store(j, ti);
+          ++i;
+          if (j == 0) break;
+          --j;
+        }
+      }
+      // Recurse into the smaller side; loop on the larger.
+      size_t left = (j + 1) - lo, right = hi - i;
+      if (left < right) {
+        if (left > 1) stack.push_back({lo, j + 1});
+        lo = i;
+      } else {
+        if (right > 1) stack.push_back({i, hi});
+        hi = j + 1;
+      }
+    }
+    // Insertion sort the remainder.
+    for (size_t i = lo + 1; i < hi; ++i) {
+      Bun key = load(i);
+      size_t j = i;
+      while (j > lo && load(j - 1).tail > key.tail) {
+        store(j, load(j - 1));
+        --j;
+      }
+      store(j, key);
+    }
+  }
+}
+
+}  // namespace ccdb
+
+#endif  // CCDB_ALGO_RADIX_SORT_H_

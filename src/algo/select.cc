@@ -1,0 +1,14 @@
+#include "algo/select.h"
+
+namespace ccdb {
+
+template std::vector<oid_t> RangeSelect<DirectMemory, uint8_t>(
+    std::span<const uint8_t>, uint8_t, uint8_t, DirectMemory&);
+template std::vector<oid_t> RangeSelect<DirectMemory, uint32_t>(
+    std::span<const uint32_t>, uint32_t, uint32_t, DirectMemory&);
+template std::vector<oid_t> RangeSelect<SimulatedMemory, uint8_t>(
+    std::span<const uint8_t>, uint8_t, uint8_t, SimulatedMemory&);
+template std::vector<oid_t> RangeSelect<SimulatedMemory, uint32_t>(
+    std::span<const uint32_t>, uint32_t, uint32_t, SimulatedMemory&);
+
+}  // namespace ccdb

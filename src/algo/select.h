@@ -1,0 +1,60 @@
+// Scan-selections (§3.2): for low selectivity "most data needs to be
+// visited and this is best done with a scan-select (it has optimal data
+// locality)". These kernels are the per-column scans that make vertical
+// fragmentation pay off: the stride is the value width, not the record
+// width.
+#ifndef CCDB_ALGO_SELECT_H_
+#define CCDB_ALGO_SELECT_H_
+
+#include <span>
+#include <vector>
+
+#include "bat/types.h"
+#include "mem/access.h"
+
+namespace ccdb {
+
+/// Positions i with lo <= values[i] <= hi. Positions are OIDs under the
+/// void-head convention. T in {uint8_t, uint16_t, uint32_t, int32_t, ...}.
+template <class Mem, typename T>
+std::vector<oid_t> RangeSelect(std::span<const T> values, T lo, T hi,
+                               Mem& mem) {
+  std::vector<oid_t> out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    T v = mem.Load(&values[i]);
+    if (lo <= v && v <= hi) out.push_back(static_cast<oid_t>(i));
+  }
+  return out;
+}
+
+/// Positions i with values[i] == v — e.g. a selection on a byte-encoded
+/// column after the predicate has been remapped to its code (§3.1).
+template <class Mem, typename T>
+std::vector<oid_t> EqSelect(std::span<const T> values, T v, Mem& mem) {
+  return RangeSelect<Mem, T>(values, v, v, mem);
+}
+
+/// Count-only variant: the zero-selectivity aggregate scan of the paper's
+/// §2 experiment ("a selection on a column with zero selectivity or a
+/// simple aggregation").
+template <class Mem, typename T>
+uint64_t CountRange(std::span<const T> values, T lo, T hi, Mem& mem) {
+  uint64_t n = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    T v = mem.Load(&values[i]);
+    n += (lo <= v && v <= hi) ? 1 : 0;
+  }
+  return n;
+}
+
+/// Sum aggregate over a u32 column (e.g. Max/Sum of §2).
+template <class Mem, typename T>
+uint64_t SumColumn(std::span<const T> values, Mem& mem) {
+  uint64_t s = 0;
+  for (size_t i = 0; i < values.size(); ++i) s += mem.Load(&values[i]);
+  return s;
+}
+
+}  // namespace ccdb
+
+#endif  // CCDB_ALGO_SELECT_H_

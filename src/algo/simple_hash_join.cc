@@ -1,0 +1,12 @@
+#include "algo/simple_hash_join.h"
+
+namespace ccdb {
+
+template std::vector<Bun> SimpleHashJoin<DirectMemory, IdentityHash>(
+    std::span<const Bun>, std::span<const Bun>, DirectMemory&, JoinStats*,
+    size_t, size_t);
+template std::vector<Bun> SimpleHashJoin<SimulatedMemory, IdentityHash>(
+    std::span<const Bun>, std::span<const Bun>, SimulatedMemory&, JoinStats*,
+    size_t, size_t);
+
+}  // namespace ccdb

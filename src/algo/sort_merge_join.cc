@@ -1,0 +1,16 @@
+#include "algo/sort_merge_join.h"
+
+namespace ccdb {
+
+template std::vector<Bun> SortMergeJoin<DirectMemory>(std::span<const Bun>,
+                                                      std::span<const Bun>,
+                                                      DirectMemory&,
+                                                      JoinStats*, SortAlgo,
+                                                      size_t);
+template std::vector<Bun> SortMergeJoin<SimulatedMemory>(std::span<const Bun>,
+                                                         std::span<const Bun>,
+                                                         SimulatedMemory&,
+                                                         JoinStats*, SortAlgo,
+                                                         size_t);
+
+}  // namespace ccdb

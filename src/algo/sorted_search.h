@@ -1,0 +1,31 @@
+// Binary search over a sorted array: the no-structure baseline for the
+// §3.2 index comparison. Each probe touches O(log N) cache lines spread
+// across the whole array — more than a cache-line-node B-tree of the same
+// size, which packs ~8-16 separators per line.
+#ifndef CCDB_ALGO_SORTED_SEARCH_H_
+#define CCDB_ALGO_SORTED_SEARCH_H_
+
+#include <span>
+
+#include "mem/access.h"
+
+namespace ccdb {
+
+/// Index of the first element >= key (== size() when none). `data` sorted.
+template <class Mem, typename T>
+size_t BinarySearchLowerBound(std::span<const T> data, T key, Mem& mem) {
+  size_t lo = 0, hi = data.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (mem.Load(&data[mid]) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace ccdb
+
+#endif  // CCDB_ALGO_SORTED_SEARCH_H_

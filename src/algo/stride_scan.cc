@@ -1,0 +1,11 @@
+#include "algo/stride_scan.h"
+
+namespace ccdb {
+
+template uint64_t StrideScanSum<DirectMemory>(const uint8_t*, size_t, size_t,
+                                              size_t, DirectMemory&);
+template uint64_t StrideScanSum<SimulatedMemory>(const uint8_t*, size_t,
+                                                 size_t, size_t,
+                                                 SimulatedMemory&);
+
+}  // namespace ccdb

@@ -1,0 +1,36 @@
+// The paper's §2 "reality check": iteratively read one byte with a varying
+// stride — mimicking a read-only scan of a one-byte column in a table with
+// record-width = stride. Figure 3 plots the elapsed time of 200,000
+// iterations against the stride.
+#ifndef CCDB_ALGO_STRIDE_SCAN_H_
+#define CCDB_ALGO_STRIDE_SCAN_H_
+
+#include <cstdint>
+#include <cstddef>
+
+#include "mem/access.h"
+#include "util/logging.h"
+
+namespace ccdb {
+
+/// Reads `iterations` bytes at offsets 0, stride, 2*stride, ... and returns
+/// their sum (forcing the reads). Pre: iterations * stride <= buffer_bytes,
+/// so no byte is revisited and caches cannot help beyond spatial locality —
+/// matching the paper's setup ("in memory, but not in any of the caches").
+template <class Mem>
+uint64_t StrideScanSum(const uint8_t* buffer, size_t buffer_bytes,
+                       size_t stride, size_t iterations, Mem& mem) {
+  CCDB_CHECK(stride >= 1);
+  CCDB_CHECK(iterations * stride <= buffer_bytes);
+  uint64_t sum = 0;
+  const uint8_t* p = buffer;
+  for (size_t i = 0; i < iterations; ++i) {
+    sum += mem.Load(p);
+    p += stride;
+  }
+  return sum;
+}
+
+}  // namespace ccdb
+
+#endif  // CCDB_ALGO_STRIDE_SCAN_H_

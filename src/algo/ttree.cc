@@ -1,0 +1,68 @@
+#include "algo/ttree.h"
+
+#include <algorithm>
+
+namespace ccdb {
+
+Status TTreeOptions::Validate() const {
+  if (node_capacity < 1 || node_capacity > 4096)
+    return Status::InvalidArgument("node_capacity must be in [1, 4096]");
+  return Status::Ok();
+}
+
+StatusOr<TTree> TTree::Build(std::span<const Bun> data,
+                             const TTreeOptions& options) {
+  CCDB_RETURN_IF_ERROR(options.Validate());
+  TTree t;
+  t.options_ = options;
+  std::vector<Bun> sorted(data.begin(), data.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Bun& a, const Bun& b) { return a.tail < b.tail; });
+  t.keys_.resize(sorted.size());
+  t.oids_.resize(sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    t.keys_[i] = sorted[i].tail;
+    t.oids_[i] = sorted[i].head;
+  }
+  if (t.keys_.empty()) return t;
+  size_t runs = (t.keys_.size() + options.node_capacity - 1) /
+                options.node_capacity;
+  t.nodes_.reserve(runs);
+  t.root_ = t.BuildRange(0, runs - 1, runs);
+  return t;
+}
+
+int32_t TTree::BuildRange(size_t first_run, size_t last_run,
+                          size_t runs_total) {
+  if (first_run > last_run || first_run >= runs_total) return -1;
+  size_t mid = first_run + (last_run - first_run) / 2;
+  size_t cap = options_.node_capacity;
+  size_t start = mid * cap;
+  size_t count = std::min(cap, keys_.size() - start);
+
+  int32_t me = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  // Children first-touch after push so the vector index stays stable.
+  int32_t left = mid > first_run ? BuildRange(first_run, mid - 1, runs_total)
+                                 : -1;
+  int32_t right = mid < last_run ? BuildRange(mid + 1, last_run, runs_total)
+                                 : -1;
+  Node& n = nodes_[me];
+  n.start = static_cast<uint32_t>(start);
+  n.count = static_cast<uint32_t>(count);
+  n.min_key = keys_[start];
+  n.max_key = keys_[start + count - 1];
+  n.left = left;
+  n.right = right;
+  return me;
+}
+
+size_t TTree::HeightOf(int32_t node) const {
+  if (node < 0) return 0;
+  return 1 + std::max(HeightOf(nodes_[node].left),
+                      HeightOf(nodes_[node].right));
+}
+
+size_t TTree::height() const { return HeightOf(root_); }
+
+}  // namespace ccdb

@@ -1,0 +1,123 @@
+// T-tree [LC86]: the classic main-memory index the paper's §3.2 compares
+// against — a balanced binary tree whose nodes each hold a small sorted run
+// of keys. Locating a key chases node pointers scattered through memory;
+// that random access pattern is exactly why the paper (after [Ron98])
+// prefers a B-tree with cache-line-sized nodes once cache misses dominate.
+//
+// Bulk-loaded and read-only, like CacheConsciousBTree, so the two can be
+// compared on equal terms (bench/ablation_index_selects).
+#ifndef CCDB_ALGO_TTREE_H_
+#define CCDB_ALGO_TTREE_H_
+
+#include <span>
+#include <vector>
+
+#include "algo/join_common.h"
+#include "util/status.h"
+
+namespace ccdb {
+
+struct TTreeOptions {
+  /// Keys per node (the run length); classic T-trees use tens of entries.
+  size_t node_capacity = 8;
+
+  Status Validate() const;
+};
+
+class TTree {
+ public:
+  static StatusOr<TTree> Build(std::span<const Bun> data,
+                               const TTreeOptions& options = {});
+
+  /// Appends the OIDs of all tuples with key == `key` to `out`.
+  template <class Mem>
+  void FindEq(uint32_t key, Mem& mem, std::vector<oid_t>* out) const {
+    int32_t node = root_;
+    while (node >= 0) {
+      const Node& n = nodes_[node];
+      uint32_t mn = mem.Load(&n.min_key);
+      if (key < mn) {
+        node = mem.Load(&n.left);
+        continue;
+      }
+      uint32_t mx = mem.Load(&n.max_key);
+      if (key > mx) {
+        node = mem.Load(&n.right);
+        continue;
+      }
+      // Bounding node found: duplicates occupy a contiguous range of the
+      // global sorted array. When key == this run's min they may spill into
+      // predecessor runs, so first walk back, then scan forward.
+      size_t first = mem.Load(&n.start);
+      while (first > 0 && mem.Load(&keys_[first - 1]) == key) --first;
+      for (size_t i = first; i < keys_.size(); ++i) {
+        uint32_t k = mem.Load(&keys_[i]);
+        if (k > key) return;
+        if (k == key) out->push_back(mem.Load(&oids_[i]));
+      }
+      return;
+    }
+  }
+
+  /// Appends the OIDs of all tuples with lo <= key <= hi. The locate phase
+  /// chases the tree; the scan phase walks the backing array.
+  template <class Mem>
+  void FindRange(uint32_t lo, uint32_t hi, Mem& mem,
+                 std::vector<oid_t>* out) const {
+    if (lo > hi || keys_.empty()) return;
+    // Locate the first run whose max >= lo.
+    int32_t node = root_;
+    size_t pos = keys_.size();
+    while (node >= 0) {
+      const Node& n = nodes_[node];
+      if (lo < mem.Load(&n.min_key)) {
+        pos = mem.Load(&n.start);  // best candidate so far
+        node = mem.Load(&n.left);
+      } else if (lo > mem.Load(&n.max_key)) {
+        node = mem.Load(&n.right);
+      } else {
+        pos = mem.Load(&n.start);
+        // Keys equal to lo may spill into predecessor runs.
+        while (pos > 0 && mem.Load(&keys_[pos - 1]) >= lo) --pos;
+        break;
+      }
+    }
+    for (size_t i = pos; i < keys_.size(); ++i) {
+      uint32_t k = mem.Load(&keys_[i]);
+      if (k > hi) return;
+      if (k >= lo) out->push_back(mem.Load(&oids_[i]));
+    }
+  }
+
+  size_t size() const { return keys_.size(); }
+  size_t node_count() const { return nodes_.size(); }
+  /// Tree height (longest root-to-leaf node chain), 0 when empty.
+  size_t height() const;
+  size_t MemoryBytes() const {
+    return (keys_.size() + oids_.size()) * sizeof(uint32_t) +
+           nodes_.size() * sizeof(Node);
+  }
+
+ private:
+  struct Node {
+    uint32_t min_key = 0;
+    uint32_t max_key = 0;
+    uint32_t start = 0;  ///< offset of this node's run in keys_/oids_
+    uint32_t count = 0;
+    int32_t left = -1;
+    int32_t right = -1;
+  };
+
+  int32_t BuildRange(size_t first_run, size_t last_run, size_t runs_total);
+  size_t HeightOf(int32_t node) const;
+
+  TTreeOptions options_;
+  std::vector<uint32_t> keys_;   // sorted backing array
+  std::vector<uint32_t> oids_;
+  std::vector<Node> nodes_;      // allocation order = recursion order
+  int32_t root_ = -1;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_ALGO_TTREE_H_

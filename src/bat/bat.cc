@@ -1,0 +1,62 @@
+#include "bat/bat.h"
+
+namespace ccdb {
+
+StatusOr<Bat> Bat::Make(Column head, Column tail) {
+  if (head.size() != tail.size()) {
+    return Status::InvalidArgument("BAT head/tail length mismatch: " +
+                                   std::to_string(head.size()) + " vs " +
+                                   std::to_string(tail.size()));
+  }
+  return Bat(std::move(head), std::move(tail));
+}
+
+Bat Bat::DenseTail(Column tail) {
+  size_t n = tail.size();
+  return Bat(Column::Void(0, n), std::move(tail));
+}
+
+Bat Bat::FromBuns(std::span<const Bun> buns) {
+  std::vector<uint32_t> heads(buns.size());
+  std::vector<uint32_t> tails(buns.size());
+  for (size_t i = 0; i < buns.size(); ++i) {
+    heads[i] = buns[i].head;
+    tails[i] = buns[i].tail;
+  }
+  return Bat(Column::U32(std::move(heads)), Column::U32(std::move(tails)));
+}
+
+StatusOr<std::vector<Bun>> Bat::ToBuns() const {
+  PhysType ht = head_.type();
+  if (ht != PhysType::kVoid && ht != PhysType::kU32) {
+    return Status::InvalidArgument(
+        std::string("BUN view requires void/u32 head, got ") +
+        PhysTypeName(ht));
+  }
+  PhysType tt = tail_.type();
+  switch (tt) {
+    case PhysType::kVoid:
+    case PhysType::kU8:
+    case PhysType::kU16:
+    case PhysType::kU32:
+      break;
+    default:
+      return Status::InvalidArgument(
+          std::string("BUN view requires a <=32-bit integral tail, got ") +
+          PhysTypeName(tt));
+  }
+  std::vector<Bun> out(size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i].head = head_.GetOid(i);
+    out[i].tail = static_cast<uint32_t>(tail_.GetIntegral(i));
+  }
+  return out;
+}
+
+Bat Bat::Reverse() const {
+  Bat b = *this;
+  std::swap(b.head_, b.tail_);
+  return b;
+}
+
+}  // namespace ccdb

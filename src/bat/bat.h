@@ -1,0 +1,61 @@
+// Bat: Binary Association Table — the two-column table that is Monet's only
+// physical table structure (§3.1). A relational table of k attributes is
+// stored as k BATs [OID, value]; the OID head is normally a void (virtual
+// OID) column so each BAT costs just the width of its value column.
+#ifndef CCDB_BAT_BAT_H_
+#define CCDB_BAT_BAT_H_
+
+#include <vector>
+
+#include "bat/column.h"
+#include "bat/types.h"
+#include "util/status.h"
+
+namespace ccdb {
+
+/// Two aligned columns of equal length. Head is conventionally the OID
+/// column (void or u32); tail carries the attribute values.
+class Bat {
+ public:
+  Bat() = default;
+
+  /// Fails with kInvalidArgument when head and tail lengths differ.
+  static StatusOr<Bat> Make(Column head, Column tail);
+
+  /// [void(0..n), tail] — the standard decomposition BAT.
+  static Bat DenseTail(Column tail);
+
+  /// Materialized [oid, u32-value] BAT from raw BUNs (the §3.4 experiment
+  /// representation).
+  static Bat FromBuns(std::span<const Bun> buns);
+
+  size_t size() const { return head_.size(); }
+  const Column& head() const { return head_; }
+  const Column& tail() const { return tail_; }
+  Column& mutable_head() { return head_; }
+  Column& mutable_tail() { return tail_; }
+
+  /// Copies out 8-byte [OID, u32] BUNs. Requires head void/u32 and an
+  /// integral tail of at most 32 bits (u8/u16/u32/void widen losslessly).
+  StatusOr<std::vector<Bun>> ToBuns() const;
+
+  /// Swaps head and tail ("reverse" in Monet's algebra).
+  Bat Reverse() const;
+
+  /// Total heap bytes of both columns; shows the §3.1 space optimizations
+  /// (void head: 0 bytes; byte-encoded tail: 1 byte per BUN).
+  size_t MemoryBytes() const {
+    return head_.MemoryBytes() + tail_.MemoryBytes();
+  }
+
+ private:
+  Bat(Column head, Column tail)
+      : head_(std::move(head)), tail_(std::move(tail)) {}
+
+  Column head_;
+  Column tail_;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_BAT_BAT_H_

@@ -1,0 +1,132 @@
+#include "bat/encoding.h"
+
+#include <unordered_map>
+
+namespace ccdb {
+
+uint32_t StrDictionary::Intern(std::string_view v) {
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] == v) return static_cast<uint32_t>(i);
+  }
+  values_.emplace_back(v);
+  return static_cast<uint32_t>(values_.size() - 1);
+}
+
+StatusOr<uint32_t> StrDictionary::Lookup(std::string_view v) const {
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] == v) return static_cast<uint32_t>(i);
+  }
+  return Status::NotFound("value not in dictionary: " + std::string(v));
+}
+
+std::string_view StrDictionary::Get(uint32_t code) const {
+  CCDB_CHECK(code < values_.size());
+  return values_[code];
+}
+
+StatusOr<EncodedStrColumn> DictEncode(const Column& str_column) {
+  if (str_column.type() != PhysType::kStr) {
+    return Status::InvalidArgument(
+        std::string("DictEncode requires a str column, got ") +
+        PhysTypeName(str_column.type()));
+  }
+  size_t n = str_column.size();
+  EncodedStrColumn out;
+  // Two passes: first build the dictionary with a hash map for speed, then
+  // emit codes at the final width. Intern() itself is linear-scan (dicts are
+  // small by definition), so bulk encoding uses the map.
+  std::unordered_map<std::string_view, uint32_t> index;
+  std::vector<uint32_t> wide_codes(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string_view v = str_column.GetStr(i);
+    auto it = index.find(v);
+    if (it == index.end()) {
+      uint32_t code = out.dict.Intern(v);
+      // Re-point the key at the dictionary's stable copy, not the arena view.
+      index.emplace(out.dict.Get(code), code);
+      wide_codes[i] = code;
+    } else {
+      wide_codes[i] = it->second;
+    }
+    if (out.dict.size() > 65536) {
+      return Status::ResourceExhausted(
+          "domain cardinality exceeds 65536; column not byte-encodable");
+    }
+  }
+  if (out.dict.size() <= 256) {
+    std::vector<uint8_t> codes(n);
+    for (size_t i = 0; i < n; ++i) codes[i] = static_cast<uint8_t>(wide_codes[i]);
+    out.codes = Column::U8(std::move(codes));
+  } else {
+    std::vector<uint16_t> codes(n);
+    for (size_t i = 0; i < n; ++i)
+      codes[i] = static_cast<uint16_t>(wide_codes[i]);
+    out.codes = Column::U16(std::move(codes));
+  }
+  return out;
+}
+
+StatusOr<Column> DictDecode(const EncodedStrColumn& enc) {
+  size_t n = enc.codes.size();
+  std::vector<std::string> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t code = enc.codes.GetIntegral(i);
+    values.emplace_back(enc.dict.Get(static_cast<uint32_t>(code)));
+  }
+  return Column::Str(values);
+}
+
+StatusOr<EncodedIntColumn> DictEncodeInts(const Column& int_column) {
+  switch (int_column.type()) {
+    case PhysType::kU8:
+    case PhysType::kU16:
+    case PhysType::kU32:
+    case PhysType::kI32:
+    case PhysType::kVoid:
+      break;
+    default:
+      return Status::InvalidArgument(
+          std::string("DictEncodeInts requires a 32-bit integral column, got ") +
+          PhysTypeName(int_column.type()));
+  }
+  size_t n = int_column.size();
+  EncodedIntColumn out;
+  std::unordered_map<uint32_t, uint32_t> index;
+  std::vector<uint32_t> wide_codes(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t v = static_cast<uint32_t>(int_column.GetIntegral(i));
+    auto [it, inserted] =
+        index.emplace(v, static_cast<uint32_t>(out.dict.size()));
+    if (inserted) out.dict.push_back(v);
+    wide_codes[i] = it->second;
+    if (out.dict.size() > 65536) {
+      return Status::ResourceExhausted(
+          "domain cardinality exceeds 65536; column not byte-encodable");
+    }
+  }
+  if (out.dict.size() <= 256) {
+    std::vector<uint8_t> codes(n);
+    for (size_t i = 0; i < n; ++i) codes[i] = static_cast<uint8_t>(wide_codes[i]);
+    out.codes = Column::U8(std::move(codes));
+  } else {
+    std::vector<uint16_t> codes(n);
+    for (size_t i = 0; i < n; ++i)
+      codes[i] = static_cast<uint16_t>(wide_codes[i]);
+    out.codes = Column::U16(std::move(codes));
+  }
+  return out;
+}
+
+StatusOr<Column> DictDecodeInts(const EncodedIntColumn& enc) {
+  size_t n = enc.codes.size();
+  std::vector<uint32_t> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t code = enc.codes.GetIntegral(i);
+    CCDB_CHECK(code < enc.dict.size());
+    values[i] = enc.dict[code];
+  }
+  return Column::U32(std::move(values));
+}
+
+}  // namespace ccdb

@@ -1,0 +1,60 @@
+#include "bat/nsm.h"
+
+#include "util/logging.h"
+
+namespace ccdb {
+
+size_t FieldTypeWidth(FieldType t) {
+  switch (t) {
+    case FieldType::kU8: return 1;
+    case FieldType::kU16: return 2;
+    case FieldType::kU32: return 4;
+    case FieldType::kI64: return 8;
+    case FieldType::kF64: return 8;
+    case FieldType::kChar1: return 1;
+    case FieldType::kChar10: return 10;
+    case FieldType::kChar27: return 27;
+  }
+  return 0;
+}
+
+StatusOr<RowStore> RowStore::Make(std::vector<FieldDef> fields,
+                                  size_t capacity_rows) {
+  if (fields.empty())
+    return Status::InvalidArgument("RowStore needs at least one field");
+  RowStore rs;
+  rs.fields_ = std::move(fields);
+  rs.offsets_.reserve(rs.fields_.size());
+  size_t off = 0;
+  for (const auto& f : rs.fields_) {
+    rs.offsets_.push_back(off);
+    off += FieldTypeWidth(f.type);
+  }
+  rs.record_width_ = off;
+  rs.capacity_ = capacity_rows;
+  rs.buf_.Allocate(rs.record_width_ * capacity_rows);
+  return rs;
+}
+
+StatusOr<size_t> RowStore::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no field named " + name);
+}
+
+StatusOr<size_t> RowStore::AppendRow() {
+  if (rows_ >= capacity_)
+    return Status::ResourceExhausted("RowStore capacity exceeded");
+  return rows_++;
+}
+
+void RowStore::SetBytes(size_t row, size_t f, const void* data, size_t len) {
+  size_t width = FieldTypeWidth(fields_[f].type);
+  CCDB_CHECK(len <= width);
+  uint8_t* dst = RowPtr(row) + offsets_[f];
+  std::memcpy(dst, data, len);
+  std::memset(dst + len, 0, width - len);
+}
+
+}  // namespace ccdb

@@ -1,0 +1,103 @@
+// RowStore: the N-ary storage model the paper contrasts against (§2, §3.1) —
+// "the default physical tuple representation is a consecutive byte
+// sequence". Records are fixed-width packed byte arrays; scanning one
+// attribute therefore strides through memory at the record width, which is
+// exactly the X-axis of the paper's Figure 3 experiment.
+#ifndef CCDB_BAT_NSM_H_
+#define CCDB_BAT_NSM_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/aligned.h"
+#include "util/status.h"
+
+namespace ccdb {
+
+/// Fixed-width field types for NSM records.
+enum class FieldType : uint8_t {
+  kU8,
+  kU16,
+  kU32,
+  kI64,
+  kF64,
+  kChar1,    ///< char(1), e.g. the Item table's "status" / "flag"
+  kChar10,   ///< short fixed string, e.g. "shipmode"
+  kChar27,   ///< char(27), e.g. the Item table's "comment"
+};
+
+size_t FieldTypeWidth(FieldType t);
+
+struct FieldDef {
+  std::string name;
+  FieldType type;
+};
+
+/// Packed fixed-width row store over an aligned buffer.
+class RowStore {
+ public:
+  /// Fails if `fields` is empty.
+  static StatusOr<RowStore> Make(std::vector<FieldDef> fields,
+                                 size_t capacity_rows);
+
+  size_t record_width() const { return record_width_; }
+  size_t size() const { return rows_; }
+  size_t capacity() const { return capacity_; }
+  const std::vector<FieldDef>& fields() const { return fields_; }
+  /// Byte offset of field `f` within a record.
+  size_t field_offset(size_t f) const { return offsets_[f]; }
+  /// Index of the field named `name`, or kNotFound.
+  StatusOr<size_t> FieldIndex(const std::string& name) const;
+
+  /// Appends a zeroed row, returning its index. Fails when full (the store
+  /// is fixed-capacity so the buffer never moves — scans hold raw pointers).
+  StatusOr<size_t> AppendRow();
+
+  uint8_t* RowPtr(size_t row) { return buf_.data() + row * record_width_; }
+  const uint8_t* RowPtr(size_t row) const {
+    return buf_.data() + row * record_width_;
+  }
+
+  // Typed field accessors (unchecked widths in release; callers go through
+  // the schema they built).
+  void SetU32(size_t row, size_t f, uint32_t v) {
+    std::memcpy(RowPtr(row) + offsets_[f], &v, sizeof(v));
+  }
+  uint32_t GetU32(size_t row, size_t f) const {
+    uint32_t v;
+    std::memcpy(&v, RowPtr(row) + offsets_[f], sizeof(v));
+    return v;
+  }
+  void SetU8(size_t row, size_t f, uint8_t v) { RowPtr(row)[offsets_[f]] = v; }
+  uint8_t GetU8(size_t row, size_t f) const { return RowPtr(row)[offsets_[f]]; }
+  void SetF64(size_t row, size_t f, double v) {
+    std::memcpy(RowPtr(row) + offsets_[f], &v, sizeof(v));
+  }
+  double GetF64(size_t row, size_t f) const {
+    double v;
+    std::memcpy(&v, RowPtr(row) + offsets_[f], sizeof(v));
+    return v;
+  }
+  void SetBytes(size_t row, size_t f, const void* data, size_t len);
+  const uint8_t* GetBytes(size_t row, size_t f) const {
+    return RowPtr(row) + offsets_[f];
+  }
+
+  const uint8_t* data() const { return buf_.data(); }
+
+ private:
+  RowStore() = default;
+
+  std::vector<FieldDef> fields_;
+  std::vector<size_t> offsets_;
+  size_t record_width_ = 0;
+  size_t rows_ = 0;
+  size_t capacity_ = 0;
+  AlignedBuffer buf_;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_BAT_NSM_H_

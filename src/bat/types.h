@@ -1,0 +1,63 @@
+// Fundamental storage types of the BAT layer.
+//
+// Monet stores every column of a relational table as a Binary Association
+// Table (BAT): an array of fixed-size two-field records [OID, value] called
+// BUNs (Binary UNits), typically 8 bytes wide (§3.1, Fig. 4). The join
+// experiments of §3.4 operate on exactly this representation.
+#ifndef CCDB_BAT_TYPES_H_
+#define CCDB_BAT_TYPES_H_
+
+#include <cstdint>
+
+namespace ccdb {
+
+/// Object identifier: identifies a tuple of the original relation across all
+/// of its decomposition BATs.
+using oid_t = uint32_t;
+
+/// One 8-byte BUN as used in the paper's experiments: [OID, 4-byte value].
+/// Join results reuse the same struct as [left OID, right OID] join-index
+/// entries [Val87].
+struct Bun {
+  oid_t head;
+  uint32_t tail;
+
+  friend bool operator==(const Bun&, const Bun&) = default;
+};
+
+static_assert(sizeof(Bun) == 8, "BUNs must be 8 bytes (paper §3.4.1)");
+
+/// Physical column representations supported by the BAT layer.
+enum class PhysType : uint8_t {
+  kVoid,  ///< virtual OID: dense ascending sequence, not materialized (§3.1)
+  kU8,    ///< 1-byte code (byte-encoding, §3.1)
+  kU16,   ///< 2-byte code (byte-encoding, §3.1)
+  kU32,   ///< 4-byte unsigned (OIDs, encoded values)
+  kI32,
+  kI64,
+  kF64,
+  kStr,   ///< variable-length string (offset array + arena)
+};
+
+/// Width in bytes of one value of `t`; 0 for kVoid (not materialized) and
+/// kStr (variable).
+inline size_t PhysTypeWidth(PhysType t) {
+  switch (t) {
+    case PhysType::kVoid: return 0;
+    case PhysType::kU8: return 1;
+    case PhysType::kU16: return 2;
+    case PhysType::kU32: return 4;
+    case PhysType::kI32: return 4;
+    case PhysType::kI64: return 8;
+    case PhysType::kF64: return 8;
+    case PhysType::kStr: return 0;
+  }
+  return 0;
+}
+
+/// Human-readable type name.
+const char* PhysTypeName(PhysType t);
+
+}  // namespace ccdb
+
+#endif  // CCDB_BAT_TYPES_H_

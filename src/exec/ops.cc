@@ -1,0 +1,99 @@
+#include "exec/ops.h"
+
+#include "algo/partitioned_hash_join.h"
+#include "algo/radix_join.h"
+#include "algo/simple_hash_join.h"
+#include "algo/sort_merge_join.h"
+
+namespace ccdb {
+
+StatusOr<std::vector<Bun>> ExecuteJoin(std::span<const Bun> l,
+                                       std::span<const Bun> r,
+                                       const JoinPlan& plan,
+                                       JoinStats* stats) {
+  DirectMemory mem;
+  switch (plan.strategy) {
+    case JoinStrategy::kSortMerge:
+      return SortMergeJoin(l, r, mem, stats);
+    case JoinStrategy::kSimpleHash:
+      return SimpleHashJoin(l, r, mem, stats);
+    default:
+      break;
+  }
+  if (plan.use_radix_join) {
+    return RadixJoin(l, r, plan.bits, plan.passes, mem, stats);
+  }
+  return PartitionedHashJoin(l, r, plan.bits, plan.passes, mem, stats);
+}
+
+StatusOr<std::vector<Bun>> ColumnBuns(const Table& table,
+                                      const std::string& col) {
+  CCDB_ASSIGN_OR_RETURN(size_t i, table.schema().FieldIndex(col));
+  return table.column_bat(i).ToBuns();
+}
+
+namespace {
+
+StatusOr<MaterializedColumn> GatherColumn(const Table& table,
+                                          const std::string& col,
+                                          const std::vector<oid_t>& oids) {
+  MaterializedColumn out;
+  out.name = col;
+  CCDB_ASSIGN_OR_RETURN(size_t i, table.schema().FieldIndex(col));
+  const Column& tail = table.column_bat(i).tail();
+  if (table.is_encoded(i) || tail.type() == PhysType::kStr) {
+    out.type = PhysType::kStr;
+    CCDB_ASSIGN_OR_RETURN(out.str_values, table.GatherStr(col, oids));
+    return out;
+  }
+  if (tail.type() == PhysType::kF64) {
+    out.type = PhysType::kF64;
+    CCDB_ASSIGN_OR_RETURN(out.f64_values, table.GatherF64(col, oids));
+    return out;
+  }
+  out.type = PhysType::kU32;
+  CCDB_ASSIGN_OR_RETURN(out.u32_values, table.GatherU32(col, oids));
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::vector<MaterializedColumn>> MaterializeJoin(
+    const Table& left, const std::vector<std::string>& left_cols,
+    const Table& right, const std::vector<std::string>& right_cols,
+    std::span<const Bun> join_index) {
+  std::vector<oid_t> left_oids(join_index.size());
+  std::vector<oid_t> right_oids(join_index.size());
+  for (size_t i = 0; i < join_index.size(); ++i) {
+    left_oids[i] = join_index[i].head;
+    right_oids[i] = join_index[i].tail;
+  }
+  std::vector<MaterializedColumn> out;
+  out.reserve(left_cols.size() + right_cols.size());
+  for (const auto& col : left_cols) {
+    CCDB_ASSIGN_OR_RETURN(MaterializedColumn mc,
+                          GatherColumn(left, col, left_oids));
+    out.push_back(std::move(mc));
+  }
+  for (const auto& col : right_cols) {
+    CCDB_ASSIGN_OR_RETURN(MaterializedColumn mc,
+                          GatherColumn(right, col, right_oids));
+    out.push_back(std::move(mc));
+  }
+  return out;
+}
+
+StatusOr<std::vector<Bun>> JoinTables(const Table& left,
+                                      const std::string& left_col,
+                                      const Table& right,
+                                      const std::string& right_col,
+                                      JoinStrategy strategy,
+                                      const MachineProfile& profile,
+                                      JoinStats* stats) {
+  CCDB_ASSIGN_OR_RETURN(std::vector<Bun> l, ColumnBuns(left, left_col));
+  CCDB_ASSIGN_OR_RETURN(std::vector<Bun> r, ColumnBuns(right, right_col));
+  JoinPlan plan = PlanJoin(strategy, r.size(), profile);
+  return ExecuteJoin(l, r, plan, stats);
+}
+
+}  // namespace ccdb

@@ -1,0 +1,32 @@
+#include "exec/schema.h"
+
+#include <unordered_set>
+
+namespace ccdb {
+
+Status TableSchema::Validate() const {
+  if (fields_.empty())
+    return Status::InvalidArgument("schema needs at least one field");
+  std::unordered_set<std::string> seen;
+  for (const auto& f : fields_) {
+    if (f.name.empty()) return Status::InvalidArgument("empty field name");
+    if (!seen.insert(f.name).second)
+      return Status::InvalidArgument("duplicate field name: " + f.name);
+  }
+  return Status::Ok();
+}
+
+StatusOr<size_t> TableSchema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no field named " + name);
+}
+
+size_t TableSchema::record_width() const {
+  size_t w = 0;
+  for (const auto& f : fields_) w += FieldTypeWidth(f.type);
+  return w;
+}
+
+}  // namespace ccdb

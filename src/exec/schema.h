@@ -1,0 +1,41 @@
+// Relational schema for the exec layer: field names + fixed-width physical
+// types (shared with the NSM row store). The exec layer is a deliberately
+// small slice of Monet's query machinery — enough to run the paper's
+// motivating workloads (Item-table selections, projections, group-bys and
+// equi-joins) over decomposed storage.
+#ifndef CCDB_EXEC_SCHEMA_H_
+#define CCDB_EXEC_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "bat/nsm.h"
+#include "util/status.h"
+
+namespace ccdb {
+
+class TableSchema {
+ public:
+  TableSchema() = default;
+  explicit TableSchema(std::vector<FieldDef> fields)
+      : fields_(std::move(fields)) {}
+
+  /// Checks non-empty and unique field names.
+  Status Validate() const;
+
+  size_t num_fields() const { return fields_.size(); }
+  const FieldDef& field(size_t i) const { return fields_[i]; }
+  const std::vector<FieldDef>& fields() const { return fields_; }
+  StatusOr<size_t> FieldIndex(const std::string& name) const;
+
+  /// Width of one NSM record under this schema — the scan stride the paper's
+  /// Figure 3 puts on the X axis.
+  size_t record_width() const;
+
+ private:
+  std::vector<FieldDef> fields_;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_EXEC_SCHEMA_H_

@@ -1,0 +1,93 @@
+// Table: a vertically decomposed relational table with automatic
+// byte-encoding of low-cardinality string columns — the storage design of
+// §3.1 / Fig. 4. Every column is a BAT with a void (virtual OID) head;
+// string columns whose domain fits 1-2 bytes are stored as their code
+// column plus a dictionary, and selections on them are *remapped to codes*
+// rather than decoding tuples.
+#ifndef CCDB_EXEC_TABLE_H_
+#define CCDB_EXEC_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algo/aggregate.h"
+#include "bat/bat.h"
+#include "bat/dsm.h"
+#include "bat/encoding.h"
+#include "exec/schema.h"
+#include "util/status.h"
+
+namespace ccdb {
+
+class Table {
+ public:
+  /// Decomposes `rows` into BATs; when `auto_encode` is set, string columns
+  /// with domain cardinality <= 65536 are byte-encoded.
+  static StatusOr<Table> FromRowStore(const RowStore& rows,
+                                      bool auto_encode = true);
+
+  const TableSchema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_; }
+  size_t num_columns() const { return schema_.num_fields(); }
+
+  /// The stored BAT of column `i`: for encoded string columns this is the
+  /// code column (kU8/kU16), otherwise the raw value column.
+  const Bat& column_bat(size_t i) const { return bats_[i]; }
+  bool is_encoded(size_t i) const { return dicts_[i].has_value(); }
+  const StrDictionary& dict(size_t i) const { return *dicts_[i]; }
+
+  /// Bytes stored per tuple of column `i` (the scan stride for that column).
+  size_t column_value_bytes(size_t i) const;
+
+  /// Total heap bytes across all columns; contrast with
+  /// schema().record_width() * num_rows() for the NSM footprint.
+  size_t MemoryBytes() const;
+
+  // --- operators (positional OIDs, void-head convention) -------------------
+
+  /// OIDs where string column `col` == `value`. For an encoded column this
+  /// remaps the predicate to a code and scans 1-2 bytes per tuple (§3.1);
+  /// an unknown value yields an empty result, not an error.
+  StatusOr<std::vector<oid_t>> SelectEqStr(const std::string& col,
+                                           std::string_view value) const;
+
+  /// OIDs where u32 column `col` is in [lo, hi].
+  StatusOr<std::vector<oid_t>> SelectRangeU32(const std::string& col,
+                                              uint32_t lo, uint32_t hi) const;
+
+  /// OIDs where f64 column `col` is in [lo, hi].
+  StatusOr<std::vector<oid_t>> SelectRangeF64(const std::string& col,
+                                              double lo, double hi) const;
+
+  /// Group by an integral (or encoded string) column, summing a u32 column.
+  /// For encoded group columns the result keys are codes; use
+  /// DecodeGroupKey to map back.
+  StatusOr<GroupAggregates> GroupSumU32(const std::string& group_col,
+                                        const std::string& value_col) const;
+  StatusOr<std::string> DecodeGroupKey(const std::string& group_col,
+                                       uint32_t key) const;
+
+  /// Materializes string values of column `col` for the given OIDs
+  /// (decoding via the dictionary when encoded) — the projection path.
+  StatusOr<std::vector<std::string>> GatherStr(
+      const std::string& col, std::span<const oid_t> oids) const;
+  StatusOr<std::vector<double>> GatherF64(const std::string& col,
+                                          std::span<const oid_t> oids) const;
+  StatusOr<std::vector<uint32_t>> GatherU32(
+      const std::string& col, std::span<const oid_t> oids) const;
+
+ private:
+  TableSchema schema_;
+  size_t rows_ = 0;
+  std::vector<Bat> bats_;
+  std::vector<std::optional<StrDictionary>> dicts_;
+
+  StatusOr<size_t> Col(const std::string& name) const {
+    return schema_.FieldIndex(name);
+  }
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_EXEC_TABLE_H_

@@ -1,0 +1,30 @@
+#include "mem/cache_sim.h"
+
+namespace ccdb {
+
+CacheSim::CacheSim(const CacheGeometry& geometry)
+    : geometry_(geometry),
+      line_shift_(Log2Floor(geometry.line_bytes)),
+      set_mask_(geometry.sets() - 1),
+      assoc_(geometry.associativity == 0 ? geometry.lines()
+                                         : geometry.associativity) {
+  CCDB_CHECK(IsPowerOfTwo(geometry.line_bytes));
+  CCDB_CHECK(IsPowerOfTwo(geometry.sets()));
+  ways_.resize(geometry.sets() * assoc_);
+}
+
+bool CacheSim::Contains(uint64_t addr) const {
+  uint64_t line = addr >> line_shift_;
+  uint64_t set = line & set_mask_;
+  const Way* ways = &ways_[set * assoc_];
+  for (size_t w = 0; w < assoc_; ++w) {
+    if (ways[w].valid && ways[w].tag == line) return true;
+  }
+  return false;
+}
+
+void CacheSim::Flush() {
+  for (auto& w : ways_) w.valid = false;
+}
+
+}  // namespace ccdb

@@ -1,0 +1,92 @@
+// Software model of one set-associative cache level with LRU replacement.
+// This substitutes for the paper's MIPS R10000 hardware event counters
+// (§3.4.1): the counters only report line-granularity miss counts, which the
+// model computes exactly for the same access stream.
+#ifndef CCDB_MEM_CACHE_SIM_H_
+#define CCDB_MEM_CACHE_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/machine.h"
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace ccdb {
+
+/// One cache level. Physically indexed by address; tag = line address.
+/// Replacement is true LRU within a set (the R10000 L1/L2 are 2-way LRU).
+class CacheSim {
+ public:
+  explicit CacheSim(const CacheGeometry& geometry);
+
+  /// Touches the line containing byte address `addr`. Returns true on hit.
+  /// Loads the line on miss (allocate-on-write, like the R10000's
+  /// write-allocate caches — so reads and writes count misses identically).
+  bool Access(uint64_t addr) {
+    uint64_t line = addr >> line_shift_;
+    uint64_t set = line & set_mask_;
+    Way* ways = &ways_[set * assoc_];
+    ++accesses_;
+    for (size_t w = 0; w < assoc_; ++w) {
+      if (ways[w].valid && ways[w].tag == line) {
+        ways[w].stamp = ++tick_;
+        return true;
+      }
+    }
+    ++misses_;
+    // Evict LRU (or fill an invalid way).
+    size_t victim = 0;
+    uint64_t oldest = UINT64_MAX;
+    for (size_t w = 0; w < assoc_; ++w) {
+      if (!ways[w].valid) {
+        victim = w;
+        break;
+      }
+      if (ways[w].stamp < oldest) {
+        oldest = ways[w].stamp;
+        victim = w;
+      }
+    }
+    ways[victim] = {line, ++tick_, true};
+    return false;
+  }
+
+  /// True iff the line holding `addr` is currently resident (no side effects).
+  bool Contains(uint64_t addr) const;
+
+  /// Invalidates all lines and zeroes counters? No: counters are kept;
+  /// use ResetCounters() for those.
+  void Flush();
+
+  void ResetCounters() {
+    accesses_ = 0;
+    misses_ = 0;
+  }
+
+  uint64_t accesses() const { return accesses_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t hits() const { return accesses_ - misses_; }
+  const CacheGeometry& geometry() const { return geometry_; }
+  int line_shift() const { return line_shift_; }
+
+ private:
+  struct Way {
+    uint64_t tag = 0;
+    uint64_t stamp = 0;
+    bool valid = false;
+  };
+
+  CacheGeometry geometry_;
+  int line_shift_;
+  uint64_t set_mask_;
+  size_t assoc_;
+  std::vector<Way> ways_;
+  uint64_t tick_ = 0;
+  uint64_t accesses_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_MEM_CACHE_SIM_H_

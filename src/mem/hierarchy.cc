@@ -1,0 +1,30 @@
+#include "mem/hierarchy.h"
+
+namespace ccdb {
+
+MemoryHierarchy::MemoryHierarchy(const MachineProfile& profile,
+                                 bool randomize_pages)
+    : profile_(profile),
+      l1_(profile.l1),
+      l2_(profile.l2),
+      tlb_(profile.tlb),
+      l1_line_shift_(Log2Floor(profile.l1.line_bytes)),
+      page_shift_(Log2Floor(profile.tlb.page_bytes)),
+      page_mask_(profile.tlb.page_bytes - 1),
+      randomize_pages_(randomize_pages) {
+  CCDB_CHECK(profile.Validate().ok());
+}
+
+void MemoryHierarchy::FlushAll() {
+  l1_.Flush();
+  l2_.Flush();
+  tlb_.Flush();
+}
+
+void MemoryHierarchy::ResetCounters() {
+  l1_.ResetCounters();
+  l2_.ResetCounters();
+  tlb_.ResetCounters();
+}
+
+}  // namespace ccdb

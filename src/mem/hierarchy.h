@@ -1,0 +1,130 @@
+// MemoryHierarchy ties L1 + L2 + TLB simulators together and exposes the
+// event counts the paper reads from R10000 hardware counters: accesses,
+// L1 misses, L2 misses, TLB misses — plus a predicted time based on the
+// profile's latencies (the right-hand side of the paper's cost formulas).
+#ifndef CCDB_MEM_HIERARCHY_H_
+#define CCDB_MEM_HIERARCHY_H_
+
+#include <cstdint>
+
+#include "mem/cache_sim.h"
+#include "mem/machine.h"
+#include "mem/tlb_sim.h"
+
+namespace ccdb {
+
+/// Counter snapshot; also used by the analytical models so that measured,
+/// simulated and modeled events are directly comparable.
+struct MemEvents {
+  uint64_t accesses = 0;
+  uint64_t l1_misses = 0;
+  uint64_t l2_misses = 0;
+  uint64_t tlb_misses = 0;
+
+  MemEvents& operator+=(const MemEvents& o) {
+    accesses += o.accesses;
+    l1_misses += o.l1_misses;
+    l2_misses += o.l2_misses;
+    tlb_misses += o.tlb_misses;
+    return *this;
+  }
+  MemEvents operator-(const MemEvents& o) const {
+    return {accesses - o.accesses, l1_misses - o.l1_misses,
+            l2_misses - o.l2_misses, tlb_misses - o.tlb_misses};
+  }
+
+  /// Memory-stall time implied by these events under the paper's linear
+  /// model: l1_misses*lL2 + l2_misses*lMem + tlb_misses*lTLB.
+  double StallNanos(const Latencies& lat) const {
+    return static_cast<double>(l1_misses) * lat.l2_ns +
+           static_cast<double>(l2_misses) * lat.mem_ns +
+           static_cast<double>(tlb_misses) * lat.tlb_ns;
+  }
+};
+
+/// Two cache levels + TLB, walked in the usual inclusive order:
+/// every access touches the TLB and L1; an L1 miss probes L2; an L2 miss
+/// goes to memory. Multi-byte accesses that straddle a line boundary touch
+/// every line they cover (ditto pages).
+///
+/// Address translation: the TLB is indexed by *virtual* page; the caches by
+/// *physical* address. With `randomize_pages` (the default) each virtual
+/// page is assigned a pseudo-random physical frame, modeling the OS page
+/// allocator. This matters: without it, algorithm buffers spaced at exact
+/// powers of two (e.g. radix-cluster output regions) would alias into the
+/// same cache sets — a pathology real systems don't exhibit because
+/// physically-indexed caches see scattered frames. Pass `false` for
+/// identity mapping when tests need exactly predictable set placement.
+class MemoryHierarchy {
+ public:
+  explicit MemoryHierarchy(const MachineProfile& profile,
+                           bool randomize_pages = true);
+
+  /// Simulates a `bytes`-wide access at `p`. `write` is accepted for API
+  /// clarity; the model is write-allocate so reads and writes behave alike.
+  void Access(const void* p, size_t bytes, bool write) {
+    (void)write;
+    uint64_t addr = reinterpret_cast<uint64_t>(p);
+    uint64_t first_line = addr >> l1_line_shift_;
+    uint64_t last_line = (addr + bytes - 1) >> l1_line_shift_;
+    for (uint64_t line = first_line; line <= last_line; ++line) {
+      AccessLine(line << l1_line_shift_);
+    }
+  }
+
+  /// Single-address convenience used by the access policies.
+  void AccessLine(uint64_t addr) {
+    tlb_.Access(addr);
+    uint64_t paddr = Translate(addr);
+    if (!l1_.Access(paddr)) {
+      l2_.Access(paddr);
+    }
+  }
+
+  /// Drops all cached state (lines + translations), keeping counters.
+  void FlushAll();
+  void ResetCounters();
+
+  MemEvents events() const {
+    return {l1_.accesses(), l1_.misses(), l2_.misses(), tlb_.misses()};
+  }
+
+  const MachineProfile& profile() const { return profile_; }
+  CacheSim& l1() { return l1_; }
+  CacheSim& l2() { return l2_; }
+  TlbSim& tlb() { return tlb_; }
+
+ private:
+  /// Virtual -> pseudo-physical. Identity when randomization is off.
+  /// Deterministic (pure hash of the page number), so runs are repeatable.
+  uint64_t Translate(uint64_t addr) {
+    if (!randomize_pages_) return addr;
+    uint64_t vpage = addr >> page_shift_;
+    if (vpage != last_vpage_) {
+      last_vpage_ = vpage;
+      // splitmix64 finalizer as the frame allocator; 44-bit frame numbers
+      // leave headroom in 64-bit tags and make frame collisions negligible.
+      uint64_t z = vpage + 0x9e3779b97f4a7c15ull;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      z ^= z >> 31;
+      last_frame_base_ = (z & ((uint64_t{1} << 44) - 1)) << page_shift_;
+    }
+    return last_frame_base_ | (addr & page_mask_);
+  }
+
+  MachineProfile profile_;
+  CacheSim l1_;
+  CacheSim l2_;
+  TlbSim tlb_;
+  int l1_line_shift_;
+  int page_shift_;
+  uint64_t page_mask_;
+  bool randomize_pages_;
+  uint64_t last_vpage_ = UINT64_MAX;
+  uint64_t last_frame_base_ = 0;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_MEM_HIERARCHY_H_

@@ -1,0 +1,135 @@
+#include "mem/hw_counters.h"
+
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace ccdb {
+
+#if defined(__linux__)
+
+namespace {
+
+int OpenEvent(uint32_t type, uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = group_fd < 0 ? 1 : 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, group_fd, 0));
+}
+
+uint64_t CacheConfig(uint64_t cache, uint64_t op, uint64_t result) {
+  return cache | (op << 8) | (result << 16);
+}
+
+Status ReadOne(int fd, uint64_t* out) {
+  if (fd < 0) return Status::Unavailable("counter not open");
+  uint64_t v = 0;
+  if (read(fd, &v, sizeof(v)) != sizeof(v))
+    return Status::Internal("perf counter read failed");
+  *out = v;
+  return Status::Ok();
+}
+
+}  // namespace
+
+HwCounters::~HwCounters() { Close(); }
+
+HwCounters::HwCounters(HwCounters&& o) noexcept {
+  *this = std::move(o);
+}
+
+HwCounters& HwCounters::operator=(HwCounters&& o) noexcept {
+  if (this != &o) {
+    Close();
+    cycles_fd_ = o.cycles_fd_;
+    l1_miss_fd_ = o.l1_miss_fd_;
+    llc_miss_fd_ = o.llc_miss_fd_;
+    tlb_miss_fd_ = o.tlb_miss_fd_;
+    o.cycles_fd_ = o.l1_miss_fd_ = o.llc_miss_fd_ = o.tlb_miss_fd_ = -1;
+  }
+  return *this;
+}
+
+Status HwCounters::Open() {
+  Close();
+  cycles_fd_ = OpenEvent(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (cycles_fd_ < 0)
+    return Status::Unavailable(
+        "perf_event_open failed (kernel.perf_event_paranoid or container "
+        "policy); falling back to the software simulator");
+  l1_miss_fd_ = OpenEvent(
+      PERF_TYPE_HW_CACHE,
+      CacheConfig(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+                  PERF_COUNT_HW_CACHE_RESULT_MISS),
+      cycles_fd_);
+  llc_miss_fd_ = OpenEvent(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES,
+                           cycles_fd_);
+  tlb_miss_fd_ = OpenEvent(
+      PERF_TYPE_HW_CACHE,
+      CacheConfig(PERF_COUNT_HW_CACHE_DTLB, PERF_COUNT_HW_CACHE_OP_READ,
+                  PERF_COUNT_HW_CACHE_RESULT_MISS),
+      cycles_fd_);
+  if (l1_miss_fd_ < 0 || llc_miss_fd_ < 0 || tlb_miss_fd_ < 0) {
+    Close();
+    return Status::Unavailable("perf cache/TLB events unavailable");
+  }
+  return Status::Ok();
+}
+
+Status HwCounters::Start() {
+  if (!is_open()) return Status::FailedPrecondition("counters not open");
+  ioctl(cycles_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(cycles_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  return Status::Ok();
+}
+
+StatusOr<MemEvents> HwCounters::Stop(uint64_t* cycles_out) {
+  if (!is_open()) return Status::FailedPrecondition("counters not open");
+  ioctl(cycles_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  MemEvents ev;
+  uint64_t cycles = 0;
+  CCDB_RETURN_IF_ERROR(ReadOne(cycles_fd_, &cycles));
+  CCDB_RETURN_IF_ERROR(ReadOne(l1_miss_fd_, &ev.l1_misses));
+  CCDB_RETURN_IF_ERROR(ReadOne(llc_miss_fd_, &ev.l2_misses));
+  CCDB_RETURN_IF_ERROR(ReadOne(tlb_miss_fd_, &ev.tlb_misses));
+  if (cycles_out != nullptr) *cycles_out = cycles;
+  return ev;
+}
+
+void HwCounters::Close() {
+  for (int* fd : {&cycles_fd_, &l1_miss_fd_, &llc_miss_fd_, &tlb_miss_fd_}) {
+    if (*fd >= 0) close(*fd);
+    *fd = -1;
+  }
+}
+
+#else  // !__linux__
+
+HwCounters::~HwCounters() = default;
+HwCounters::HwCounters(HwCounters&&) noexcept = default;
+HwCounters& HwCounters::operator=(HwCounters&&) noexcept = default;
+Status HwCounters::Open() {
+  return Status::Unavailable("perf counters require Linux");
+}
+Status HwCounters::Start() {
+  return Status::FailedPrecondition("counters not open");
+}
+StatusOr<MemEvents> HwCounters::Stop(uint64_t*) {
+  return Status::FailedPrecondition("counters not open");
+}
+void HwCounters::Close() {}
+
+#endif
+
+}  // namespace ccdb

@@ -1,0 +1,52 @@
+// Real hardware performance counters via Linux perf_event_open, standing in
+// for the MIPS R10000 event counters the paper used [Sil97]. Containers and
+// locked-down kernels often forbid perf; in that case Open() returns
+// kUnavailable and callers fall back to the software simulator (mem/access.h)
+// — the figure benches report whichever source is available.
+#ifndef CCDB_MEM_HW_COUNTERS_H_
+#define CCDB_MEM_HW_COUNTERS_H_
+
+#include <cstdint>
+
+#include "mem/hierarchy.h"
+#include "util/status.h"
+
+namespace ccdb {
+
+/// RAII group of perf counters: cycles, L1D read misses, LLC misses,
+/// dTLB read misses. All-or-nothing: if any event cannot be opened the whole
+/// group is unavailable.
+class HwCounters {
+ public:
+  HwCounters() = default;
+  ~HwCounters();
+
+  HwCounters(const HwCounters&) = delete;
+  HwCounters& operator=(const HwCounters&) = delete;
+  HwCounters(HwCounters&& o) noexcept;
+  HwCounters& operator=(HwCounters&& o) noexcept;
+
+  /// Opens the counter group for the calling thread.
+  /// Returns kUnavailable when the kernel/paranoia level forbids it.
+  Status Open();
+
+  bool is_open() const { return cycles_fd_ >= 0; }
+
+  /// Zeroes and starts all counters.
+  Status Start();
+  /// Stops counters and returns the events observed since Start().
+  /// `cycles_out` receives CPU cycles if non-null.
+  StatusOr<MemEvents> Stop(uint64_t* cycles_out = nullptr);
+
+  void Close();
+
+ private:
+  int cycles_fd_ = -1;
+  int l1_miss_fd_ = -1;
+  int llc_miss_fd_ = -1;
+  int tlb_miss_fd_ = -1;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_MEM_HW_COUNTERS_H_

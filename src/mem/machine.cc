@@ -1,0 +1,111 @@
+#include "mem/machine.h"
+
+#include "util/bits.h"
+
+namespace ccdb {
+
+Status MachineProfile::Validate() const {
+  auto check_cache = [](const CacheGeometry& g, const char* which) -> Status {
+    if (g.capacity_bytes == 0 || g.line_bytes == 0)
+      return Status::InvalidArgument(std::string(which) + ": zero size");
+    if (!IsPowerOfTwo(g.line_bytes))
+      return Status::InvalidArgument(std::string(which) +
+                                     ": line size must be a power of two");
+    if (g.capacity_bytes % g.line_bytes != 0)
+      return Status::InvalidArgument(std::string(which) +
+                                     ": capacity not a multiple of line size");
+    size_t ways = g.associativity == 0 ? g.lines() : g.associativity;
+    if (ways == 0 || g.lines() % ways != 0)
+      return Status::InvalidArgument(std::string(which) +
+                                     ": lines not divisible by associativity");
+    if (!IsPowerOfTwo(g.sets()))
+      return Status::InvalidArgument(std::string(which) +
+                                     ": set count must be a power of two");
+    return Status::Ok();
+  };
+  CCDB_RETURN_IF_ERROR(check_cache(l1, "L1"));
+  CCDB_RETURN_IF_ERROR(check_cache(l2, "L2"));
+  if (tlb.entries == 0 || tlb.page_bytes == 0)
+    return Status::InvalidArgument("TLB: zero size");
+  if (!IsPowerOfTwo(tlb.page_bytes))
+    return Status::InvalidArgument("TLB: page size must be a power of two");
+  if (tlb.associativity != 0) {
+    if (tlb.entries % tlb.associativity != 0)
+      return Status::InvalidArgument("TLB: entries not divisible by ways");
+    if (!IsPowerOfTwo(tlb.entries / tlb.associativity))
+      return Status::InvalidArgument("TLB: set count must be a power of two");
+  }
+  if (clock_mhz <= 0) return Status::InvalidArgument("clock_mhz must be > 0");
+  return Status::Ok();
+}
+
+MachineProfile MachineProfile::Origin2000() {
+  MachineProfile m;
+  m.name = "origin2000";
+  m.clock_mhz = 250;
+  m.l1 = {/*capacity_bytes=*/32 * 1024, /*line_bytes=*/32,
+          /*associativity=*/2};
+  m.l2 = {/*capacity_bytes=*/4 * 1024 * 1024, /*line_bytes=*/128,
+          /*associativity=*/2};
+  m.tlb = {/*entries=*/64, /*page_bytes=*/16 * 1024, /*associativity=*/0};
+  m.lat = {/*l2_ns=*/24, /*mem_ns=*/412, /*tlb_ns=*/228};
+  m.cost = {/*wc_ns=*/50, /*wr_ns=*/24, /*wrp_ns=*/240, /*wh_ns=*/680,
+            /*whp_ns=*/3600, /*wscan_ns=*/16};
+  return m;
+}
+
+MachineProfile MachineProfile::GenericX86() {
+  MachineProfile m;
+  m.name = "generic-x86";
+  m.clock_mhz = 3000;
+  m.l1 = {32 * 1024, 64, 8};
+  m.l2 = {1024 * 1024, 64, 16};
+  m.tlb = {64, 4 * 1024, 0};
+  m.lat = {/*l2_ns=*/4, /*mem_ns=*/80, /*tlb_ns=*/30};
+  // CPU-work constants scale roughly with clock speed relative to the
+  // R10000; these defaults are refined by the Calibrator at runtime.
+  m.cost = {/*wc_ns=*/4, /*wr_ns=*/2, /*wrp_ns=*/20, /*wh_ns=*/56,
+            /*whp_ns=*/300, /*wscan_ns=*/1.2};
+  return m;
+}
+
+MachineProfile MachineProfile::SunLX() {
+  MachineProfile m;
+  m.name = "sunLX";
+  m.clock_mhz = 50;
+  // The LX has a single unified 64 KB external cache with 16 B lines; we
+  // model it as an L2 with a pass-through 1-line "L1" so the two-level scan
+  // model applies (ML1 == ML2 for every stride).
+  m.l1 = {16, 16, 0};
+  m.l2 = {64 * 1024, 16, 1};
+  m.tlb = {64, 4 * 1024, 0};
+  m.lat = {/*l2_ns=*/0, /*mem_ns=*/220, /*tlb_ns=*/300};
+  m.cost = {250, 120, 1200, 3400, 18000, 100};
+  return m;
+}
+
+MachineProfile MachineProfile::UltraSparc1() {
+  MachineProfile m;
+  m.name = "ultra";
+  m.clock_mhz = 143;
+  m.l1 = {16 * 1024, 16, 1};
+  m.l2 = {512 * 1024, 64, 1};
+  m.tlb = {64, 8 * 1024, 0};
+  m.lat = {/*l2_ns=*/42, /*mem_ns=*/266, /*tlb_ns=*/280};
+  m.cost = {90, 42, 420, 1200, 6400, 35};
+  return m;
+}
+
+MachineProfile MachineProfile::Sun450() {
+  MachineProfile m;
+  m.name = "sun450";
+  m.clock_mhz = 296;
+  m.l1 = {16 * 1024, 16, 1};
+  m.l2 = {1024 * 1024, 64, 1};
+  m.tlb = {64, 8 * 1024, 0};
+  m.lat = {/*l2_ns=*/34, /*mem_ns=*/250, /*tlb_ns=*/240};
+  m.cost = {42, 20, 200, 570, 3000, 14};
+  return m;
+}
+
+}  // namespace ccdb

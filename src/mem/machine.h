@@ -1,0 +1,101 @@
+// MachineProfile: the single description of a memory hierarchy consumed by
+// the cache/TLB simulator (src/mem), the analytical cost models (src/model)
+// and the join strategy planner. The default profile is the paper's
+// Origin2000 (§3.4.1), so that model curves reproduce the paper exactly.
+#ifndef CCDB_MEM_MACHINE_H_
+#define CCDB_MEM_MACHINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace ccdb {
+
+/// Geometry of one cache level.
+struct CacheGeometry {
+  size_t capacity_bytes = 0;
+  size_t line_bytes = 0;
+  /// Ways per set; 0 means fully associative.
+  size_t associativity = 0;
+
+  size_t lines() const { return capacity_bytes / line_bytes; }
+  size_t sets() const {
+    size_t ways = associativity == 0 ? lines() : associativity;
+    return lines() / ways;
+  }
+};
+
+/// Geometry of the TLB: `entries` page translations over `page_bytes` pages.
+struct TlbGeometry {
+  size_t entries = 0;
+  size_t page_bytes = 0;
+  /// Ways; 0 means fully associative (typical for small TLBs, and what the
+  /// paper assumes for the R10000's 64-entry TLB).
+  size_t associativity = 0;
+
+  /// Memory range covered by all TLB entries, ||TLB|| in the paper.
+  size_t span_bytes() const { return entries * page_bytes; }
+};
+
+/// Access latencies in nanoseconds, named as in the paper:
+/// l2_ns  = lL2  : penalty of an L1 miss that hits L2,
+/// mem_ns = lMem : penalty of an L2 miss (main-memory access),
+/// tlb_ns = lTLB : penalty of a TLB miss.
+struct Latencies {
+  double l2_ns = 0;
+  double mem_ns = 0;
+  double tlb_ns = 0;
+};
+
+/// Cost-model calibration constants (§3.4, footnotes): pure CPU work per
+/// tuple for each algorithm, in nanoseconds.
+struct CostConstants {
+  double wc_ns = 0;    ///< radix-cluster work per tuple per pass (wc)
+  double wr_ns = 0;    ///< radix-join predicate check cost (wr)
+  double wrp_ns = 0;   ///< radix-join result-tuple creation cost (w'r)
+  double wh_ns = 0;    ///< phash per-tuple cost: build+lookup+result (wh)
+  double whp_ns = 0;   ///< phash per-cluster hash-table setup cost (w'h)
+  double wscan_ns = 0; ///< pure CPU cost per scan iteration (§2: 4 cycles on
+                       ///< the Origin2000 = 16 ns)
+};
+
+/// A machine as the paper sees one: two cache levels, a TLB, latencies and
+/// per-algorithm CPU constants.
+struct MachineProfile {
+  std::string name;
+  double clock_mhz = 0;
+  CacheGeometry l1;
+  CacheGeometry l2;
+  TlbGeometry tlb;
+  Latencies lat;
+  CostConstants cost;
+
+  /// Nanoseconds per CPU cycle.
+  double cycle_ns() const { return 1000.0 / clock_mhz; }
+
+  /// Validates that all geometries are non-degenerate powers of two where
+  /// the simulator requires them to be.
+  Status Validate() const;
+
+  /// The paper's experimentation platform (§3.4.1): MIPS R10000 @ 250 MHz,
+  /// 32 KB L1 (1024 x 32 B lines), 4 MB L2 (32768 x 128 B lines), 64-entry
+  /// TLB with 16 KB pages; lTLB=228ns, lL2=24ns, lMem=412ns; wc=50ns,
+  /// wr=24ns, w'r=240ns, wh=680ns, w'h=3600ns.
+  static MachineProfile Origin2000();
+
+  /// A generic modern x86 laptop/server profile: 32 KB / 64 B L1,
+  /// 1 MB / 64 B L2-equivalent (last-level slice), 64-entry 4 KB-page TLB.
+  /// Latencies are typical DDR4-era values; use Calibrator to refine.
+  static MachineProfile GenericX86();
+
+  /// Three of the paper's four Figure-3 machines, for the scan model.
+  static MachineProfile SunLX();
+  static MachineProfile UltraSparc1();
+  static MachineProfile Sun450();
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_MEM_MACHINE_H_

@@ -1,0 +1,33 @@
+#include "mem/tlb_sim.h"
+
+namespace ccdb {
+
+TlbSim::TlbSim(const TlbGeometry& geometry)
+    : geometry_(geometry),
+      page_shift_(Log2Floor(geometry.page_bytes)),
+      ways_(geometry.associativity == 0 ? geometry.entries
+                                        : geometry.associativity) {
+  CCDB_CHECK(IsPowerOfTwo(geometry.page_bytes));
+  size_t sets = geometry.entries / ways_;
+  CCDB_CHECK(sets * ways_ == geometry.entries);
+  CCDB_CHECK(IsPowerOfTwo(sets));
+  set_mask_ = sets - 1;
+  entries_.resize(geometry.entries);
+}
+
+bool TlbSim::Contains(uint64_t addr) const {
+  uint64_t page = addr >> page_shift_;
+  uint64_t set = page & set_mask_;
+  const Entry* set_entries = &entries_[set * ways_];
+  for (size_t w = 0; w < ways_; ++w) {
+    if (set_entries[w].valid && set_entries[w].page == page) return true;
+  }
+  return false;
+}
+
+void TlbSim::Flush() {
+  for (auto& e : entries_) e.valid = false;
+  mru_page_ = UINT64_MAX;
+}
+
+}  // namespace ccdb

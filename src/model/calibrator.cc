@@ -1,0 +1,128 @@
+#include "model/calibrator.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/aligned.h"
+#include "util/bits.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace ccdb {
+
+double MeasureChaseNs(size_t ws_bytes, size_t stride_bytes,
+                      size_t iterations) {
+  size_t slots = std::max<size_t>(ws_bytes / stride_bytes, 2);
+  AlignedBuffer buf(slots * stride_bytes, 4096);
+
+  // Build one random cycle over all slots (Sattolo's algorithm) so each
+  // load depends on the previous one and covers the whole working set.
+  std::vector<uint32_t> perm(slots);
+  std::iota(perm.begin(), perm.end(), 0u);
+  Rng rng(0xC0FFEE);
+  for (size_t i = slots - 1; i > 0; --i) {
+    size_t j = rng.NextBelow(i);  // j < i: guarantees a single cycle
+    std::swap(perm[i], perm[j]);
+  }
+  auto slot_ptr = [&](size_t s) {
+    return reinterpret_cast<uint64_t*>(buf.data() + s * stride_bytes);
+  };
+  for (size_t i = 0; i < slots; ++i) {
+    size_t next = perm[i];
+    *slot_ptr(i) = reinterpret_cast<uint64_t>(slot_ptr(next));
+  }
+
+  // Warm-up lap, then timed chase.
+  volatile uint64_t* p = slot_ptr(0);
+  for (size_t i = 0; i < slots; ++i) p = reinterpret_cast<uint64_t*>(*p);
+  WallTimer t;
+  for (size_t i = 0; i < iterations; ++i) {
+    p = reinterpret_cast<uint64_t*>(*p);
+  }
+  double ns = static_cast<double>(t.ElapsedNanos()) /
+              static_cast<double>(iterations);
+  // Defeat dead-code elimination.
+  if (reinterpret_cast<uint64_t>(p) == 1) std::abort();
+  return ns;
+}
+
+namespace {
+
+size_t SysconfOr(int name, size_t fallback) {
+#ifdef _SC_LEVEL1_DCACHE_SIZE
+  long v = sysconf(name);
+  if (v > 0) return static_cast<size_t>(v);
+#else
+  (void)name;
+#endif
+  return fallback;
+}
+
+}  // namespace
+
+CalibrationReport Calibrate() {
+  CalibrationReport rep;
+#ifdef _SC_LEVEL1_DCACHE_SIZE
+  rep.l1_bytes = SysconfOr(_SC_LEVEL1_DCACHE_SIZE, 0);
+  rep.l1_line = SysconfOr(_SC_LEVEL1_DCACHE_LINESIZE, 0);
+  rep.l2_bytes = SysconfOr(_SC_LEVEL2_CACHE_SIZE, 0);
+  rep.l2_line = SysconfOr(_SC_LEVEL2_CACHE_LINESIZE, 0);
+#endif
+  size_t line = rep.l1_line != 0 ? rep.l1_line : 64;
+
+  // Latency curve: 8 KB .. 64 MB working sets, one pointer per line so
+  // every access misses spatially.
+  constexpr size_t kIters = 1 << 19;
+  for (size_t ws = 8 * 1024; ws <= 64 * 1024 * 1024; ws *= 2) {
+    rep.latency_curve.push_back({ws, MeasureChaseNs(ws, line, kIters)});
+  }
+
+  // Plateau picks: smallest set = L1 hit; a set twice L1 (but well inside
+  // L2) = L2 hit; the largest set = memory.
+  auto at_ws = [&](size_t target) {
+    double best = rep.latency_curve.front().ns_per_access;
+    for (const auto& pt : rep.latency_curve) {
+      if (pt.working_set_bytes <= target) best = pt.ns_per_access;
+    }
+    return best;
+  };
+  size_t l1 = rep.l1_bytes != 0 ? rep.l1_bytes : 32 * 1024;
+  size_t l2 = rep.l2_bytes != 0 ? rep.l2_bytes : 1024 * 1024;
+  rep.l1_ns = rep.latency_curve.front().ns_per_access;
+  double l2_hit_ns = at_ws(std::max(l1 * 2, size_t{64} * 1024));
+  double mem_hit_ns = rep.latency_curve.back().ns_per_access;
+  // Penalties are measured latency minus the level above.
+  rep.l2_ns = std::max(l2_hit_ns - rep.l1_ns, 0.5);
+  rep.mem_ns = std::max(mem_hit_ns - l2_hit_ns, 1.0);
+  (void)l2;
+
+  // TLB estimate: chase with page stride over many pages (every access is a
+  // TLB miss but the lines conflict little); subtract the memory latency.
+  double page_chase = MeasureChaseNs(64 * 1024 * 1024, 4096, kIters / 4);
+  rep.tlb_ns = std::max(page_chase - mem_hit_ns - rep.l2_ns - rep.l1_ns, 0.0);
+  return rep;
+}
+
+MachineProfile CalibratedHostProfile() {
+  CalibrationReport rep = Calibrate();
+  MachineProfile m = MachineProfile::GenericX86();
+  m.name = "calibrated-host";
+  if (rep.l1_bytes != 0 && rep.l1_line != 0 &&
+      IsPowerOfTwo(rep.l1_line)) {
+    m.l1.capacity_bytes = NextPowerOfTwo(rep.l1_bytes);
+    m.l1.line_bytes = rep.l1_line;
+  }
+  if (rep.l2_bytes != 0 && rep.l2_line != 0 &&
+      IsPowerOfTwo(rep.l2_line)) {
+    m.l2.capacity_bytes = NextPowerOfTwo(rep.l2_bytes);
+    m.l2.line_bytes = rep.l2_line;
+  }
+  m.lat.l2_ns = rep.l2_ns;
+  m.lat.mem_ns = rep.mem_ns;
+  m.lat.tlb_ns = std::max(rep.tlb_ns, 1.0);
+  return m;
+}
+
+}  // namespace ccdb

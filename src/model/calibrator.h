@@ -1,0 +1,48 @@
+// Runtime calibration of the host's memory hierarchy, in the spirit of the
+// paper's footnote-4 calibration ("we calibrated lTLB=228ns, lL2=24ns,
+// lMem=412ns, wc=50ns") and of the Calibrator tool the authors later
+// released. Uses a dependent-load pointer chase so the measured latency is
+// the true (unoverlapped) access latency.
+#ifndef CCDB_MODEL_CALIBRATOR_H_
+#define CCDB_MODEL_CALIBRATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/machine.h"
+#include "util/status.h"
+
+namespace ccdb {
+
+struct CalibrationPoint {
+  size_t working_set_bytes = 0;
+  double ns_per_access = 0;
+};
+
+struct CalibrationReport {
+  /// Latency curve: random pointer chase over growing working sets.
+  std::vector<CalibrationPoint> latency_curve;
+  /// Estimated latencies (plateau detection over the curve).
+  double l1_ns = 0;    ///< hit latency of L1 (smallest working sets)
+  double l2_ns = 0;    ///< lL2: L1-miss penalty
+  double mem_ns = 0;   ///< lMem: L2-miss penalty
+  double tlb_ns = 0;   ///< lTLB estimate (page-stride chase)
+  /// Cache geometry as reported by the OS (sysconf), 0 when unknown.
+  size_t l1_bytes = 0, l1_line = 0, l2_bytes = 0, l2_line = 0;
+};
+
+/// Measures one random pointer chase: `ws_bytes` working set, one pointer
+/// per `stride_bytes`. Returns ns per dependent load.
+double MeasureChaseNs(size_t ws_bytes, size_t stride_bytes,
+                      size_t iterations = 1 << 20);
+
+/// Runs the full calibration (sub-second with default settings).
+CalibrationReport Calibrate();
+
+/// A MachineProfile for the host: geometry from sysconf (falling back to
+/// GenericX86 values), latencies from Calibrate().
+MachineProfile CalibratedHostProfile();
+
+}  // namespace ccdb
+
+#endif  // CCDB_MODEL_CALIBRATOR_H_

@@ -1,0 +1,200 @@
+#include "model/cost_model.h"
+
+#include <cmath>
+
+#include "bat/types.h"
+
+namespace ccdb {
+
+namespace {
+
+constexpr double kTupleBytes = sizeof(Bun);  // 8: the paper's BUN width
+// The phash strategies size clusters at 12 bytes/tuple: the 8-byte BUN plus
+// 4 bytes of bucket-chained hash table overhead (§3.4.4).
+constexpr double kPhashTupleBytes = 12;
+
+}  // namespace
+
+double CostModel::RelLines(uint64_t c, int level) const {
+  const CacheGeometry& g = level == 1 ? m_.l1 : m_.l2;
+  return static_cast<double>(c) * kTupleBytes / static_cast<double>(g.line_bytes);
+}
+
+double CostModel::RelPages(uint64_t c) const {
+  return static_cast<double>(c) * kTupleBytes /
+         static_cast<double>(m_.tlb.page_bytes);
+}
+
+ScanPrediction CostModel::ScanIteration(size_t stride_bytes) const {
+  ScanPrediction p;
+  p.cpu_ns = m_.cost.wscan_ns;
+  double ml1 = std::min(
+      static_cast<double>(stride_bytes) / static_cast<double>(m_.l1.line_bytes),
+      1.0);
+  double ml2 = std::min(
+      static_cast<double>(stride_bytes) / static_cast<double>(m_.l2.line_bytes),
+      1.0);
+  p.l2_ns = ml1 * m_.lat.l2_ns;
+  p.mem_ns = ml2 * m_.lat.mem_ns;
+  return p;
+}
+
+double CostModel::ClusterCacheMisses(double bp_bits, uint64_t c,
+                                     int level) const {
+  const CacheGeometry& g = level == 1 ? m_.l1 : m_.l2;
+  double hp = std::exp2(bp_bits);
+  double lines = static_cast<double>(g.lines());
+  double base = 2.0 * RelLines(c, level);
+  double extra;
+  if (hp <= lines) {
+    extra = static_cast<double>(c) * hp / lines;
+  } else {
+    extra = static_cast<double>(c) * (1.0 + std::log2(hp / lines));
+  }
+  return base + extra;
+}
+
+double CostModel::ClusterTlbMisses(double bp_bits, uint64_t c) const {
+  double hp = std::exp2(bp_bits);
+  double tlb = static_cast<double>(m_.tlb.entries);
+  double pages = RelPages(c);
+  double base = 2.0 * pages;
+  double extra;
+  if (hp <= tlb) {
+    extra = pages * hp / tlb;
+  } else {
+    extra = static_cast<double>(c) * (1.0 - tlb / hp);
+  }
+  return base + extra;
+}
+
+ModelPrediction CostModel::Cluster(int passes, int bits, uint64_t c) const {
+  ModelPrediction p;
+  double bp = static_cast<double>(bits) / passes;
+  for (int pass = 0; pass < passes; ++pass) {
+    p.cpu_ns += static_cast<double>(c) * m_.cost.wc_ns;
+    p.l1_misses += ClusterCacheMisses(bp, c, 1);
+    p.l2_misses += ClusterCacheMisses(bp, c, 2);
+    p.tlb_misses += ClusterTlbMisses(bp, c);
+  }
+  return p;
+}
+
+ModelPrediction CostModel::RadixJoinPhase(int bits, uint64_t c) const {
+  ModelPrediction p;
+  double h = std::exp2(bits);
+  double tuples_per_cluster = static_cast<double>(c) / h;
+  double cluster_bytes = tuples_per_cluster * kTupleBytes;
+
+  // Tr = C * (C/H) * wr + C * w'r + misses.
+  p.cpu_ns = static_cast<double>(c) * tuples_per_cluster * m_.cost.wr_ns +
+             static_cast<double>(c) * m_.cost.wrp_ns;
+
+  for (int level = 1; level <= 2; ++level) {
+    const CacheGeometry& g = level == 1 ? m_.l1 : m_.l2;
+    double cl_lines = cluster_bytes / static_cast<double>(g.line_bytes);
+    double li_lines = static_cast<double>(g.lines());
+    double extra = cl_lines <= li_lines
+                       ? static_cast<double>(c) * (cl_lines / li_lines)
+                       : static_cast<double>(c) * cl_lines;
+    double misses = 3.0 * RelLines(c, level) + extra;
+    if (level == 1) {
+      p.l1_misses = misses;
+    } else {
+      p.l2_misses = misses;
+    }
+  }
+  p.tlb_misses = 3.0 * RelPages(c) +
+                 static_cast<double>(c) * cluster_bytes /
+                     static_cast<double>(m_.tlb.span_bytes());
+  return p;
+}
+
+ModelPrediction CostModel::PhashJoinPhase(int bits, uint64_t c) const {
+  ModelPrediction p;
+  double h = std::exp2(bits);
+  double cluster_bytes = static_cast<double>(c) / h * kPhashTupleBytes;
+
+  // Th = C * wh + H * w'h + misses.
+  p.cpu_ns = static_cast<double>(c) * m_.cost.wh_ns + h * m_.cost.whp_ns;
+
+  for (int level = 1; level <= 2; ++level) {
+    const CacheGeometry& g = level == 1 ? m_.l1 : m_.l2;
+    double cache_bytes = static_cast<double>(g.capacity_bytes);
+    double extra =
+        cluster_bytes <= cache_bytes
+            ? static_cast<double>(c) * cluster_bytes / cache_bytes
+            // Cache trashing: with a bucket-chain length of 4, up to 8
+            // memory accesses per tuple during build + lookup, plus two for
+            // the tuple itself — the paper's factor 10.
+            : static_cast<double>(c) * 10.0 * (1.0 - cache_bytes / cluster_bytes);
+    double misses = 3.0 * RelLines(c, level) + extra;
+    if (level == 1) {
+      p.l1_misses = misses;
+    } else {
+      p.l2_misses = misses;
+    }
+  }
+  double tlb_bytes = static_cast<double>(m_.tlb.span_bytes());
+  double tlb_extra =
+      cluster_bytes <= tlb_bytes
+          ? static_cast<double>(c) * cluster_bytes / tlb_bytes
+          : static_cast<double>(c) * 10.0 * (1.0 - tlb_bytes / cluster_bytes);
+  p.tlb_misses = 3.0 * RelPages(c) + tlb_extra;
+  return p;
+}
+
+int CostModel::OptimalPasses(int bits) const {
+  if (bits <= 0) return 1;
+  int per_pass = Log2Floor(m_.tlb.entries);
+  if (per_pass < 1) per_pass = 1;
+  return (bits + per_pass - 1) / per_pass;
+}
+
+ModelPrediction CostModel::TotalRadixJoin(int bits, uint64_t c) const {
+  ModelPrediction p = Cluster(OptimalPasses(bits), bits, c);
+  ModelPrediction cluster_r = Cluster(OptimalPasses(bits), bits, c);
+  p += cluster_r;
+  p += RadixJoinPhase(bits, c);
+  return p;
+}
+
+ModelPrediction CostModel::TotalPhashJoin(int bits, uint64_t c) const {
+  ModelPrediction p = Cluster(OptimalPasses(bits), bits, c);
+  ModelPrediction cluster_r = Cluster(OptimalPasses(bits), bits, c);
+  p += cluster_r;
+  p += PhashJoinPhase(bits, c);
+  return p;
+}
+
+ModelPrediction CostModel::SimpleHashJoin(uint64_t c) const {
+  return PhashJoinPhase(/*bits=*/0, c);
+}
+
+int CostModel::BestRadixBits(uint64_t c, int max_bits) const {
+  int best = 0;
+  double best_ns = TotalRadixJoin(0, c).total_ns(m_.lat);
+  for (int b = 1; b <= max_bits; ++b) {
+    double ns = TotalRadixJoin(b, c).total_ns(m_.lat);
+    if (ns < best_ns) {
+      best_ns = ns;
+      best = b;
+    }
+  }
+  return best;
+}
+
+int CostModel::BestPhashBits(uint64_t c, int max_bits) const {
+  int best = 0;
+  double best_ns = TotalPhashJoin(0, c).total_ns(m_.lat);
+  for (int b = 1; b <= max_bits; ++b) {
+    double ns = TotalPhashJoin(b, c).total_ns(m_.lat);
+    if (ns < best_ns) {
+      best_ns = ns;
+      best = b;
+    }
+  }
+  return best;
+}
+
+}  // namespace ccdb

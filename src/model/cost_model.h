@@ -1,0 +1,120 @@
+// The paper's analytical main-memory cost models (§2 and §3.4), implemented
+// exactly as printed: query cost = pure CPU work + cache/TLB miss events
+// weighted by the machine's latencies. Rather than "magical cost factors
+// obtained by profiling", the models mimic each algorithm's memory access
+// pattern and count its miss events (§4).
+//
+// Notation (all from the paper):
+//   C        relation cardinality (8-byte BUNs)
+//   B, P, Bp radix bits / passes / bits per pass;  H = 2^B, Hp = 2^Bp
+//   |Re|_Li  cache lines per relation      |Re|_Pg  pages per relation
+//   |Cl|_Li  cache lines per cluster       ||Cl||   cluster size in bytes
+//   |Li|_Li  lines in cache i              ||Li||   cache i size in bytes
+//   |TLB|    TLB entries                   ||TLB||  bytes covered by the TLB
+#ifndef CCDB_MODEL_COST_MODEL_H_
+#define CCDB_MODEL_COST_MODEL_H_
+
+#include "mem/hierarchy.h"
+#include "mem/machine.h"
+#include "util/status.h"
+
+namespace ccdb {
+
+/// Predicted event counts and time for one operation. Events are real-valued
+/// (the model divides), unlike the integer MemEvents of measurements.
+struct ModelPrediction {
+  double l1_misses = 0;
+  double l2_misses = 0;
+  double tlb_misses = 0;
+  double cpu_ns = 0;
+
+  double stall_ns(const Latencies& lat) const {
+    return l1_misses * lat.l2_ns + l2_misses * lat.mem_ns +
+           tlb_misses * lat.tlb_ns;
+  }
+  double total_ns(const Latencies& lat) const { return cpu_ns + stall_ns(lat); }
+
+  ModelPrediction& operator+=(const ModelPrediction& o) {
+    l1_misses += o.l1_misses;
+    l2_misses += o.l2_misses;
+    tlb_misses += o.tlb_misses;
+    cpu_ns += o.cpu_ns;
+    return *this;
+  }
+};
+
+/// Per-iteration scan cost decomposition of §2: T(s) = TCPU + TL2(s) + TMem(s).
+struct ScanPrediction {
+  double cpu_ns = 0;
+  double l2_ns = 0;   ///< TL2(s)  = ML1(s) * lL2
+  double mem_ns = 0;  ///< TMem(s) = ML2(s) * lMem
+  double total_ns() const { return cpu_ns + l2_ns + mem_ns; }
+};
+
+/// Evaluates the paper's formulas for one MachineProfile. All predictions
+/// are per single operation (one relation clustered, one join phase, ...).
+class CostModel {
+ public:
+  explicit CostModel(const MachineProfile& profile) : m_(profile) {}
+
+  const MachineProfile& profile() const { return m_; }
+
+  // -- §2: sequential scan with stride --------------------------------------
+
+  /// Per-iteration cost of the Figure 3 experiment at record width `stride`:
+  /// ML1(s) = min(s/LS_L1, 1), ML2(s) = min(s/LS_L2, 1).
+  ScanPrediction ScanIteration(size_t stride_bytes) const;
+
+  // -- §3.4.2: radix-cluster Tc(P, B, C) ------------------------------------
+
+  /// Miss terms of one clustering pass on Bp bits (real-valued Bp = B/P as
+  /// the paper evaluates it).
+  double ClusterCacheMisses(double bp_bits, uint64_t c, int level) const;
+  double ClusterTlbMisses(double bp_bits, uint64_t c) const;
+
+  /// Full Tc(P,B,C).
+  ModelPrediction Cluster(int passes, int bits, uint64_t c) const;
+
+  // -- §3.4.3: isolated join phases -----------------------------------------
+
+  /// Radix-join phase Tr(B,C) (nested loop per cluster pair).
+  ModelPrediction RadixJoinPhase(int bits, uint64_t c) const;
+
+  /// Partitioned hash-join phase Th(B,C).
+  ModelPrediction PhashJoinPhase(int bits, uint64_t c) const;
+
+  // -- §3.4.4: combined cluster + join --------------------------------------
+
+  /// Number of clustering passes the paper's analysis prescribes for B bits:
+  /// at most log2(|TLB|) bits per pass (6 on the Origin2000), so
+  /// P = max(1, ceil(B / log2(|TLB|))).
+  int OptimalPasses(int bits) const;
+
+  /// Cluster both relations (optimal passes) + join phase.
+  ModelPrediction TotalRadixJoin(int bits, uint64_t c) const;
+  ModelPrediction TotalPhashJoin(int bits, uint64_t c) const;
+
+  /// Non-partitioned hash join = phash join phase with B = 0 (one cluster =
+  /// the whole relation), no clustering cost.
+  ModelPrediction SimpleHashJoin(uint64_t c) const;
+
+  /// argmin over B in [0, max_bits] of the total model cost; returns B.
+  int BestRadixBits(uint64_t c, int max_bits = 27) const;
+  int BestPhashBits(uint64_t c, int max_bits = 27) const;
+
+  // Convenience: milliseconds of a prediction under this profile.
+  double Millis(const ModelPrediction& p) const {
+    return p.total_ns(m_.lat) * 1e-6;
+  }
+
+ private:
+  // Shared helpers (all real-valued, in the paper's units).
+  double RelLines(uint64_t c, int level) const;
+  double RelPages(uint64_t c) const;
+
+  MachineProfile m_;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_MODEL_COST_MODEL_H_

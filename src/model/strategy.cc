@@ -1,0 +1,107 @@
+#include "model/strategy.h"
+
+#include <cmath>
+
+#include "util/bits.h"
+
+namespace ccdb {
+
+const char* JoinStrategyName(JoinStrategy s) {
+  switch (s) {
+    case JoinStrategy::kSortMerge: return "sort-merge";
+    case JoinStrategy::kSimpleHash: return "simple hash";
+    case JoinStrategy::kPhashL2: return "phash L2";
+    case JoinStrategy::kPhashTLB: return "phash TLB";
+    case JoinStrategy::kPhashL1: return "phash L1";
+    case JoinStrategy::kPhash256: return "phash 256";
+    case JoinStrategy::kPhashMin: return "phash min";
+    case JoinStrategy::kRadix8: return "radix 8";
+    case JoinStrategy::kRadixMin: return "radix min";
+    case JoinStrategy::kBest: return "best";
+  }
+  return "?";
+}
+
+namespace {
+
+// B = ceil(log2(c * bytes_per_tuple / target_bytes)), clamped to [0, 27].
+// Rounding up makes the cluster *fit* the target level.
+int BitsFor(uint64_t c, double bytes_per_tuple, double target_bytes) {
+  double clusters = static_cast<double>(c) * bytes_per_tuple / target_bytes;
+  if (clusters <= 1.0) return 0;
+  int b = static_cast<int>(std::ceil(std::log2(clusters)));
+  return std::min(b, 27);
+}
+
+}  // namespace
+
+int StrategyBits(JoinStrategy s, uint64_t c, const MachineProfile& profile) {
+  switch (s) {
+    case JoinStrategy::kSortMerge:
+    case JoinStrategy::kSimpleHash:
+      return 0;
+    case JoinStrategy::kPhashL2:
+      return BitsFor(c, 12, static_cast<double>(profile.l2.capacity_bytes));
+    case JoinStrategy::kPhashTLB:
+      return BitsFor(c, 12, static_cast<double>(profile.tlb.span_bytes()));
+    case JoinStrategy::kPhashL1:
+      return BitsFor(c, 12, static_cast<double>(profile.l1.capacity_bytes));
+    case JoinStrategy::kPhash256:
+      return BitsFor(c, 1, 256);
+    case JoinStrategy::kPhashMin:
+      return BitsFor(c, 1, 200);
+    case JoinStrategy::kRadix8:
+      return BitsFor(c, 1, 8);
+    case JoinStrategy::kRadixMin:
+      return BitsFor(c, 1, 4);
+    case JoinStrategy::kBest:
+      break;  // resolved by PlanJoin via the model
+  }
+  return 0;
+}
+
+JoinPlan PlanJoin(JoinStrategy s, uint64_t c, const MachineProfile& profile) {
+  CostModel model(profile);
+  JoinPlan plan;
+  plan.strategy = s;
+  switch (s) {
+    case JoinStrategy::kSortMerge:
+      plan.use_radix_join = false;
+      plan.bits = 0;
+      plan.passes = 1;
+      plan.predicted_ms = 0;
+      return plan;
+    case JoinStrategy::kSimpleHash:
+      plan.use_radix_join = false;
+      plan.bits = 0;
+      plan.passes = 1;
+      plan.predicted_ms = model.Millis(model.SimpleHashJoin(c));
+      return plan;
+    case JoinStrategy::kRadix8:
+    case JoinStrategy::kRadixMin:
+      plan.use_radix_join = true;
+      plan.bits = StrategyBits(s, c, profile);
+      plan.passes = model.OptimalPasses(plan.bits);
+      plan.predicted_ms = model.Millis(model.TotalRadixJoin(plan.bits, c));
+      return plan;
+    case JoinStrategy::kBest: {
+      int rb = model.BestRadixBits(c);
+      int pb = model.BestPhashBits(c);
+      double radix_ns = model.TotalRadixJoin(rb, c).total_ns(profile.lat);
+      double phash_ns = model.TotalPhashJoin(pb, c).total_ns(profile.lat);
+      plan.use_radix_join = radix_ns < phash_ns;
+      plan.bits = plan.use_radix_join ? rb : pb;
+      plan.passes = model.OptimalPasses(plan.bits);
+      plan.predicted_ms = std::min(radix_ns, phash_ns) * 1e-6;
+      return plan;
+    }
+    default:
+      plan.use_radix_join = false;
+      plan.bits = StrategyBits(s, c, profile);
+      plan.passes = model.OptimalPasses(plan.bits);
+      plan.predicted_ms = model.Millis(model.TotalPhashJoin(plan.bits, c));
+      return plan;
+  }
+}
+
+}  // namespace ccdb

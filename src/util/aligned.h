@@ -1,0 +1,49 @@
+// Cache-line / page aligned buffers. The scan experiment (§2) and the
+// simulator tests need buffers whose base address is aligned so that miss
+// counts are exactly predictable.
+#ifndef CCDB_UTIL_ALIGNED_H_
+#define CCDB_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace ccdb {
+
+/// Byte buffer with a caller-chosen power-of-two alignment (default: 4096,
+/// one page on most systems).
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  AlignedBuffer(size_t bytes, size_t alignment = 4096) { Allocate(bytes, alignment); }
+
+  void Allocate(size_t bytes, size_t alignment = 4096) {
+    CCDB_CHECK((alignment & (alignment - 1)) == 0);
+    size_t rounded = (bytes + alignment - 1) / alignment * alignment;
+    void* p = std::aligned_alloc(alignment, rounded);
+    CCDB_CHECK(p != nullptr);
+    std::memset(p, 0, rounded);
+    data_.reset(static_cast<uint8_t*>(p));
+    size_ = bytes;
+  }
+
+  uint8_t* data() { return data_.get(); }
+  const uint8_t* data() const { return data_.get(); }
+  size_t size() const { return size_; }
+
+ private:
+  struct FreeDeleter {
+    void operator()(uint8_t* p) const { std::free(p); }
+  };
+  std::unique_ptr<uint8_t, FreeDeleter> data_;
+  size_t size_ = 0;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_UTIL_ALIGNED_H_

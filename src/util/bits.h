@@ -1,0 +1,54 @@
+// Small bit-manipulation helpers used across the radix algorithms and the
+// cache simulator. All operate on unsigned 64-bit values.
+#ifndef CCDB_UTIL_BITS_H_
+#define CCDB_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace ccdb {
+
+/// True iff `v` is a power of two (0 is not).
+constexpr bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// floor(log2(v)). Pre: v > 0.
+constexpr int Log2Floor(uint64_t v) {
+  return 63 - std::countl_zero(v | 1);
+}
+
+/// ceil(log2(v)). Pre: v > 0. Log2Ceil(1) == 0.
+constexpr int Log2Ceil(uint64_t v) {
+  return v <= 1 ? 0 : Log2Floor(v - 1) + 1;
+}
+
+/// Smallest power of two >= v. Pre: v > 0 and result fits in 63 bits.
+constexpr uint64_t NextPowerOfTwo(uint64_t v) {
+  return uint64_t{1} << Log2Ceil(v);
+}
+
+/// Extracts `bits` bits of `v` starting at bit position `lo` (0 = LSB).
+constexpr uint32_t ExtractBits(uint32_t v, int lo, int bits) {
+  if (bits == 0) return 0;
+  return (v >> lo) & ((bits >= 32) ? ~uint32_t{0} : ((uint32_t{1} << bits) - 1));
+}
+
+/// Mask with the `bits` lowest bits set; bits in [0, 32].
+constexpr uint32_t LowMask32(int bits) {
+  return bits >= 32 ? ~uint32_t{0} : ((uint32_t{1} << bits) - 1);
+}
+
+/// Divides `total_bits` as evenly as possible over `passes` buckets, larger
+/// shares first: SplitBitsEvenly(7, 2) == {4, 3}. The paper (§3.4.2) found
+/// that radix-cluster performance depends strongly on an even distribution.
+inline void SplitBitsEvenly(int total_bits, int passes, int out[/*passes*/]) {
+  CCDB_DCHECK(passes > 0);
+  int base = total_bits / passes;
+  int extra = total_bits % passes;
+  for (int p = 0; p < passes; ++p) out[p] = base + (p < extra ? 1 : 0);
+}
+
+}  // namespace ccdb
+
+#endif  // CCDB_UTIL_BITS_H_

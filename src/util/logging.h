@@ -1,0 +1,41 @@
+// Assertion macros. CCDB_CHECK is always on (invariant violations abort with
+// a message); CCDB_DCHECK compiles away in release builds and is meant for
+// hot-path pre-condition checks.
+#ifndef CCDB_UTIL_LOGGING_H_
+#define CCDB_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ccdb::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CCDB_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace ccdb::internal
+
+#define CCDB_CHECK(expr)                                         \
+  do {                                                           \
+    if (!(expr)) ::ccdb::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+  } while (0)
+
+#ifndef NDEBUG
+#define CCDB_DCHECK(expr) CCDB_CHECK(expr)
+#else
+#define CCDB_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define CCDB_ALWAYS_INLINE inline __attribute__((always_inline))
+#define CCDB_NOINLINE __attribute__((noinline))
+#else
+#define CCDB_ALWAYS_INLINE inline
+#define CCDB_NOINLINE
+#endif
+
+#endif  // CCDB_UTIL_LOGGING_H_

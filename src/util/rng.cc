@@ -1,0 +1,33 @@
+#include "util/rng.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace ccdb {
+
+void Shuffle(std::vector<uint32_t>& v, Rng& rng) {
+  for (size_t i = v.size(); i > 1; --i) {
+    size_t j = rng.NextBelow(i);
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+std::vector<uint32_t> UniqueU32(size_t n, uint64_t seed) {
+  CCDB_CHECK(n <= (uint64_t{1} << 32));
+  Rng rng(seed);
+  // A random bijection of [0, 2^32) via a Feistel-like mix would avoid the
+  // set, but n is at most tens of millions here, so rejection sampling with a
+  // hash set is simpler and fast enough; density stays far below 2%.
+  std::vector<uint32_t> out;
+  out.reserve(n);
+  std::unordered_set<uint32_t> seen;
+  seen.reserve(n * 2);
+  while (out.size() < n) {
+    uint32_t v = rng.NextU32();
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace ccdb

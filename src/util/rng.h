@@ -1,0 +1,54 @@
+// Deterministic pseudo-random generation for workloads: the paper's join
+// experiments use relations of "uniformly distributed unique random numbers"
+// with join hit-rate one (§3.4.1). UniqueU32 / MatchingPair produce exactly
+// that, reproducibly from a seed.
+#ifndef CCDB_UTIL_RNG_H_
+#define CCDB_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ccdb {
+
+/// splitmix64: tiny, fast, full-period-per-seed generator. Deterministic for
+/// a given seed; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint32_t NextU32() { return static_cast<uint32_t>(NextU64() >> 32); }
+
+  /// Uniform in [0, n). Pre: n > 0. Uses the unbiased multiply-shift trick.
+  uint64_t NextBelow(uint64_t n) {
+    // 128-bit multiply keeps the distribution unbiased enough for workloads.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(NextU64()) * n) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// `n` distinct uniformly distributed 32-bit values in random order.
+/// Values are a random permutation slice, so every value is unique.
+std::vector<uint32_t> UniqueU32(size_t n, uint64_t seed);
+
+/// Fisher-Yates shuffle of `v` with this rng.
+void Shuffle(std::vector<uint32_t>& v, Rng& rng);
+
+}  // namespace ccdb
+
+#endif  // CCDB_UTIL_RNG_H_

@@ -1,0 +1,39 @@
+#include "util/status.h"
+
+namespace ccdb {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kFailedPrecondition:
+      return "failed precondition";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace ccdb

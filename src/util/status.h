@@ -1,0 +1,134 @@
+// Status / StatusOr: exception-free error handling in the RocksDB / Abseil
+// idiom. All fallible ccdb APIs return Status (or StatusOr<T> when they
+// produce a value); hot inner loops never throw.
+#ifndef CCDB_UTIL_STATUS_H_
+#define CCDB_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ccdb {
+
+/// Canonical error space, a small subset of the Abseil codes that ccdb needs.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kFailedPrecondition = 4,
+  kResourceExhausted = 5,
+  kUnimplemented = 6,
+  kUnavailable = 7,
+  kInternal = 8,
+};
+
+/// Returns the canonical lower-case name of `code` ("ok", "invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic result of a fallible operation. Cheap to copy when ok
+/// (no message allocation on the success path).
+class Status {
+ public:
+  /// Constructs an ok status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-ok Status explaining why there is none.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value: the common success path.
+  StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  /// Implicit from error: `return Status::InvalidArgument(...)`.
+  StatusOr(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Pre: ok(). Debug builds trap on misuse; release builds are UB like
+  /// std::optional, so call sites must check ok() first.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  T&& operator*() && { return *std::move(value_); }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the value, or `fallback` when not ok.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-ok Status to the caller.
+#define CCDB_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::ccdb::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Evaluates a StatusOr expression, propagating errors, else binding `lhs`.
+#define CCDB_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto CCDB_CONCAT_(_sor_, __LINE__) = (expr);            \
+  if (!CCDB_CONCAT_(_sor_, __LINE__).ok())                \
+    return CCDB_CONCAT_(_sor_, __LINE__).status();        \
+  lhs = std::move(CCDB_CONCAT_(_sor_, __LINE__)).value()
+
+#define CCDB_CONCAT_INNER_(a, b) a##b
+#define CCDB_CONCAT_(a, b) CCDB_CONCAT_INNER_(a, b)
+
+}  // namespace ccdb
+
+#endif  // CCDB_UTIL_STATUS_H_

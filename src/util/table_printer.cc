@@ -1,0 +1,76 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace ccdb {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  CCDB_CHECK(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+' || c == 'e' || c == 'E'))
+      return false;
+  }
+  return true;
+}
+}  // namespace
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row, bool is_header) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      bool right = !is_header && LooksNumeric(row[c]);
+      if (right) {
+        std::fprintf(out, "%*s", static_cast<int>(width[c]), row[c].c_str());
+      } else {
+        std::fprintf(out, "%-*s", static_cast<int>(width[c]), row[c].c_str());
+      }
+      std::fputs(c + 1 == row.size() ? "\n" : "  ", out);
+    }
+  };
+  print_row(header_, /*is_header=*/true);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    for (size_t i = 0; i < width[c]; ++i) std::fputc('-', out);
+    std::fputs(c + 1 == header_.size() ? "\n" : "  ", out);
+  }
+  for (const auto& row : rows_) print_row(row, /*is_header=*/false);
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Fmt(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string TablePrinter::Fmt(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string TablePrinter::Fmt(int v) { return Fmt(static_cast<int64_t>(v)); }
+
+}  // namespace ccdb

@@ -1,0 +1,39 @@
+// Fixed-width table output for the figure benchmarks: each bench prints one
+// row per parameter point, mirroring the series the paper plots.
+#ifndef CCDB_UTIL_TABLE_PRINTER_H_
+#define CCDB_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccdb {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+/// Usage:
+///   TablePrinter t({"bits", "ms", "L1 miss"});
+///   t.AddRow({"4", "12.3", "1048576"});
+///   t.Print(stdout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders all rows. Numeric-looking cells are right-aligned.
+  void Print(std::FILE* out) const;
+
+  /// Convenience formatters.
+  static std::string Fmt(double v, int precision = 2);
+  static std::string Fmt(uint64_t v);
+  static std::string Fmt(int64_t v);
+  static std::string Fmt(int v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_UTIL_TABLE_PRINTER_H_

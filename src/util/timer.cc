@@ -1,0 +1,5 @@
+#include "util/timer.h"
+
+// WallTimer is header-only; this file exists so the util library always has
+// at least one object per header group and to anchor future non-inline
+// additions.

@@ -1,0 +1,55 @@
+// Wall-clock timing for benchmarks. The figure benches report milliseconds
+// like the paper's Y axes; WallTimer gives monotonic nanosecond resolution.
+#ifndef CCDB_UTIL_TIMER_H_
+#define CCDB_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ccdb {
+
+/// Monotonic stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Nanoseconds since construction or the last Restart().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMillis() const { return ElapsedNanos() * 1e-6; }
+  double ElapsedSeconds() const { return ElapsedNanos() * 1e-9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Runs `fn` once and returns elapsed milliseconds.
+template <typename Fn>
+double TimeMillis(Fn&& fn) {
+  WallTimer t;
+  fn();
+  return t.ElapsedMillis();
+}
+
+/// Runs `fn` `reps` times and returns the minimum elapsed milliseconds —
+/// the usual noise-robust estimator for short benchmarks.
+template <typename Fn>
+double MinTimeMillis(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    double ms = TimeMillis(fn);
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace ccdb
+
+#endif  // CCDB_UTIL_TIMER_H_

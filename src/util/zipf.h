@@ -1,0 +1,59 @@
+// Zipfian workload generator (Gray et al., "Quickly Generating
+// Billion-Record Synthetic Databases", SIGMOD'94). The paper's experiments
+// use uniform unique values; real join columns are often skewed, and the
+// skew ablation (bench/ablation_skew) uses this generator to probe how the
+// radix algorithms degrade.
+#ifndef CCDB_UTIL_ZIPF_H_
+#define CCDB_UTIL_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace ccdb {
+
+/// Draws ranks in [0, n) with P(rank k) proportional to 1/(k+1)^theta.
+/// theta = 0 is uniform; theta ~ 0.99 is the classic "Zipfian" skew.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+      : n_(n), theta_(theta), rng_(seed) {
+    CCDB_CHECK(n > 0);
+    CCDB_CHECK(theta >= 0 && theta < 2);
+    zetan_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  /// Next rank; rank 0 is the most frequent value.
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    double v = static_cast<double>(n_) *
+               std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    uint64_t k = static_cast<uint64_t>(v);
+    return k >= n_ ? n_ - 1 : k;
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Rng rng_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_UTIL_ZIPF_H_

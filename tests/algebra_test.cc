@@ -1,0 +1,276 @@
+// BAT algebra (Monet operator style) and radix-partitioned aggregation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "algo/bat_algebra.h"
+#include "algo/radix_aggregate.h"
+#include "util/rng.h"
+
+namespace ccdb {
+namespace {
+
+Bat SampleBat() {
+  // [void 0..5, {30, 10, 20, 10, 40, 25}]
+  return Bat::DenseTail(Column::U32({30, 10, 20, 10, 40, 25}));
+}
+
+TEST(BatAlgebraTest, SelectFiltersByTailRange) {
+  auto out = BatSelect(SampleBat(), 10, 25);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 4u);
+  auto heads = out->head().Span<uint32_t>();
+  auto tails = out->tail().Span<uint32_t>();
+  EXPECT_EQ(std::vector<uint32_t>(heads.begin(), heads.end()),
+            (std::vector<uint32_t>{1, 2, 3, 5}));
+  EXPECT_EQ(std::vector<uint32_t>(tails.begin(), tails.end()),
+            (std::vector<uint32_t>{10, 20, 10, 25}));
+}
+
+TEST(BatAlgebraTest, SelectEmptyResultAndBadType) {
+  auto none = BatSelect(SampleBat(), 1000, 2000);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->size(), 0u);
+  Bat f = Bat::DenseTail(Column::F64({1.0}));
+  EXPECT_EQ(BatSelect(f, 0, 1).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BatAlgebraTest, MirrorAndMark) {
+  auto m = BatMirror(SampleBat());
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->head().GetOid(3), 3u);
+  EXPECT_EQ(m->tail().GetIntegral(3), 3u);
+
+  auto marked = BatMark(SampleBat(), 1000);
+  ASSERT_TRUE(marked.ok());
+  EXPECT_TRUE(marked->tail().is_void());
+  EXPECT_EQ(marked->tail().GetIntegral(2), 1002u);
+}
+
+TEST(BatAlgebraTest, ReverseSwaps) {
+  Bat r = BatReverse(SampleBat());
+  EXPECT_TRUE(r.tail().is_void());
+  EXPECT_EQ(r.head().GetIntegral(0), 30u);
+}
+
+TEST(BatAlgebraTest, JoinPositionalPath) {
+  // l.tail references positions 100..105 of a void-headed r.
+  auto l = *Bat::Make(Column::U32({7, 8, 9}), Column::U32({100, 104, 99}));
+  Bat r = *Bat::Make(Column::Void(100, 6),
+                     Column::U32({11, 22, 33, 44, 55, 66}));
+  auto out = BatJoin(l, r);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);  // 99 misses the void range
+  EXPECT_EQ(out->head().GetIntegral(0), 7u);
+  EXPECT_EQ(out->tail().GetIntegral(0), 11u);
+  EXPECT_EQ(out->head().GetIntegral(1), 8u);
+  EXPECT_EQ(out->tail().GetIntegral(1), 55u);
+}
+
+TEST(BatAlgebraTest, JoinHashPath) {
+  auto l = *Bat::Make(Column::U32({1, 2}), Column::U32({500, 600}));
+  auto r = *Bat::Make(Column::U32({600, 500, 700}),
+                      Column::U32({66, 55, 77}));
+  auto out = BatJoin(l, r);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  std::map<uint32_t, uint32_t> pairs;
+  for (size_t i = 0; i < out->size(); ++i) {
+    pairs[static_cast<uint32_t>(out->head().GetIntegral(i))] =
+        static_cast<uint32_t>(out->tail().GetIntegral(i));
+  }
+  EXPECT_EQ(pairs[1], 55u);
+  EXPECT_EQ(pairs[2], 66u);
+}
+
+TEST(BatAlgebraTest, JoinPathsAgree) {
+  // The same logical join through the positional and the hash path.
+  Rng rng(3);
+  std::vector<uint32_t> refs(500), vals(200);
+  for (auto& x : refs) x = static_cast<uint32_t>(rng.NextBelow(250));
+  for (size_t i = 0; i < vals.size(); ++i)
+    vals[i] = static_cast<uint32_t>(rng.NextU32());
+  auto l = *Bat::Make(Column::Void(0, refs.size()), Column::U32(refs));
+  Bat r_void = *Bat::Make(Column::Void(0, vals.size()), Column::U32(vals));
+  // Materialized-head version of r.
+  Bat r_hash = *Bat::Make(r_void.head().Materialize(), r_void.tail());
+
+  auto a = BatJoin(l, r_void);
+  auto b = BatJoin(l, r_hash);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto canon = [](const Bat& bat) {
+    std::vector<std::pair<uint32_t, uint32_t>> v;
+    for (size_t i = 0; i < bat.size(); ++i) {
+      v.emplace_back(bat.head().GetIntegral(i), bat.tail().GetIntegral(i));
+    }
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(canon(*a), canon(*b));
+  EXPECT_GT(a->size(), 0u);
+}
+
+TEST(BatAlgebraTest, Semijoin) {
+  auto l = *Bat::Make(Column::U32({1, 2, 3, 4}), Column::U32({10, 20, 30, 40}));
+  auto r = *Bat::Make(Column::U32({2, 4, 9}), Column::U32({0, 0, 0}));
+  auto out = BatSemijoin(l, r);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_EQ(out->head().GetIntegral(0), 2u);
+  EXPECT_EQ(out->tail().GetIntegral(1), 40u);
+}
+
+TEST(BatAlgebraTest, UniqueKeepsFirstOccurrence) {
+  auto b = Bat::DenseTail(Column::U32({5, 7, 5, 9, 7, 5}));
+  auto out = BatUnique(b);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_EQ(out->head().GetIntegral(0), 0u);  // first 5 at position 0
+  EXPECT_EQ(out->head().GetIntegral(1), 1u);  // first 7
+  EXPECT_EQ(out->head().GetIntegral(2), 3u);  // first 9
+}
+
+TEST(BatAlgebraTest, CountAndSum) {
+  Bat b = SampleBat();
+  EXPECT_EQ(BatCount(b), 6u);
+  auto sum = BatSum(b);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, 135u);
+  EXPECT_FALSE(BatSum(Bat::DenseTail(Column::F64({1.0}))).ok());
+}
+
+TEST(BatAlgebraTest, ComposedPipeline) {
+  // Monet-style: select, renumber with mark, positional-join back.
+  Bat base = Bat::DenseTail(Column::U32({30, 10, 20, 10, 40, 25}));
+  auto selected = BatSelect(base, 10, 25);          // candidates
+  ASSERT_TRUE(selected.ok());
+  auto joined = BatJoin(*Bat::Make(selected->head().Materialize(),
+                                   selected->head()),
+                        base);                      // fetch values by OID
+  ASSERT_TRUE(joined.ok());
+  ASSERT_EQ(joined->size(), selected->size());
+  for (size_t i = 0; i < joined->size(); ++i) {
+    EXPECT_EQ(joined->tail().GetIntegral(i), selected->tail().GetIntegral(i));
+  }
+}
+
+TEST(BatAlgebraTest, SliceClamps) {
+  Bat b = SampleBat();
+  auto mid = BatSlice(b, 2, 3);
+  ASSERT_TRUE(mid.ok());
+  ASSERT_EQ(mid->size(), 3u);
+  EXPECT_EQ(mid->head().GetIntegral(0), 2u);
+  EXPECT_EQ(mid->tail().GetIntegral(2), 40u);
+  auto past = BatSlice(b, 5, 100);
+  ASSERT_TRUE(past.ok());
+  EXPECT_EQ(past->size(), 1u);
+  auto none = BatSlice(b, 99, 5);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->size(), 0u);
+}
+
+TEST(BatAlgebraTest, SortByTailIsStable) {
+  auto b = *Bat::Make(Column::U32({0, 1, 2, 3}), Column::U32({7, 3, 7, 3}));
+  auto sorted = BatSortByTail(b);
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted->tail().GetIntegral(0), 3u);
+  EXPECT_EQ(sorted->head().GetIntegral(0), 1u);  // first 3 keeps order
+  EXPECT_EQ(sorted->head().GetIntegral(1), 3u);
+  EXPECT_EQ(sorted->head().GetIntegral(2), 0u);  // first 7
+  EXPECT_EQ(sorted->head().GetIntegral(3), 2u);
+}
+
+TEST(BatAlgebraTest, HistogramCountsValues) {
+  Bat b = Bat::DenseTail(Column::U32({5, 7, 5, 9, 7, 5}));
+  auto h = BatHistogram(b);
+  ASSERT_TRUE(h.ok());
+  ASSERT_EQ(h->size(), 3u);
+  EXPECT_EQ(h->head().GetIntegral(0), 5u);
+  EXPECT_EQ(h->tail().GetIntegral(0), 3u);
+  EXPECT_EQ(h->head().GetIntegral(1), 7u);
+  EXPECT_EQ(h->tail().GetIntegral(1), 2u);
+  EXPECT_EQ(h->head().GetIntegral(2), 9u);
+  EXPECT_EQ(h->tail().GetIntegral(2), 1u);
+}
+
+TEST(BatAlgebraTest, AppendConcatenates) {
+  Bat a = Bat::DenseTail(Column::U32({1, 2}));
+  auto b = *Bat::Make(Column::U32({7, 8}), Column::U32({3, 4}));
+  auto out = BatAppend(a, b);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 4u);
+  EXPECT_EQ(out->head().GetIntegral(0), 0u);
+  EXPECT_EQ(out->head().GetIntegral(2), 7u);
+  EXPECT_EQ(out->tail().GetIntegral(3), 4u);
+}
+
+// RadixGroupSum == HashGroupSum across a parameter sweep.
+class RadixGroupSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, uint32_t, int, int>> {
+};
+
+TEST_P(RadixGroupSweep, MatchesPlainHashGrouping) {
+  auto [n, groups, bits, passes] = GetParam();
+  if (passes > std::max(bits, 1)) GTEST_SKIP();
+  Rng rng(500 + n + groups + bits);
+  std::vector<uint32_t> keys(n), vals(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = static_cast<uint32_t>(rng.NextBelow(groups) * 2654435761u);
+    vals[i] = static_cast<uint32_t>(rng.NextBelow(100));
+  }
+  DirectMemory mem;
+  auto plain = HashGroupSum<DirectMemory, MurmurHash>(
+      std::span<const uint32_t>(keys), std::span<const uint32_t>(vals), mem,
+      groups);
+  auto radix = RadixGroupSum<DirectMemory, MurmurHash>(
+      std::span<const uint32_t>(keys), std::span<const uint32_t>(vals), bits,
+      passes, mem);
+  ASSERT_TRUE(radix.ok());
+  ASSERT_EQ(radix->size(), plain.size());
+  std::map<uint32_t, std::pair<uint64_t, uint64_t>> expect;
+  for (size_t g = 0; g < plain.size(); ++g) {
+    expect[plain.keys[g]] = {plain.sums[g], plain.counts[g]};
+  }
+  for (size_t g = 0; g < radix->size(); ++g) {
+    auto it = expect.find(radix->keys[g]);
+    ASSERT_NE(it, expect.end()) << radix->keys[g];
+    EXPECT_EQ(radix->sums[g], it->second.first);
+    EXPECT_EQ(radix->counts[g], it->second.second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RadixGroupSweep,
+    ::testing::Combine(::testing::Values<size_t>(0, 1000, 20000),
+                       ::testing::Values<uint32_t>(1, 37, 5000),
+                       ::testing::Values(0, 3, 8),
+                       ::testing::Values(1, 2)));
+
+TEST(RadixGroupSumTest, AllSameKey) {
+  DirectMemory mem;
+  std::vector<uint32_t> keys(100, 7u), vals(100, 2u);
+  auto out = RadixGroupSum(std::span<const uint32_t>(keys),
+                           std::span<const uint32_t>(vals), 4, 2, mem);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->sums[0], 200u);
+  EXPECT_EQ(out->counts[0], 100u);
+}
+
+TEST(RadixGroupSumTest, InvalidOptionsPropagate) {
+  DirectMemory mem;
+  std::vector<uint32_t> keys = {1}, vals = {1};
+  EXPECT_FALSE(RadixGroupSum(std::span<const uint32_t>(keys),
+                             std::span<const uint32_t>(vals), 40, 1, mem)
+                   .ok());
+  // 25 bits passes cluster validation but exceeds the grouping guard.
+  EXPECT_EQ(RadixGroupSum(std::span<const uint32_t>(keys),
+                          std::span<const uint32_t>(vals), 25, 5, mem)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ccdb

@@ -1,0 +1,164 @@
+// CacheSim unit tests: geometry, LRU replacement, and exact miss counts on
+// the canonical access patterns (sequential, strided, cyclic) that the
+// paper's cost models reason about.
+#include <gtest/gtest.h>
+
+#include "mem/cache_sim.h"
+
+namespace ccdb {
+namespace {
+
+CacheGeometry SmallDirect() {
+  // 1 KB direct-mapped, 64 B lines: 16 sets.
+  return {1024, 64, 1};
+}
+
+CacheGeometry SmallTwoWay() {
+  // 1 KB 2-way, 64 B lines: 8 sets of 2.
+  return {1024, 64, 2};
+}
+
+CacheGeometry SmallFull() {
+  // 1 KB fully associative, 64 B lines: 16 ways.
+  return {1024, 64, 0};
+}
+
+TEST(CacheGeometryTest, DerivedQuantities) {
+  CacheGeometry g{32 * 1024, 32, 2};
+  EXPECT_EQ(g.lines(), 1024u);
+  EXPECT_EQ(g.sets(), 512u);
+  CacheGeometry full{4096, 64, 0};
+  EXPECT_EQ(full.lines(), 64u);
+  EXPECT_EQ(full.sets(), 1u);
+}
+
+TEST(CacheSimTest, ColdMissThenHit) {
+  CacheSim c(SmallDirect());
+  EXPECT_FALSE(c.Access(0));
+  EXPECT_TRUE(c.Access(0));
+  EXPECT_TRUE(c.Access(63));   // same line
+  EXPECT_FALSE(c.Access(64));  // next line
+  EXPECT_EQ(c.accesses(), 4u);
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(CacheSimTest, SequentialScanMissesOncePerLine) {
+  CacheSim c(SmallDirect());
+  constexpr uint64_t kBytes = 8192;
+  for (uint64_t a = 0; a < kBytes; ++a) c.Access(a);
+  EXPECT_EQ(c.misses(), kBytes / 64);
+  EXPECT_EQ(c.accesses(), kBytes);
+}
+
+TEST(CacheSimTest, StrideAtLineSizeMissesEveryAccess) {
+  CacheSim c(SmallDirect());
+  for (uint64_t i = 0; i < 512; ++i) c.Access(i * 64);
+  EXPECT_EQ(c.misses(), 512u);
+}
+
+TEST(CacheSimTest, StrideBelowLineSizeMissesFractionally) {
+  CacheSim c(SmallDirect());
+  // Stride 16 over 64-byte lines: one miss per 4 accesses.
+  for (uint64_t i = 0; i < 1024; ++i) c.Access(i * 16);
+  EXPECT_EQ(c.misses(), 1024u / 4);
+}
+
+TEST(CacheSimTest, DirectMappedConflict) {
+  CacheSim c(SmallDirect());
+  // Two lines exactly capacity apart share a set: always evict each other.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(c.Access(0));
+    EXPECT_FALSE(c.Access(1024));
+  }
+}
+
+TEST(CacheSimTest, TwoWayHoldsTwoConflictingLines) {
+  CacheSim c(SmallTwoWay());
+  EXPECT_FALSE(c.Access(0));
+  EXPECT_FALSE(c.Access(1024));  // same set, second way
+  EXPECT_TRUE(c.Access(0));
+  EXPECT_TRUE(c.Access(1024));
+  // A third conflicting line evicts the LRU (address 0).
+  EXPECT_FALSE(c.Access(2048));
+  EXPECT_FALSE(c.Access(0));
+  // 1024 was more recently used than 2048's victim... verify LRU precisely:
+  // after the miss on 0, the set held {2048, 0}; 1024 must miss.
+  EXPECT_FALSE(c.Access(1024));
+}
+
+TEST(CacheSimTest, LruEvictionOrderFullyAssociative) {
+  CacheSim c(SmallFull());
+  // Fill all 16 ways.
+  for (uint64_t i = 0; i < 16; ++i) EXPECT_FALSE(c.Access(i * 64));
+  // Touch line 0 to make it MRU.
+  EXPECT_TRUE(c.Access(0));
+  // Insert a 17th line: LRU is line 1 (address 64).
+  EXPECT_FALSE(c.Access(16 * 64));
+  EXPECT_TRUE(c.Access(0));        // still resident
+  EXPECT_FALSE(c.Access(64));      // evicted
+}
+
+TEST(CacheSimTest, WorkingSetWithinCapacityHitsOnSecondPass) {
+  for (const auto& g : {SmallDirect(), SmallTwoWay(), SmallFull()}) {
+    CacheSim c(g);
+    for (uint64_t a = 0; a < 1024; a += 64) c.Access(a);
+    c.ResetCounters();
+    for (uint64_t a = 0; a < 1024; a += 64) c.Access(a);
+    EXPECT_EQ(c.misses(), 0u) << "assoc=" << g.associativity;
+  }
+}
+
+TEST(CacheSimTest, CyclicScanBeyondCapacityAlwaysMissesUnderLru) {
+  // Classic LRU pathology: cycling over capacity + 1 line.
+  CacheSim c(SmallFull());
+  constexpr int kLines = 17;  // capacity is 16 lines
+  for (int lap = 0; lap < 5; ++lap) {
+    for (uint64_t i = 0; i < kLines; ++i) c.Access(i * 64);
+  }
+  EXPECT_EQ(c.misses(), 5u * kLines);
+}
+
+TEST(CacheSimTest, ContainsHasNoSideEffects) {
+  CacheSim c(SmallDirect());
+  EXPECT_FALSE(c.Contains(0));
+  c.Access(0);
+  uint64_t misses = c.misses();
+  uint64_t accesses = c.accesses();
+  EXPECT_TRUE(c.Contains(0));
+  EXPECT_FALSE(c.Contains(4096));
+  EXPECT_EQ(c.misses(), misses);
+  EXPECT_EQ(c.accesses(), accesses);
+}
+
+TEST(CacheSimTest, FlushDropsLinesKeepsCounters) {
+  CacheSim c(SmallDirect());
+  c.Access(0);
+  c.Flush();
+  EXPECT_EQ(c.accesses(), 1u);
+  EXPECT_FALSE(c.Contains(0));
+  EXPECT_FALSE(c.Access(0));  // miss again after flush
+}
+
+TEST(CacheSimTest, ResetCountersKeepsLines) {
+  CacheSim c(SmallDirect());
+  c.Access(0);
+  c.ResetCounters();
+  EXPECT_EQ(c.accesses(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_TRUE(c.Access(0));  // line survived
+}
+
+TEST(CacheSimTest, Origin2000L1Geometry) {
+  // The paper's L1: 1024 lines of 32 bytes (§3.4.1).
+  CacheSim c(MachineProfile::Origin2000().l1);
+  EXPECT_EQ(c.geometry().lines(), 1024u);
+  for (uint64_t a = 0; a < 32 * 1024; a += 32) c.Access(a);
+  EXPECT_EQ(c.misses(), 1024u);
+  c.ResetCounters();
+  for (uint64_t a = 0; a < 32 * 1024; a += 32) c.Access(a);
+  EXPECT_EQ(c.misses(), 0u);  // 32 KB working set fits
+}
+
+}  // namespace
+}  // namespace ccdb

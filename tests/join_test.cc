@@ -1,0 +1,258 @@
+// Join-family correctness: every algorithm (simple hash, sort-merge with
+// both sorts, partitioned hash, radix) must produce the same multiset of
+// [OID,OID] pairs as the nested-loop reference, across crafted edge cases
+// and a randomized parameter sweep. Also covers the paper's experimental
+// setup: unique values, hit rate one, join-index output (§3.4.1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "algo/hash_table.h"
+#include "algo/nested_loop_join.h"
+#include "algo/partitioned_hash_join.h"
+#include "algo/radix_join.h"
+#include "algo/simple_hash_join.h"
+#include "algo/sort_merge_join.h"
+#include "util/rng.h"
+
+namespace ccdb {
+namespace {
+
+std::vector<Bun> MakeRelation(size_t n, uint64_t seed, uint32_t value_range,
+                              oid_t head_base = 0) {
+  Rng rng(seed);
+  std::vector<Bun> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = {static_cast<oid_t>(head_base + i),
+              static_cast<uint32_t>(rng.NextBelow(value_range))};
+  }
+  return out;
+}
+
+std::vector<Bun> Canon(std::vector<Bun> v) {
+  std::sort(v.begin(), v.end(), [](const Bun& a, const Bun& b) {
+    return a.head != b.head ? a.head < b.head : a.tail < b.tail;
+  });
+  return v;
+}
+
+// Runs all five algorithms and checks them against nested loop.
+void ExpectAllAlgorithmsAgree(std::span<const Bun> l, std::span<const Bun> r,
+                              int bits, int passes) {
+  DirectMemory mem;
+  std::vector<Bun> expect = Canon(NestedLoopJoin(l, r, mem));
+
+  auto shj = SimpleHashJoin(l, r, mem);
+  EXPECT_EQ(Canon(shj), expect) << "simple hash";
+
+  auto smq = SortMergeJoin(l, r, mem, nullptr, SortAlgo::kQuickSort);
+  EXPECT_EQ(Canon(smq), expect) << "sort-merge/quick";
+
+  auto smr = SortMergeJoin(l, r, mem, nullptr, SortAlgo::kRadixSort);
+  EXPECT_EQ(Canon(smr), expect) << "sort-merge/radix";
+
+  auto ph = PartitionedHashJoin(l, r, bits, passes, mem);
+  ASSERT_TRUE(ph.ok());
+  EXPECT_EQ(Canon(*ph), expect) << "phash bits=" << bits;
+
+  auto rj = RadixJoin(l, r, bits, passes, mem);
+  ASSERT_TRUE(rj.ok());
+  EXPECT_EQ(Canon(*rj), expect) << "radix bits=" << bits;
+}
+
+TEST(BucketChainedHashTableTest, FindsAllAndOnlyMatches) {
+  DirectMemory mem;
+  std::vector<Bun> build = {{0, 5}, {1, 9}, {2, 5}, {3, 7}};
+  BucketChainedHashTable<DirectMemory> t(build, 0, 4, mem);
+  std::vector<oid_t> hits;
+  t.Probe({99, 5}, mem, [&](Bun b) { hits.push_back(b.head); });
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<oid_t>{0, 2}));
+  hits.clear();
+  t.Probe({99, 8}, mem, [&](Bun b) { hits.push_back(b.head); });
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(BucketChainedHashTableTest, BucketCountFollowsChainTarget) {
+  DirectMemory mem;
+  std::vector<Bun> build(1000);
+  for (uint32_t i = 0; i < 1000; ++i) build[i] = {i, i};
+  BucketChainedHashTable<DirectMemory> t(build, 0, 4, mem);
+  EXPECT_EQ(t.bucket_count(), 256u);  // next pow2 of 1000/4
+  BucketChainedHashTable<DirectMemory> t1(build, 0, 1, mem);
+  EXPECT_EQ(t1.bucket_count(), 1024u);
+}
+
+TEST(BucketChainedHashTableTest, EmptyBuild) {
+  DirectMemory mem;
+  std::vector<Bun> none;
+  BucketChainedHashTable<DirectMemory> t(none, 0, 4, mem);
+  int calls = 0;
+  t.Probe({0, 0}, mem, [&](Bun) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(BucketChainedHashTableTest, ShiftSkipsRadixBits) {
+  // All values share the low 4 bits; with shift=4 the table must still
+  // spread them over buckets (no degenerate chain).
+  DirectMemory mem;
+  std::vector<Bun> build(256);
+  for (uint32_t i = 0; i < 256; ++i) build[i] = {i, (i << 4) | 0x3};
+  BucketChainedHashTable<DirectMemory> t(build, 4, 4, mem);
+  size_t max_chain = 0;
+  for (uint32_t b = 0; b < t.bucket_count(); ++b) {
+    max_chain = std::max(max_chain, t.ChainLength(b));
+  }
+  EXPECT_LE(max_chain, 8u);  // identity hash above the radix bits: even
+  std::vector<oid_t> hits;
+  t.Probe({9, (37u << 4) | 0x3}, mem, [&](Bun b) { hits.push_back(b.head); });
+  EXPECT_EQ(hits, (std::vector<oid_t>{37}));
+}
+
+TEST(NestedLoopJoinTest, CrossProductOnAllEqual) {
+  DirectMemory mem;
+  std::vector<Bun> l = {{0, 7}, {1, 7}};
+  std::vector<Bun> r = {{10, 7}, {11, 7}, {12, 7}};
+  auto out = NestedLoopJoin(std::span<const Bun>(l), std::span<const Bun>(r),
+                            mem);
+  EXPECT_EQ(out.size(), 6u);
+}
+
+TEST(JoinEdgeCases, EmptyInputs) {
+  std::vector<Bun> l = {{0, 1}}, empty;
+  ExpectAllAlgorithmsAgree(empty, l, 2, 1);
+  ExpectAllAlgorithmsAgree(l, empty, 2, 1);
+  ExpectAllAlgorithmsAgree(empty, empty, 2, 1);
+}
+
+TEST(JoinEdgeCases, NoMatches) {
+  std::vector<Bun> l = {{0, 1}, {1, 3}, {2, 5}};
+  std::vector<Bun> r = {{0, 2}, {1, 4}, {2, 6}};
+  ExpectAllAlgorithmsAgree(l, r, 2, 1);
+}
+
+TEST(JoinEdgeCases, AllSameValue) {
+  std::vector<Bun> l(8, Bun{0, 42}), r(8, Bun{0, 42});
+  for (uint32_t i = 0; i < 8; ++i) {
+    l[i].head = i;
+    r[i].head = 100 + i;
+  }
+  ExpectAllAlgorithmsAgree(l, r, 3, 1);  // 64 result pairs
+}
+
+TEST(JoinEdgeCases, SkewedZipfLike) {
+  // 90% of tuples share one hot value; the rest are unique.
+  std::vector<Bun> l, r;
+  for (uint32_t i = 0; i < 200; ++i) {
+    l.push_back({i, i < 180 ? 7u : 1000 + i});
+    r.push_back({500 + i, i < 180 ? 7u : 1000 + i});
+  }
+  ExpectAllAlgorithmsAgree(l, r, 4, 2);
+}
+
+TEST(JoinEdgeCases, DifferentCardinalities) {
+  auto l = MakeRelation(97, 11, 64);
+  auto r = MakeRelation(311, 12, 64, /*head_base=*/10000);
+  ExpectAllAlgorithmsAgree(l, r, 3, 1);
+}
+
+TEST(JoinHitRateOne, PaperSetupProducesJoinIndex) {
+  // §3.4.1: unique uniformly distributed values, hit rate 1; the result is
+  // a perfect 1:1 join index of cardinality C.
+  constexpr size_t kC = 4096;
+  auto values = UniqueU32(kC, 99);
+  std::vector<Bun> l(kC), r(kC);
+  for (size_t i = 0; i < kC; ++i) l[i] = {static_cast<oid_t>(i), values[i]};
+  // r is a shuffled copy with different OIDs.
+  auto shuffled = values;
+  Rng rng(7);
+  Shuffle(shuffled, rng);
+  for (size_t i = 0; i < kC; ++i)
+    r[i] = {static_cast<oid_t>(100000 + i), shuffled[i]};
+
+  DirectMemory mem;
+  JoinStats stats;
+  auto out = PartitionedHashJoin(std::span<const Bun>(l),
+                                 std::span<const Bun>(r), 6, 1, mem, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), kC);
+  EXPECT_EQ(stats.result_count, kC);
+  // Every left OID appears exactly once and maps to the right tuple with
+  // the same value.
+  std::map<oid_t, oid_t> pairs;
+  for (const Bun& b : *out) {
+    EXPECT_TRUE(pairs.emplace(b.head, b.tail).second);
+  }
+  EXPECT_EQ(pairs.size(), kC);
+  for (size_t i = 0; i < kC; ++i) {
+    oid_t rhs = pairs[static_cast<oid_t>(i)];
+    EXPECT_EQ(shuffled[rhs - 100000], values[i]);
+  }
+}
+
+TEST(JoinStatsTest, PhasesAreFilled) {
+  DirectMemory mem;
+  auto l = MakeRelation(5000, 21, 5000);
+  auto r = MakeRelation(5000, 22, 5000);
+  JoinStats stats;
+  auto out = RadixJoin(std::span<const Bun>(l), std::span<const Bun>(r), 8, 2,
+                       mem, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(stats.bits, 8);
+  EXPECT_EQ(stats.passes, 2);
+  EXPECT_EQ(stats.result_count, out->size());
+  EXPECT_GE(stats.cluster_left_ms, 0.0);
+  EXPECT_GE(stats.total_ms(), stats.join_ms);
+}
+
+TEST(JoinInvalidOptions, PropagateStatus) {
+  DirectMemory mem;
+  auto l = MakeRelation(10, 1, 10);
+  EXPECT_FALSE(PartitionedHashJoin(std::span<const Bun>(l),
+                                   std::span<const Bun>(l), 4, 9, mem)
+                   .ok());
+  EXPECT_FALSE(
+      RadixJoin(std::span<const Bun>(l), std::span<const Bun>(l), -2, 1, mem)
+          .ok());
+}
+
+TEST(JoinWithMurmurHash, MatchesReference) {
+  DirectMemory mem;
+  auto l = MakeRelation(300, 31, 40);
+  auto r = MakeRelation(300, 32, 40);
+  std::vector<Bun> expect = Canon(NestedLoopJoin(
+      std::span<const Bun>(l), std::span<const Bun>(r), mem));
+  auto ph = PartitionedHashJoin<DirectMemory, MurmurHash>(
+      std::span<const Bun>(l), std::span<const Bun>(r), 4, 2, mem);
+  ASSERT_TRUE(ph.ok());
+  EXPECT_EQ(Canon(*ph), expect);
+  auto rj = RadixJoin<DirectMemory, MurmurHash>(
+      std::span<const Bun>(l), std::span<const Bun>(r), 4, 2, mem);
+  ASSERT_TRUE(rj.ok());
+  EXPECT_EQ(Canon(*rj), expect);
+}
+
+// Randomized sweep over (cardinality, value range, bits, passes): all
+// algorithms agree with the reference.
+class JoinEquivalenceSweep
+    : public ::testing::TestWithParam<
+          std::tuple<size_t, uint32_t, int, int>> {};
+
+TEST_P(JoinEquivalenceSweep, AllAlgorithmsAgree) {
+  auto [n, range, bits, passes] = GetParam();
+  if (passes > std::max(bits, 1)) GTEST_SKIP();
+  auto l = MakeRelation(n, 1000 + n + range, range);
+  auto r = MakeRelation(n + n / 3, 2000 + n + bits, range, 50000);
+  ExpectAllAlgorithmsAgree(l, r, bits, passes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, JoinEquivalenceSweep,
+    ::testing::Combine(::testing::Values<size_t>(1, 100, 1500),
+                       ::testing::Values<uint32_t>(2, 97, 100000),
+                       ::testing::Values(0, 1, 5, 9),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace ccdb

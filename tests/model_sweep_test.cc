@@ -1,0 +1,145 @@
+// Cost-model properties swept across all four machine profiles: the shapes
+// the paper attributes to hardware geometry (knees at |TLB|, line sizes,
+// cache capacities) must emerge from each profile's own numbers, not from
+// Origin2000 constants baked into the formulas.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/cost_model.h"
+#include "model/strategy.h"
+
+namespace ccdb {
+namespace {
+
+std::vector<MachineProfile> AllProfiles() {
+  return {MachineProfile::Origin2000(), MachineProfile::GenericX86(),
+          MachineProfile::Sun450(), MachineProfile::UltraSparc1()};
+}
+
+class ProfileSweep : public ::testing::TestWithParam<size_t> {
+ protected:
+  MachineProfile profile_ = AllProfiles()[GetParam()];
+  CostModel model_{AllProfiles()[GetParam()]};
+};
+
+TEST_P(ProfileSweep, ScanSaturatesAtLineSizes) {
+  // ML1 saturates at the L1 line size, ML2 at the L2 line size.
+  ScanPrediction at_l1 = model_.ScanIteration(profile_.l1.line_bytes);
+  ScanPrediction beyond = model_.ScanIteration(profile_.l1.line_bytes * 2);
+  EXPECT_DOUBLE_EQ(at_l1.l2_ns, profile_.lat.l2_ns);
+  EXPECT_DOUBLE_EQ(beyond.l2_ns, profile_.lat.l2_ns);
+
+  ScanPrediction at_l2 = model_.ScanIteration(profile_.l2.line_bytes);
+  ScanPrediction beyond2 = model_.ScanIteration(profile_.l2.line_bytes * 4);
+  EXPECT_DOUBLE_EQ(at_l2.mem_ns, profile_.lat.mem_ns);
+  EXPECT_DOUBLE_EQ(beyond2.total_ns(), at_l2.total_ns());
+}
+
+TEST_P(ProfileSweep, ScanMonotoneNondecreasingInStride) {
+  double prev = 0;
+  for (size_t s = 1; s <= 512; s *= 2) {
+    double t = model_.ScanIteration(s).total_ns();
+    EXPECT_GE(t, prev) << "stride " << s;
+    prev = t;
+  }
+}
+
+TEST_P(ProfileSweep, ClusterTlbKneeAtProfileTlbEntries) {
+  // The per-pass TLB explosion must sit exactly at log2(|TLB|) bits —
+  // derived from the profile, not hardcoded.
+  constexpr uint64_t kC = 4 << 20;
+  int knee_bits = Log2Floor(profile_.tlb.entries);
+  double at_knee = model_.ClusterTlbMisses(knee_bits, kC);
+  double past_knee = model_.ClusterTlbMisses(knee_bits + 2, kC);
+  EXPECT_GT(past_knee, 5 * at_knee);
+}
+
+TEST_P(ProfileSweep, OptimalPassesDerivedFromTlb) {
+  int per_pass = Log2Floor(profile_.tlb.entries);
+  EXPECT_EQ(model_.OptimalPasses(per_pass), 1);
+  EXPECT_EQ(model_.OptimalPasses(per_pass + 1), 2);
+  EXPECT_EQ(model_.OptimalPasses(2 * per_pass), 2);
+  EXPECT_EQ(model_.OptimalPasses(2 * per_pass + 1), 3);
+}
+
+TEST_P(ProfileSweep, PhashStrategyBitsOrdering) {
+  // Smaller target level => more bits, always: L1 >= TLB-span >= L2 when
+  // the geometry orders them that way (true of all shipped profiles).
+  constexpr uint64_t kC = 8 << 20;
+  int b_l2 = StrategyBits(JoinStrategy::kPhashL2, kC, profile_);
+  int b_tlb = StrategyBits(JoinStrategy::kPhashTLB, kC, profile_);
+  int b_l1 = StrategyBits(JoinStrategy::kPhashL1, kC, profile_);
+  EXPECT_LE(b_l2, b_tlb);
+  EXPECT_LE(b_tlb, b_l1);
+  // And each strategy's cluster actually fits its target level.
+  auto cluster_bytes = [&](int bits) {
+    return static_cast<double>(kC) * 12 / std::exp2(bits);
+  };
+  EXPECT_LE(cluster_bytes(b_l2),
+            static_cast<double>(profile_.l2.capacity_bytes) * 1.0001);
+  EXPECT_LE(cluster_bytes(b_tlb),
+            static_cast<double>(profile_.tlb.span_bytes()) * 1.0001);
+  EXPECT_LE(cluster_bytes(b_l1),
+            static_cast<double>(profile_.l1.capacity_bytes) * 1.0001);
+}
+
+TEST_P(ProfileSweep, BestPlanBeatsNaiveAtScale) {
+  constexpr uint64_t kC = 8 << 20;
+  JoinPlan best = PlanJoin(JoinStrategy::kBest, kC, profile_);
+  JoinPlan naive = PlanJoin(JoinStrategy::kSimpleHash, kC, profile_);
+  EXPECT_LT(best.predicted_ms, naive.predicted_ms);
+}
+
+TEST_P(ProfileSweep, ModelCostsArePositiveAndFinite) {
+  for (uint64_t c : {uint64_t{1000}, uint64_t{1} << 20}) {
+    for (int b : {0, 4, 10, 16}) {
+      for (const ModelPrediction& p :
+           {model_.Cluster(model_.OptimalPasses(b), b, c),
+            model_.RadixJoinPhase(b, c), model_.PhashJoinPhase(b, c)}) {
+        EXPECT_GT(p.total_ns(profile_.lat), 0.0);
+        EXPECT_TRUE(std::isfinite(p.total_ns(profile_.lat)));
+        EXPECT_GE(p.l1_misses, 0.0);
+        EXPECT_GE(p.l2_misses, 0.0);
+        EXPECT_GE(p.tlb_misses, 0.0);
+      }
+    }
+  }
+}
+
+TEST_P(ProfileSweep, RadixJoinCpuTermScalesWithClusterSize) {
+  // Tr's nested-loop term: halving the cluster size (one more bit) must
+  // halve the C*(C/H)*wr part; check via large-B ratios where misses are
+  // negligible.
+  constexpr uint64_t kC = 1 << 22;
+  double t10 = model_.RadixJoinPhase(10, kC).cpu_ns;
+  double t11 = model_.RadixJoinPhase(11, kC).cpu_ns;
+  double fixed = static_cast<double>(kC) * profile_.cost.wrp_ns;
+  EXPECT_NEAR((t10 - fixed) / (t11 - fixed), 2.0, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, ProfileSweep,
+                         ::testing::Range<size_t>(0, 4));
+
+TEST(ScanModelCrossMachine, PenaltyRatioGrowsWithCpuSpeed) {
+  // Figure 3's historical message: the plateau/floor ratio grows from the
+  // 1992 SunLX to the 1998 Origin2000.
+  auto ratio = [](const MachineProfile& m) {
+    CostModel model(m);
+    double floor = model.ScanIteration(1).total_ns();
+    double plateau = model.ScanIteration(m.l2.line_bytes).total_ns();
+    return plateau / floor;
+  };
+  double lx = ratio(MachineProfile::SunLX());
+  double ultra = ratio(MachineProfile::UltraSparc1());
+  double s450 = ratio(MachineProfile::Sun450());
+  double o2k = ratio(MachineProfile::Origin2000());
+  EXPECT_LT(lx, ultra);
+  EXPECT_LT(ultra, s450);
+  EXPECT_LT(s450, o2k);
+  EXPECT_GT(o2k, 10.0);  // "all advances in CPU power are neutralized"
+  EXPECT_LT(lx, 5.0);
+}
+
+}  // namespace
+}  // namespace ccdb

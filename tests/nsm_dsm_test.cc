@@ -1,0 +1,181 @@
+// Row store (NSM) and vertical decomposition (DSM) tests, including the
+// Fig. 4 "Item" table round trip and the §3.1 footprint comparison.
+#include <gtest/gtest.h>
+
+#include "bat/dsm.h"
+#include "bat/nsm.h"
+
+namespace ccdb {
+namespace {
+
+// The paper's Item table (Fig. 4): ~80-byte relational tuples.
+std::vector<FieldDef> ItemFields() {
+  return {
+      {"order", FieldType::kU32},    {"supp", FieldType::kU32},
+      {"part", FieldType::kU32},     {"qty", FieldType::kU32},
+      {"discnt", FieldType::kF64},   {"tax", FieldType::kF64},
+      {"price", FieldType::kF64},    {"status", FieldType::kChar1},
+      {"flag", FieldType::kChar1},   {"date1", FieldType::kU32},
+      {"date2", FieldType::kU32},    {"date3", FieldType::kU32},
+      {"shipmode", FieldType::kChar10},
+      {"comment", FieldType::kChar27},
+  };
+}
+
+RowStore MakeItems(size_t n) {
+  auto rs = RowStore::Make(ItemFields(), n);
+  CCDB_CHECK(rs.ok());
+  const char* modes[] = {"MAIL", "AIR", "TRUCK", "SHIP", "RAIL", "REG AIR"};
+  for (size_t i = 0; i < n; ++i) {
+    size_t r = *rs->AppendRow();
+    rs->SetU32(r, 0, static_cast<uint32_t>(1000 + i));
+    rs->SetU32(r, 1, static_cast<uint32_t>(i % 17));
+    rs->SetU32(r, 2, static_cast<uint32_t>(i * 7 % 113));
+    rs->SetU32(r, 3, static_cast<uint32_t>(1 + i % 6));
+    rs->SetF64(r, 4, (i % 2) ? 0.10 : 0.00);
+    rs->SetF64(r, 5, 0.05 * (i % 3));
+    rs->SetF64(r, 6, 10.0 + i);
+    rs->SetU8(r, 7, 'N');
+    rs->SetU8(r, 8, 'O');
+    rs->SetU32(r, 9, static_cast<uint32_t>(19990101 + i));
+    rs->SetU32(r, 10, static_cast<uint32_t>(19990201 + i));
+    rs->SetU32(r, 11, static_cast<uint32_t>(19990301 + i));
+    const char* m = modes[i % 6];
+    rs->SetBytes(r, 12, m, strlen(m));
+    rs->SetBytes(r, 13, "no comment", 10);
+  }
+  return *std::move(rs);
+}
+
+TEST(RowStoreTest, LayoutIsPacked) {
+  auto rs = RowStore::Make(ItemFields(), 4);
+  ASSERT_TRUE(rs.ok());
+  // 4*4 + 3*8 + 2*1 + 3*4 + 10 + 27 = 16+24+2+12+37 = 91 bytes.
+  EXPECT_EQ(rs->record_width(), 91u);
+  EXPECT_EQ(rs->field_offset(0), 0u);
+  EXPECT_EQ(rs->field_offset(1), 4u);
+  EXPECT_EQ(rs->field_offset(4), 16u);
+  EXPECT_EQ(rs->field_offset(7), 40u);
+}
+
+TEST(RowStoreTest, AppendAndAccess) {
+  auto rs = RowStore::Make({{"a", FieldType::kU32}, {"b", FieldType::kF64}}, 2);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rs->AppendRow().ok());
+  rs->SetU32(0, 0, 77);
+  rs->SetF64(0, 1, 2.5);
+  EXPECT_EQ(rs->GetU32(0, 0), 77u);
+  EXPECT_DOUBLE_EQ(rs->GetF64(0, 1), 2.5);
+}
+
+TEST(RowStoreTest, CapacityEnforced) {
+  auto rs = RowStore::Make({{"a", FieldType::kU8}}, 1);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rs->AppendRow().ok());
+  EXPECT_EQ(rs->AppendRow().status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RowStoreTest, EmptySchemaRejected) {
+  EXPECT_EQ(RowStore::Make({}, 4).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RowStoreTest, FieldIndexByName) {
+  auto rs = RowStore::Make(ItemFields(), 1);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(*rs->FieldIndex("shipmode"), 12u);
+  EXPECT_EQ(rs->FieldIndex("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(RowStoreTest, SetBytesZeroPads) {
+  auto rs = RowStore::Make({{"s", FieldType::kChar10}}, 1);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rs->AppendRow().ok());
+  rs->SetBytes(0, 0, "AIR", 3);
+  const uint8_t* b = rs->GetBytes(0, 0);
+  EXPECT_EQ(b[0], 'A');
+  EXPECT_EQ(b[3], 0);
+  EXPECT_EQ(b[9], 0);
+}
+
+TEST(DsmTest, DecomposeProducesVoidHeadBats) {
+  RowStore rows = MakeItems(10);
+  auto dsm = DecomposedTable::Decompose(rows);
+  ASSERT_TRUE(dsm.ok());
+  EXPECT_EQ(dsm->num_columns(), 14u);
+  EXPECT_EQ(dsm->num_rows(), 10u);
+  for (size_t c = 0; c < dsm->num_columns(); ++c) {
+    EXPECT_TRUE(dsm->column(c).head().is_void());
+    EXPECT_EQ(dsm->column(c).size(), 10u);
+  }
+  EXPECT_EQ(*dsm->ColumnIndex("qty"), 3u);
+}
+
+TEST(DsmTest, ColumnValuesMatchRows) {
+  RowStore rows = MakeItems(25);
+  auto dsm = DecomposedTable::Decompose(rows);
+  ASSERT_TRUE(dsm.ok());
+  auto qty = dsm->column(3).tail().Span<uint32_t>();
+  auto price = dsm->column(6).tail().Span<double>();
+  for (size_t r = 0; r < 25; ++r) {
+    EXPECT_EQ(qty[r], rows.GetU32(r, 3));
+    EXPECT_DOUBLE_EQ(price[r], rows.GetF64(r, 6));
+  }
+  EXPECT_EQ(dsm->column(12).tail().GetStr(1), "AIR");
+}
+
+TEST(DsmTest, ReconstructRoundTripsAllFields) {
+  RowStore rows = MakeItems(31);
+  auto dsm = DecomposedTable::Decompose(rows);
+  ASSERT_TRUE(dsm.ok());
+  auto back = dsm->Reconstruct();
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), rows.size());
+  ASSERT_EQ(back->record_width(), rows.record_width());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    EXPECT_EQ(std::memcmp(back->RowPtr(r), rows.RowPtr(r),
+                          rows.record_width()),
+              0)
+        << "row " << r;
+  }
+}
+
+TEST(DsmTest, ReconstructRowValidatesArguments) {
+  RowStore rows = MakeItems(4);
+  auto dsm = DecomposedTable::Decompose(rows);
+  ASSERT_TRUE(dsm.ok());
+  auto out = RowStore::Make(ItemFields(), 4);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(out->AppendRow().ok());
+  EXPECT_EQ(dsm->ReconstructRow(99, &*out, 0).code(),
+            StatusCode::kOutOfRange);
+  auto wrong = RowStore::Make({{"a", FieldType::kU8}}, 1);
+  ASSERT_TRUE(wrong.ok());
+  ASSERT_TRUE(wrong->AppendRow().ok());
+  EXPECT_EQ(dsm->ReconstructRow(0, &*wrong, 0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DsmTest, ScanStrideShrinksVersusNsm) {
+  // §3.1: scanning one attribute in NSM strides at record width (91 bytes
+  // here); in DSM the stride is the value width (4 bytes for qty).
+  RowStore rows = MakeItems(100);
+  auto dsm = DecomposedTable::Decompose(rows);
+  ASSERT_TRUE(dsm.ok());
+  EXPECT_EQ(rows.record_width(), 91u);
+  EXPECT_EQ(PhysTypeWidth(dsm->column(3).tail().type()), 4u);
+}
+
+TEST(FieldTypeTest, Widths) {
+  EXPECT_EQ(FieldTypeWidth(FieldType::kU8), 1u);
+  EXPECT_EQ(FieldTypeWidth(FieldType::kU16), 2u);
+  EXPECT_EQ(FieldTypeWidth(FieldType::kU32), 4u);
+  EXPECT_EQ(FieldTypeWidth(FieldType::kI64), 8u);
+  EXPECT_EQ(FieldTypeWidth(FieldType::kF64), 8u);
+  EXPECT_EQ(FieldTypeWidth(FieldType::kChar1), 1u);
+  EXPECT_EQ(FieldTypeWidth(FieldType::kChar10), 10u);
+  EXPECT_EQ(FieldTypeWidth(FieldType::kChar27), 27u);
+}
+
+}  // namespace
+}  // namespace ccdb

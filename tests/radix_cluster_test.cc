@@ -1,0 +1,269 @@
+// Radix-cluster invariants (§3.3.1): the output is a permutation of the
+// input ordered on its radix bits; multi-pass and single-pass clusterings
+// produce the identical array; cluster boundaries recovered from radix bits
+// partition the relation correctly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "algo/radix_cluster.h"
+#include "util/rng.h"
+
+namespace ccdb {
+namespace {
+
+std::vector<Bun> RandomRelation(size_t n, uint64_t seed,
+                                uint32_t value_range = 0) {
+  Rng rng(seed);
+  std::vector<Bun> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t v = value_range == 0 ? rng.NextU32()
+                                  : static_cast<uint32_t>(rng.NextBelow(value_range));
+    out[i] = {static_cast<oid_t>(i), v};
+  }
+  return out;
+}
+
+std::vector<Bun> SortedCopy(std::vector<Bun> v) {
+  std::sort(v.begin(), v.end(), [](const Bun& a, const Bun& b) {
+    return a.tail != b.tail ? a.tail < b.tail : a.head < b.head;
+  });
+  return v;
+}
+
+TEST(RadixClusterOptionsTest, Validation) {
+  EXPECT_TRUE((RadixClusterOptions{4, 2, {}}).Validate().ok());
+  EXPECT_TRUE((RadixClusterOptions{4, 2, {3, 1}}).Validate().ok());
+  EXPECT_FALSE((RadixClusterOptions{-1, 1, {}}).Validate().ok());
+  EXPECT_FALSE((RadixClusterOptions{31, 1, {}}).Validate().ok());
+  EXPECT_FALSE((RadixClusterOptions{4, 0, {}}).Validate().ok());
+  EXPECT_FALSE((RadixClusterOptions{4, 5, {}}).Validate().ok());   // P > B
+  EXPECT_FALSE((RadixClusterOptions{0, 2, {}}).Validate().ok());
+  EXPECT_FALSE((RadixClusterOptions{4, 2, {2, 1}}).Validate().ok());  // sum
+  EXPECT_FALSE((RadixClusterOptions{4, 2, {4, 0}}).Validate().ok());  // zero
+  EXPECT_FALSE((RadixClusterOptions{4, 3, {2, 2}}).Validate().ok());  // size
+}
+
+TEST(RadixClusterOptionsTest, EffectiveBitsEvenSplit) {
+  EXPECT_EQ((RadixClusterOptions{7, 2, {}}).EffectiveBits(),
+            (std::vector<int>{4, 3}));
+  EXPECT_EQ((RadixClusterOptions{12, 3, {}}).EffectiveBits(),
+            (std::vector<int>{4, 4, 4}));
+  EXPECT_EQ((RadixClusterOptions{5, 1, {}}).EffectiveBits(),
+            (std::vector<int>{5}));
+  EXPECT_EQ((RadixClusterOptions{6, 2, {5, 1}}).EffectiveBits(),
+            (std::vector<int>{5, 1}));
+}
+
+TEST(RadixClusterTest, ZeroBitsCopies) {
+  DirectMemory mem;
+  auto input = RandomRelation(100, 1);
+  auto out = RadixCluster(std::span<const Bun>(input),
+                          RadixClusterOptions{0, 1, {}}, mem);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->tuples, input);
+  EXPECT_EQ(out->bits, 0);
+}
+
+TEST(RadixClusterTest, OutputIsPermutationOrderedOnRadix) {
+  DirectMemory mem;
+  auto input = RandomRelation(5000, 2);
+  auto out = RadixCluster(std::span<const Bun>(input),
+                          RadixClusterOptions{6, 1, {}}, mem);
+  ASSERT_TRUE(out.ok());
+  // Permutation: same multiset.
+  EXPECT_EQ(SortedCopy(out->tuples), SortedCopy(input));
+  // Ordered on the 6 radix bits.
+  for (size_t i = 1; i < out->tuples.size(); ++i) {
+    EXPECT_LE(out->tuples[i - 1].tail & 63u, out->tuples[i].tail & 63u);
+  }
+}
+
+TEST(RadixClusterTest, MultiPassEqualsSinglePassExactly) {
+  DirectMemory mem;
+  auto input = RandomRelation(3000, 3);
+  auto one = RadixCluster(std::span<const Bun>(input),
+                          RadixClusterOptions{8, 1, {}}, mem);
+  ASSERT_TRUE(one.ok());
+  for (int passes : {2, 4, 8}) {
+    auto multi = RadixCluster(std::span<const Bun>(input),
+                              RadixClusterOptions{8, passes, {}}, mem);
+    ASSERT_TRUE(multi.ok());
+    // MSB-first multi-pass clustering is stable, so the arrays are
+    // *identical*, not just equivalent.
+    EXPECT_EQ(multi->tuples, one->tuples) << "passes=" << passes;
+  }
+}
+
+TEST(RadixClusterTest, ExplicitBitSplitsMatchEvenSplit) {
+  DirectMemory mem;
+  auto input = RandomRelation(2000, 4);
+  auto even = RadixCluster(std::span<const Bun>(input),
+                           RadixClusterOptions{9, 3, {}}, mem);
+  ASSERT_TRUE(even.ok());
+  for (auto split : {std::vector<int>{3, 3, 3}, std::vector<int>{5, 2, 2},
+                     std::vector<int>{1, 4, 4}, std::vector<int>{7, 1, 1}}) {
+    auto got = RadixCluster(std::span<const Bun>(input),
+                            RadixClusterOptions{9, 3, split}, mem);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->tuples, even->tuples);
+  }
+}
+
+TEST(RadixClusterTest, StableWithinCluster) {
+  // Tuples with equal radix value keep their input order (counting-scatter
+  // clustering is stable).
+  DirectMemory mem;
+  std::vector<Bun> input;
+  for (uint32_t i = 0; i < 64; ++i) input.push_back({i, i % 4});
+  auto out = RadixCluster(std::span<const Bun>(input),
+                          RadixClusterOptions{2, 1, {}}, mem);
+  ASSERT_TRUE(out.ok());
+  for (size_t i = 1; i < out->tuples.size(); ++i) {
+    if (out->tuples[i - 1].tail == out->tuples[i].tail) {
+      EXPECT_LT(out->tuples[i - 1].head, out->tuples[i].head);
+    }
+  }
+}
+
+TEST(RadixClusterTest, EmptyInput) {
+  DirectMemory mem;
+  std::vector<Bun> empty;
+  auto out = RadixCluster(std::span<const Bun>(empty),
+                          RadixClusterOptions{4, 2, {}}, mem);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->tuples.empty());
+}
+
+TEST(RadixClusterTest, SingleTuple) {
+  DirectMemory mem;
+  std::vector<Bun> one = {{7, 12345}};
+  auto out = RadixCluster(std::span<const Bun>(one),
+                          RadixClusterOptions{10, 2, {}}, mem);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->tuples, one);
+}
+
+TEST(RadixClusterTest, InvalidOptionsAreRejected) {
+  DirectMemory mem;
+  auto input = RandomRelation(10, 5);
+  auto bad = RadixCluster(std::span<const Bun>(input),
+                          RadixClusterOptions{4, 9, {}}, mem);
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RadixClusterTest, MurmurHashClustersByHashBits) {
+  DirectMemory mem;
+  auto input = RandomRelation(1000, 6, /*value_range=*/50);  // heavy dups
+  auto out = RadixCluster<DirectMemory, MurmurHash>(
+      std::span<const Bun>(input), RadixClusterOptions{5, 1, {}}, mem);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(SortedCopy(out->tuples), SortedCopy(input));
+  for (size_t i = 1; i < out->tuples.size(); ++i) {
+    EXPECT_LE(MurmurHash::Hash(out->tuples[i - 1].tail) & 31u,
+              MurmurHash::Hash(out->tuples[i].tail) & 31u);
+  }
+}
+
+TEST(ClusterBoundsTest, PartitionIsExact) {
+  DirectMemory mem;
+  auto input = RandomRelation(4096, 7);
+  auto out = RadixCluster(std::span<const Bun>(input),
+                          RadixClusterOptions{4, 2, {}}, mem);
+  ASSERT_TRUE(out.ok());
+  auto bounds = ClusterBounds(*out);
+  ASSERT_EQ(bounds.size(), 17u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), input.size());
+  for (size_t c = 0; c < 16; ++c) {
+    for (uint64_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+      EXPECT_EQ(out->tuples[i].tail & 15u, c);
+    }
+  }
+}
+
+TEST(ClusterBoundsTest, CountsMatchHistogram) {
+  DirectMemory mem;
+  auto input = RandomRelation(2000, 8, /*value_range=*/256);
+  auto out = RadixCluster(std::span<const Bun>(input),
+                          RadixClusterOptions{3, 1, {}}, mem);
+  ASSERT_TRUE(out.ok());
+  auto bounds = ClusterBounds(*out);
+  std::map<uint32_t, uint64_t> expect;
+  for (const Bun& t : input) ++expect[t.tail & 7u];
+  for (uint32_t c = 0; c < 8; ++c) {
+    EXPECT_EQ(bounds[c + 1] - bounds[c], expect[c]) << "cluster " << c;
+  }
+}
+
+TEST(MergeClusterPairsTest, VisitsExactlyMatchingClusters) {
+  DirectMemory mem;
+  // L has radix values {0,1,2}; R has {1,2,3} (bits=2).
+  std::vector<Bun> l = {{0, 0}, {1, 4}, {2, 1}, {3, 2}};
+  std::vector<Bun> r = {{0, 1}, {1, 5}, {2, 2}, {3, 3}};
+  auto cl = RadixCluster(std::span<const Bun>(l),
+                         RadixClusterOptions{2, 1, {}}, mem);
+  auto cr = RadixCluster(std::span<const Bun>(r),
+                         RadixClusterOptions{2, 1, {}}, mem);
+  ASSERT_TRUE(cl.ok() && cr.ok());
+  std::vector<uint32_t> visited;
+  MergeClusterPairs<DirectMemory, IdentityHash>(
+      *cl, *cr, mem, [&](size_t llo, size_t lhi, size_t rlo, size_t rhi) {
+        EXPECT_LT(llo, lhi);
+        EXPECT_LT(rlo, rhi);
+        visited.push_back(cl->tuples[llo].tail & 3u);
+      });
+  EXPECT_EQ(visited, (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(MergeClusterPairsTest, ZeroBitsVisitsEverythingOnce) {
+  DirectMemory mem;
+  auto l = RandomRelation(50, 9);
+  auto r = RandomRelation(60, 10);
+  auto cl = RadixCluster(std::span<const Bun>(l),
+                         RadixClusterOptions{0, 1, {}}, mem);
+  auto cr = RadixCluster(std::span<const Bun>(r),
+                         RadixClusterOptions{0, 1, {}}, mem);
+  ASSERT_TRUE(cl.ok() && cr.ok());
+  int calls = 0;
+  MergeClusterPairs<DirectMemory, IdentityHash>(
+      *cl, *cr, mem, [&](size_t llo, size_t lhi, size_t rlo, size_t rhi) {
+        ++calls;
+        EXPECT_EQ(lhi - llo, 50u);
+        EXPECT_EQ(rhi - rlo, 60u);
+      });
+  EXPECT_EQ(calls, 1);
+}
+
+// Property sweep: permutation + ordering + bounds hold across a grid of
+// (cardinality, bits, passes).
+class RadixClusterSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, int, int>> {};
+
+TEST_P(RadixClusterSweep, Invariants) {
+  auto [n, bits, passes] = GetParam();
+  if (passes > std::max(bits, 1)) GTEST_SKIP();
+  DirectMemory mem;
+  auto input = RandomRelation(n, 1000 + n + bits * 31 + passes);
+  RadixClusterOptions opt{bits, passes, {}};
+  auto out = RadixCluster(std::span<const Bun>(input), opt, mem);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->tuples.size(), input.size());
+  EXPECT_EQ(SortedCopy(out->tuples), SortedCopy(input));
+  uint32_t mask = LowMask32(bits);
+  for (size_t i = 1; i < out->tuples.size(); ++i) {
+    ASSERT_LE(out->tuples[i - 1].tail & mask, out->tuples[i].tail & mask);
+  }
+  auto bounds = ClusterBounds(*out);
+  EXPECT_EQ(bounds.back(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RadixClusterSweep,
+    ::testing::Combine(::testing::Values<size_t>(0, 1, 63, 1024, 20000),
+                       ::testing::Values(0, 1, 3, 6, 11),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace ccdb

@@ -1,0 +1,218 @@
+// Sorting kernels, scan-selects and grouping/aggregation (§3.2).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "algo/aggregate.h"
+#include "algo/radix_sort.h"
+#include "algo/select.h"
+#include "algo/stride_scan.h"
+#include "util/aligned.h"
+#include "util/rng.h"
+
+namespace ccdb {
+namespace {
+
+std::vector<Bun> RandomBuns(size_t n, uint64_t seed, uint32_t range = 0) {
+  Rng rng(seed);
+  std::vector<Bun> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t val =
+        range == 0 ? rng.NextU32() : static_cast<uint32_t>(rng.NextBelow(range));
+    v[i] = {static_cast<oid_t>(i), val};
+  }
+  return v;
+}
+
+bool SortedByTail(const std::vector<Bun>& v) {
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i - 1].tail > v[i].tail) return false;
+  }
+  return true;
+}
+
+TEST(RadixSortTest, SortsRandomData) {
+  DirectMemory mem;
+  auto v = RandomBuns(10000, 1);
+  auto expect = v;
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const Bun& a, const Bun& b) { return a.tail < b.tail; });
+  RadixSortByTail(std::span<Bun>(v), mem);
+  EXPECT_EQ(v, expect);  // stability: exact equality including heads
+}
+
+TEST(RadixSortTest, EdgeCases) {
+  DirectMemory mem;
+  std::vector<Bun> empty;
+  RadixSortByTail(std::span<Bun>(empty), mem);
+  std::vector<Bun> one = {{3, 9}};
+  RadixSortByTail(std::span<Bun>(one), mem);
+  EXPECT_EQ(one[0], (Bun{3, 9}));
+  std::vector<Bun> extremes = {{0, UINT32_MAX}, {1, 0}, {2, UINT32_MAX}, {3, 1}};
+  RadixSortByTail(std::span<Bun>(extremes), mem);
+  EXPECT_TRUE(SortedByTail(extremes));
+  EXPECT_EQ(extremes[0].tail, 0u);
+  EXPECT_EQ(extremes[3].tail, UINT32_MAX);
+}
+
+TEST(QuickSortTest, SortsAdversarialPatterns) {
+  DirectMemory mem;
+  // random, sorted, reverse, all-equal, sawtooth
+  std::vector<std::vector<Bun>> cases;
+  cases.push_back(RandomBuns(5000, 2));
+  {
+    std::vector<Bun> v(1000);
+    for (uint32_t i = 0; i < 1000; ++i) v[i] = {i, i};
+    cases.push_back(v);
+    std::reverse(v.begin(), v.end());
+    cases.push_back(v);
+  }
+  cases.push_back(std::vector<Bun>(777, Bun{1, 42}));
+  {
+    std::vector<Bun> v(1024);
+    for (uint32_t i = 0; i < 1024; ++i) v[i] = {i, i % 7};
+    cases.push_back(v);
+  }
+  for (auto& v : cases) {
+    auto expect = v;
+    std::sort(expect.begin(), expect.end(),
+              [](const Bun& a, const Bun& b) { return a.tail < b.tail; });
+    QuickSortByTail(std::span<Bun>(v), mem);
+    ASSERT_EQ(v.size(), expect.size());
+    EXPECT_TRUE(SortedByTail(v));
+    // Same multiset of tails.
+    std::vector<uint32_t> got, want;
+    for (auto& b : v) got.push_back(b.tail);
+    for (auto& b : expect) want.push_back(b.tail);
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(QuickSortTest, TinyInputs) {
+  DirectMemory mem;
+  std::vector<Bun> empty;
+  QuickSortByTail(std::span<Bun>(empty), mem);
+  std::vector<Bun> two = {{0, 9}, {1, 3}};
+  QuickSortByTail(std::span<Bun>(two), mem);
+  EXPECT_EQ(two[0].tail, 3u);
+}
+
+TEST(RangeSelectTest, FindsPositions) {
+  DirectMemory mem;
+  std::vector<uint32_t> v = {5, 10, 15, 20, 25};
+  auto got = RangeSelect(std::span<const uint32_t>(v), 10u, 20u, mem);
+  EXPECT_EQ(got, (std::vector<oid_t>{1, 2, 3}));
+  got = RangeSelect(std::span<const uint32_t>(v), 0u, 4u, mem);
+  EXPECT_TRUE(got.empty());
+  got = RangeSelect(std::span<const uint32_t>(v), 0u, UINT32_MAX, mem);
+  EXPECT_EQ(got.size(), 5u);
+}
+
+TEST(RangeSelectTest, ByteEncodedPredicateRemap) {
+  // §3.1: selection on "MAIL" (code 3) over a 1-byte column.
+  DirectMemory mem;
+  std::vector<uint8_t> codes = {1, 3, 0, 3, 3, 2};
+  auto got = EqSelect(std::span<const uint8_t>(codes), uint8_t{3}, mem);
+  EXPECT_EQ(got, (std::vector<oid_t>{1, 3, 4}));
+}
+
+TEST(CountAndSumTest, AggregateScans) {
+  DirectMemory mem;
+  std::vector<uint32_t> v = {1, 2, 3, 4, 5};
+  EXPECT_EQ(CountRange(std::span<const uint32_t>(v), 2u, 4u, mem), 3u);
+  EXPECT_EQ(SumColumn(std::span<const uint32_t>(v), mem), 15u);
+  std::vector<uint32_t> empty;
+  EXPECT_EQ(SumColumn(std::span<const uint32_t>(empty), mem), 0u);
+}
+
+std::map<uint32_t, std::pair<uint64_t, uint64_t>> ReferenceGroups(
+    const std::vector<uint32_t>& keys, const std::vector<uint32_t>& vals) {
+  std::map<uint32_t, std::pair<uint64_t, uint64_t>> m;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    m[keys[i]].first += vals[i];
+    m[keys[i]].second += 1;
+  }
+  return m;
+}
+
+TEST(HashGroupSumTest, MatchesReference) {
+  DirectMemory mem;
+  Rng rng(5);
+  std::vector<uint32_t> keys(5000), vals(5000);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<uint32_t>(rng.NextBelow(37));
+    vals[i] = static_cast<uint32_t>(rng.NextBelow(1000));
+  }
+  auto got = HashGroupSum<DirectMemory, MurmurHash>(
+      std::span<const uint32_t>(keys), std::span<const uint32_t>(vals), mem);
+  auto expect = ReferenceGroups(keys, vals);
+  ASSERT_EQ(got.size(), expect.size());
+  for (size_t g = 0; g < got.size(); ++g) {
+    auto it = expect.find(got.keys[g]);
+    ASSERT_NE(it, expect.end());
+    EXPECT_EQ(got.sums[g], it->second.first);
+    EXPECT_EQ(got.counts[g], it->second.second);
+  }
+}
+
+TEST(HashGroupSumTest, FirstAppearanceOrder) {
+  DirectMemory mem;
+  std::vector<uint32_t> keys = {9, 3, 9, 7, 3};
+  std::vector<uint32_t> vals = {1, 1, 1, 1, 1};
+  auto got = HashGroupSum(std::span<const uint32_t>(keys),
+                          std::span<const uint32_t>(vals), mem);
+  EXPECT_EQ(got.keys, (std::vector<uint32_t>{9, 3, 7}));
+  EXPECT_EQ(got.counts, (std::vector<uint64_t>{2, 2, 1}));
+}
+
+TEST(SortGroupSumTest, MatchesHashGrouping) {
+  DirectMemory mem;
+  Rng rng(6);
+  std::vector<uint32_t> keys(3000), vals(3000);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<uint32_t>(rng.NextBelow(100));
+    vals[i] = static_cast<uint32_t>(rng.NextBelow(50));
+  }
+  auto sorted = SortGroupSum(std::span<const uint32_t>(keys),
+                             std::span<const uint32_t>(vals), mem);
+  auto expect = ReferenceGroups(keys, vals);
+  ASSERT_EQ(sorted.size(), expect.size());
+  // Sort-grouping emits keys in ascending order.
+  EXPECT_TRUE(std::is_sorted(sorted.keys.begin(), sorted.keys.end()));
+  for (size_t g = 0; g < sorted.size(); ++g) {
+    EXPECT_EQ(sorted.sums[g], expect[sorted.keys[g]].first);
+    EXPECT_EQ(sorted.counts[g], expect[sorted.keys[g]].second);
+  }
+}
+
+TEST(GroupSumTest, EmptyInput) {
+  DirectMemory mem;
+  std::vector<uint32_t> none;
+  auto h = HashGroupSum(std::span<const uint32_t>(none),
+                        std::span<const uint32_t>(none), mem);
+  EXPECT_EQ(h.size(), 0u);
+  auto s = SortGroupSum(std::span<const uint32_t>(none),
+                        std::span<const uint32_t>(none), mem);
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(StrideScanTest, SumsCorrectBytes) {
+  DirectMemory mem;
+  AlignedBuffer buf(1024);
+  for (size_t i = 0; i < 1024; ++i) buf.data()[i] = static_cast<uint8_t>(i);
+  // stride 4, 10 iterations: bytes 0,4,8,...,36.
+  uint64_t expect = 0;
+  for (int i = 0; i < 10; ++i) expect += static_cast<uint8_t>(i * 4);
+  EXPECT_EQ(StrideScanSum(buf.data(), buf.size(), 4, 10, mem), expect);
+}
+
+TEST(StrideScanTest, StrideOneReadsPrefix) {
+  DirectMemory mem;
+  AlignedBuffer buf(64);
+  for (size_t i = 0; i < 64; ++i) buf.data()[i] = 1;
+  EXPECT_EQ(StrideScanSum(buf.data(), buf.size(), 1, 64, mem), 64u);
+}
+
+}  // namespace
+}  // namespace ccdb
