@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verify + benchmark smoke run. Usage: ./ci.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S .
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== tier-1 tests =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== bench smoke =="
+# fig9 sweeps radix-cluster over cardinalities; the default (non --full)
+# scale is a reduced grid that keeps CI fast while still touching the
+# cluster kernels and the cost model.
+"$BUILD_DIR/fig9_radix_cluster" --profile=x86
+
+echo "== examples smoke =="
+"$BUILD_DIR/mil_pipeline" > /dev/null
+echo "OK"

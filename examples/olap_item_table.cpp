@@ -12,7 +12,9 @@
 #include <cstring>
 
 #include "algo/select.h"
+#include "exec/plan.h"
 #include "exec/table.h"
+#include "model/planner.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -118,38 +120,51 @@ int main() {
   double nsm_ms = t_nsm.ElapsedMillis();
 
   WallTimer t_dsm;
-  // DSM execution: 1-byte predicate scan, then positional gathers.
-  auto oids = *table.SelectEqStr("shipmode", "MAIL");
-  auto supp = *table.GatherU32("supp", oids);
-  auto qty = *table.GatherU32("qty", oids);
-  DirectMemory mem;
-  GroupAggregates agg = HashGroupSum<DirectMemory, MurmurHash>(
-      std::span<const uint32_t>(supp), std::span<const uint32_t>(qty), mem,
-      128);
+  // DSM execution through the fluent query API: the EqStr predicate is
+  // remapped onto the 1-byte shipmode code column and pipelined as a
+  // candidate list into the grouped aggregation — no intermediate BAT.
+  auto plan = QueryBuilder(table)
+                  .Select(Predicate::EqStr("shipmode", "MAIL"))
+                  .GroupBySum("supp", "qty")
+                  .Build();
+  CCDB_CHECK(plan.ok());
+  auto agg = Execute(*plan);
+  CCDB_CHECK(agg.ok());
   double dsm_ms = t_dsm.ElapsedMillis();
+  const auto& sums = agg->columns[*agg->ColumnIndex("sum")].i64_values;
+  const auto& counts = agg->columns[*agg->ColumnIndex("count")].i64_values;
+  uint64_t matching = 0;
+  for (int64_t c : counts) matching += static_cast<uint64_t>(c);
 
   // Verify both engines agree.
   uint64_t nsm_total = 0, dsm_total = 0;
   for (uint64_t s : nsm_sums) nsm_total += s;
-  for (uint64_t s : agg.sums) dsm_total += s;
+  for (int64_t s : sums) dsm_total += static_cast<uint64_t>(s);
   CCDB_CHECK(nsm_total == dsm_total);
 
   std::printf("  NSM row engine:    %7.2f ms\n", nsm_ms);
-  std::printf("  DSM column engine: %7.2f ms   (%.1fx; %zu matching tuples,"
+  std::printf("  DSM column engine: %7.2f ms   (%.1fx; %llu matching tuples,"
               " %zu groups)\n",
-              dsm_ms, nsm_ms / dsm_ms, oids.size(), agg.size());
+              dsm_ms, nsm_ms / dsm_ms, (unsigned long long)matching,
+              agg->num_rows());
 
-  // ---- top groups ----------------------------------------------------------
+  // ---- top groups: OrderBy + Limit in the same fluent plan -----------------
   std::printf("\ntop suppliers by SUM(qty):\n");
-  std::vector<size_t> order(agg.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(),
-            [&](size_t a, size_t b) { return agg.sums[a] > agg.sums[b]; });
-  for (size_t i = 0; i < std::min<size_t>(5, order.size()); ++i) {
-    std::printf("  supp %3u  sum(qty) = %llu  (%llu items)\n",
-                agg.keys[order[i]],
-                (unsigned long long)agg.sums[order[i]],
-                (unsigned long long)agg.counts[order[i]]);
+  auto top_plan = QueryBuilder(table)
+                      .Select(Predicate::EqStr("shipmode", "MAIL"))
+                      .GroupBySum("supp", "qty")
+                      .OrderBy("sum", /*descending=*/true)
+                      .Limit(5)
+                      .Build();
+  CCDB_CHECK(top_plan.ok());
+  auto top = Execute(*top_plan);
+  CCDB_CHECK(top.ok());
+  const auto& top_supp = top->columns[*top->ColumnIndex("supp")].u32_values;
+  const auto& top_sum = top->columns[*top->ColumnIndex("sum")].i64_values;
+  const auto& top_count = top->columns[*top->ColumnIndex("count")].i64_values;
+  for (size_t i = 0; i < top->num_rows(); ++i) {
+    std::printf("  supp %3u  sum(qty) = %lld  (%lld items)\n", top_supp[i],
+                (long long)top_sum[i], (long long)top_count[i]);
   }
   return 0;
 }

@@ -195,4 +195,100 @@ StatusOr<Bat> BatAppend(const Bat& a, const Bat& b) {
   return Bat::Make(Column::U32(std::move(heads)), Column::U32(std::move(tails)));
 }
 
+namespace {
+
+/// Runs `fn(pos, value)` for every candidate, with the tail access
+/// devirtualized per physical type and the bounds check folded into the
+/// same pass (candidate gathers are the hot loop of a pipelined plan).
+template <class Fn>
+Status ForEachCandidate(const Bat& b, std::span<const oid_t> cands, Fn&& fn) {
+  const Column& tail = b.tail();
+  const size_t n = b.size();
+  auto scan = [&](auto get) -> Status {
+    for (size_t i = 0; i < cands.size(); ++i) {
+      oid_t o = cands[i];
+      if (o >= n) return Status::OutOfRange("candidate oid beyond BAT");
+      fn(i, get(o));
+    }
+    return Status::Ok();
+  };
+  switch (tail.type()) {
+    case PhysType::kU8: {
+      auto v = tail.Span<uint8_t>();
+      return scan([v](oid_t o) { return uint32_t{v[o]}; });
+    }
+    case PhysType::kU16: {
+      auto v = tail.Span<uint16_t>();
+      return scan([v](oid_t o) { return uint32_t{v[o]}; });
+    }
+    case PhysType::kU32: {
+      auto v = tail.Span<uint32_t>();
+      return scan([v](oid_t o) { return v[o]; });
+    }
+    case PhysType::kVoid:
+      return scan([&tail](oid_t o) {
+        return static_cast<uint32_t>(tail.GetIntegral(o));
+      });
+    default:
+      return Status::InvalidArgument(
+          std::string("candidate kernel requires an integral tail, got ") +
+          PhysTypeName(tail.type()));
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<uint32_t>> BatSelectPositions(
+    const Bat& b, uint32_t lo, uint32_t hi, std::span<const oid_t> cands) {
+  std::vector<uint32_t> out;
+  CCDB_RETURN_IF_ERROR(ForEachCandidate(b, cands, [&](size_t i, uint32_t v) {
+    if (lo <= v && v <= hi) out.push_back(static_cast<uint32_t>(i));
+  }));
+  return out;
+}
+
+StatusOr<std::vector<uint32_t>> BatSelectPositionsDense(const Bat& b,
+                                                        uint32_t lo,
+                                                        uint32_t hi, oid_t base,
+                                                        size_t count) {
+  CCDB_RETURN_IF_ERROR(RequireIntegralTail(b, "select"));
+  if (base + count > b.size()) {
+    return Status::OutOfRange("dense candidate range beyond BAT");
+  }
+  std::vector<uint32_t> out;
+  const Column& tail = b.tail();
+  auto scan = [&](auto values) {
+    for (size_t i = 0; i < count; ++i) {
+      uint32_t x = values[base + i];
+      if (lo <= x && x <= hi) out.push_back(static_cast<uint32_t>(i));
+    }
+  };
+  switch (tail.type()) {
+    case PhysType::kU8:
+      scan(tail.Span<uint8_t>());
+      break;
+    case PhysType::kU16:
+      scan(tail.Span<uint16_t>());
+      break;
+    case PhysType::kU32:
+      scan(tail.Span<uint32_t>());
+      break;
+    default:
+      for (size_t i = 0; i < count; ++i) {
+        uint32_t x = static_cast<uint32_t>(tail.GetIntegral(base + i));
+        if (lo <= x && x <= hi) out.push_back(static_cast<uint32_t>(i));
+      }
+      break;
+  }
+  return out;
+}
+
+StatusOr<Bat> BatProject(const Bat& b, std::span<const oid_t> cands) {
+  std::vector<uint32_t> tails(cands.size());
+  CCDB_RETURN_IF_ERROR(ForEachCandidate(
+      b, cands, [&](size_t i, uint32_t v) { tails[i] = v; }));
+  return Bat::Make(Column::Void(0, cands.size()),
+                   Column::U32(std::move(tails)));
+}
+
 }  // namespace ccdb

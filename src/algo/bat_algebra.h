@@ -60,6 +60,31 @@ StatusOr<Bat> BatHistogram(const Bat& b);
 /// append(a, b): concatenation; heads are materialized.
 StatusOr<Bat> BatAppend(const Bat& a, const Bat& b);
 
+// --- candidate-list kernels (§3.1 pipelining) --------------------------------
+// A candidate list is a selection vector of OIDs produced by an upstream
+// selection. These kernels let further selections and projections run
+// *through* the list — only qualifying BUNs are touched and no intermediate
+// BAT is materialized between operators.
+
+/// select(b, lo, hi | cands): positions i into `cands` whose value
+/// b.tail[cands[i]] is in [lo, hi]. Requires integral tail; OIDs beyond the
+/// BAT are kOutOfRange.
+StatusOr<std::vector<uint32_t>> BatSelectPositions(const Bat& b, uint32_t lo,
+                                                   uint32_t hi,
+                                                   std::span<const oid_t> cands);
+
+/// Dense-candidate variant: the candidate list is the virtual sequence
+/// [base, base+count) and is never materialized (a void candidate column).
+StatusOr<std::vector<uint32_t>> BatSelectPositionsDense(const Bat& b,
+                                                        uint32_t lo,
+                                                        uint32_t hi, oid_t base,
+                                                        size_t count);
+
+/// project(b, cands): [void, b.tail[cands[i]]] — tuple reconstruction
+/// through a candidate list; the positional fetch the paper calls free on
+/// void-headed BATs.
+StatusOr<Bat> BatProject(const Bat& b, std::span<const oid_t> cands);
+
 }  // namespace ccdb
 
 #endif  // CCDB_ALGO_BAT_ALGEBRA_H_

@@ -72,6 +72,14 @@ class RowStore {
   }
   void SetU8(size_t row, size_t f, uint8_t v) { RowPtr(row)[offsets_[f]] = v; }
   uint8_t GetU8(size_t row, size_t f) const { return RowPtr(row)[offsets_[f]]; }
+  void SetI64(size_t row, size_t f, int64_t v) {
+    std::memcpy(RowPtr(row) + offsets_[f], &v, sizeof(v));
+  }
+  int64_t GetI64(size_t row, size_t f) const {
+    int64_t v;
+    std::memcpy(&v, RowPtr(row) + offsets_[f], sizeof(v));
+    return v;
+  }
   void SetF64(size_t row, size_t f, double v) {
     std::memcpy(RowPtr(row) + offsets_[f], &v, sizeof(v));
   }

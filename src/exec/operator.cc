@@ -1,0 +1,809 @@
+#include "exec/operator.h"
+
+#include <algorithm>
+
+#include "algo/bat_algebra.h"
+#include "algo/partitioned_hash_join.h"
+#include "algo/radix_join.h"
+#include "algo/simple_hash_join.h"
+#include "algo/sort_merge_join.h"
+
+namespace ccdb {
+
+StatusOr<std::vector<Bun>> ExecuteJoinPlan(std::span<const Bun> l,
+                                           std::span<const Bun> r,
+                                           const JoinPlan& plan,
+                                           JoinStats* stats) {
+  DirectMemory mem;
+  switch (plan.strategy) {
+    case JoinStrategy::kSortMerge:
+      return SortMergeJoin(l, r, mem, stats);
+    case JoinStrategy::kSimpleHash:
+      return SimpleHashJoin(l, r, mem, stats);
+    default:
+      break;
+  }
+  if (plan.use_radix_join) {
+    return RadixJoin(l, r, plan.bits, plan.passes, mem, stats);
+  }
+  return PartitionedHashJoin(l, r, plan.bits, plan.passes, mem, stats);
+}
+
+// --- Chunk -------------------------------------------------------------------
+
+StatusOr<size_t> Chunk::Find(const std::string& name) const {
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i].name == name) return i;
+  }
+  return Status::NotFound("no chunk column named " + name);
+}
+
+PhysType Chunk::TypeOf(size_t c) const {
+  const ChunkColumn& col = cols[c];
+  PhysType t;
+  if (col.lazy()) {
+    if (col.base->is_encoded(col.base_col)) return PhysType::kStr;
+    t = col.base->column_bat(col.base_col).tail().type();
+  } else {
+    t = col.owned->type();
+  }
+  switch (t) {
+    case PhysType::kVoid:
+    case PhysType::kU8:
+    case PhysType::kU16:
+    case PhysType::kU32:
+    case PhysType::kI32:
+      return PhysType::kU32;
+    default:
+      return t;
+  }
+}
+
+namespace {
+
+std::span<const oid_t> OidSpan(const Candidates& c) {
+  CCDB_DCHECK(!c.dense());
+  return {c.oids->data(), c.oids->size()};
+}
+
+Status RequireIntegral(const Column& tail, const char* what) {
+  switch (tail.type()) {
+    case PhysType::kVoid:
+    case PhysType::kU8:
+    case PhysType::kU16:
+    case PhysType::kU32:
+      return Status::Ok();
+    default:
+      return Status::InvalidArgument(std::string(what) +
+                                     " requires an integral column, got " +
+                                     PhysTypeName(tail.type()));
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<uint32_t>> Chunk::GatherU32(size_t c) const {
+  const ChunkColumn& col = cols[c];
+  if (!col.lazy()) {
+    CCDB_RETURN_IF_ERROR(RequireIntegral(*col.owned, "GatherU32"));
+    if (col.owned->type() == PhysType::kU32) {
+      auto s = col.owned->Span<uint32_t>();
+      return std::vector<uint32_t>(s.begin(), s.end());
+    }
+    std::vector<uint32_t> out(col.owned->size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = static_cast<uint32_t>(col.owned->GetIntegral(i));
+    }
+    return out;
+  }
+  const Bat& bat = col.base->column_bat(col.base_col);
+  const Candidates& cd = cands[col.cand_slot];
+  CCDB_RETURN_IF_ERROR(RequireIntegral(bat.tail(), "GatherU32"));
+  if (!cd.dense()) {
+    // Candidate projection kernel: touch only qualifying BUNs.
+    CCDB_ASSIGN_OR_RETURN(Bat proj, BatProject(bat, OidSpan(cd)));
+    auto s = proj.tail().Span<uint32_t>();
+    return std::vector<uint32_t>(s.begin(), s.end());
+  }
+  if (cd.base + cd.count > bat.size()) {
+    return Status::OutOfRange("dense candidates beyond BAT");
+  }
+  std::vector<uint32_t> out(cd.count);
+  if (bat.tail().type() == PhysType::kU32) {
+    auto s = bat.tail().Span<uint32_t>();
+    std::copy_n(s.begin() + cd.base, cd.count, out.begin());
+  } else {
+    for (size_t i = 0; i < cd.count; ++i) {
+      out[i] = static_cast<uint32_t>(bat.tail().GetIntegral(cd.base + i));
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<int64_t>> Chunk::GatherI64(size_t c) const {
+  const ChunkColumn& col = cols[c];
+  if (!col.lazy() && col.owned->type() == PhysType::kI64) {
+    auto s = col.owned->Span<int64_t>();
+    return std::vector<int64_t>(s.begin(), s.end());
+  }
+  if (col.lazy() &&
+      col.base->column_bat(col.base_col).tail().type() == PhysType::kI64) {
+    auto v = col.base->column_bat(col.base_col).tail().Span<int64_t>();
+    const Candidates& cd = cands[col.cand_slot];
+    std::vector<int64_t> out(cd.count);
+    for (size_t i = 0; i < cd.count; ++i) {
+      oid_t o = cd.Get(i);
+      if (o >= v.size()) return Status::OutOfRange("candidate beyond column");
+      out[i] = v[o];
+    }
+    return out;
+  }
+  CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> narrow, GatherU32(c));
+  return std::vector<int64_t>(narrow.begin(), narrow.end());
+}
+
+StatusOr<std::vector<double>> Chunk::GatherF64(size_t c) const {
+  const ChunkColumn& col = cols[c];
+  if (!col.lazy()) {
+    if (col.owned->type() != PhysType::kF64) {
+      return Status::InvalidArgument("GatherF64 on non-f64 column " +
+                                     col.name);
+    }
+    auto s = col.owned->Span<double>();
+    return std::vector<double>(s.begin(), s.end());
+  }
+  const Column& tail = col.base->column_bat(col.base_col).tail();
+  if (tail.type() != PhysType::kF64) {
+    return Status::InvalidArgument("GatherF64 on non-f64 column " + col.name);
+  }
+  auto v = tail.Span<double>();
+  const Candidates& cd = cands[col.cand_slot];
+  std::vector<double> out(cd.count);
+  for (size_t i = 0; i < cd.count; ++i) {
+    oid_t o = cd.Get(i);
+    if (o >= v.size()) return Status::OutOfRange("candidate beyond column");
+    out[i] = v[o];
+  }
+  return out;
+}
+
+StatusOr<std::vector<std::string>> Chunk::GatherStr(size_t c) const {
+  const ChunkColumn& col = cols[c];
+  if (!col.lazy()) {
+    if (col.owned->type() != PhysType::kStr) {
+      return Status::InvalidArgument("GatherStr on non-string column " +
+                                     col.name);
+    }
+    std::vector<std::string> out(col.owned->size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = std::string(col.owned->GetStr(i));
+    }
+    return out;
+  }
+  const Candidates& cd = cands[col.cand_slot];
+  if (cd.dense()) {
+    std::vector<oid_t> oids(cd.count);
+    for (size_t i = 0; i < cd.count; ++i) oids[i] = cd.Get(i);
+    return col.base->GatherStr(col.base->schema().field(col.base_col).name,
+                               oids);
+  }
+  return col.base->GatherStr(col.base->schema().field(col.base_col).name,
+                             OidSpan(cd));
+}
+
+namespace {
+
+StatusOr<Column> TakeOwned(const Column& col,
+                           std::span<const uint32_t> positions) {
+  switch (col.type()) {
+    case PhysType::kU32: {
+      auto s = col.Span<uint32_t>();
+      std::vector<uint32_t> out(positions.size());
+      for (size_t i = 0; i < positions.size(); ++i) out[i] = s[positions[i]];
+      return Column::U32(std::move(out));
+    }
+    case PhysType::kI64: {
+      auto s = col.Span<int64_t>();
+      std::vector<int64_t> out(positions.size());
+      for (size_t i = 0; i < positions.size(); ++i) out[i] = s[positions[i]];
+      return Column::I64(std::move(out));
+    }
+    case PhysType::kF64: {
+      auto s = col.Span<double>();
+      std::vector<double> out(positions.size());
+      for (size_t i = 0; i < positions.size(); ++i) out[i] = s[positions[i]];
+      return Column::F64(std::move(out));
+    }
+    case PhysType::kStr: {
+      std::vector<std::string> out(positions.size());
+      for (size_t i = 0; i < positions.size(); ++i) {
+        out[i] = std::string(col.GetStr(positions[i]));
+      }
+      return Column::Str(out);
+    }
+    default:
+      return Status::InvalidArgument(
+          std::string("cannot take from owned column of type ") +
+          PhysTypeName(col.type()));
+  }
+}
+
+}  // namespace
+
+StatusOr<Chunk> Chunk::Take(std::span<const uint32_t> positions) const {
+  Chunk out;
+  out.rows = positions.size();
+  out.cands.reserve(cands.size());
+  for (const Candidates& cd : cands) {
+    std::vector<oid_t> oids(positions.size());
+    for (size_t i = 0; i < positions.size(); ++i) {
+      CCDB_DCHECK(positions[i] < rows);
+      oids[i] = cd.Get(positions[i]);
+    }
+    out.cands.push_back(Candidates::FromOids(std::move(oids)));
+  }
+  out.cols.reserve(cols.size());
+  for (const ChunkColumn& col : cols) {
+    ChunkColumn c = col;
+    if (!col.lazy()) {
+      CCDB_ASSIGN_OR_RETURN(Column taken, TakeOwned(*col.owned, positions));
+      c.owned = std::make_shared<const Column>(std::move(taken));
+    }
+    out.cols.push_back(std::move(c));
+  }
+  return out;
+}
+
+Status Chunk::AppendTo(size_t c, MaterializedColumn* out) const {
+  switch (TypeOf(c)) {
+    case PhysType::kU32: {
+      CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> v, GatherU32(c));
+      out->u32_values.insert(out->u32_values.end(), v.begin(), v.end());
+      return Status::Ok();
+    }
+    case PhysType::kI64: {
+      CCDB_ASSIGN_OR_RETURN(std::vector<int64_t> v, GatherI64(c));
+      out->i64_values.insert(out->i64_values.end(), v.begin(), v.end());
+      return Status::Ok();
+    }
+    case PhysType::kF64: {
+      CCDB_ASSIGN_OR_RETURN(std::vector<double> v, GatherF64(c));
+      out->f64_values.insert(out->f64_values.end(), v.begin(), v.end());
+      return Status::Ok();
+    }
+    case PhysType::kStr: {
+      CCDB_ASSIGN_OR_RETURN(std::vector<std::string> v, GatherStr(c));
+      for (auto& s : v) out->str_values.push_back(std::move(s));
+      return Status::Ok();
+    }
+    default:
+      return Status::Internal("unexpected chunk column type");
+  }
+}
+
+StatusOr<Chunk> ConcatChunks(std::vector<Chunk> chunks) {
+  if (chunks.empty()) {
+    return Status::InvalidArgument("ConcatChunks: no chunks");
+  }
+  if (chunks.size() == 1) return std::move(chunks[0]);
+  Chunk out;
+  const Chunk& first = chunks[0];
+  for (const Chunk& c : chunks) {
+    if (c.cols.size() != first.cols.size() ||
+        c.cands.size() != first.cands.size()) {
+      return Status::InvalidArgument("ConcatChunks: layout mismatch");
+    }
+    out.rows += c.rows;
+  }
+  // Candidate lists concatenate into one materialized list per slot.
+  for (size_t s = 0; s < first.cands.size(); ++s) {
+    std::vector<oid_t> oids;
+    oids.reserve(out.rows);
+    for (const Chunk& c : chunks) {
+      for (size_t i = 0; i < c.cands[s].count; ++i) {
+        oids.push_back(c.cands[s].Get(i));
+      }
+    }
+    out.cands.push_back(Candidates::FromOids(std::move(oids)));
+  }
+  for (size_t ci = 0; ci < first.cols.size(); ++ci) {
+    ChunkColumn col = first.cols[ci];
+    if (!col.lazy()) {
+      // Concatenate owned columns by type.
+      switch (col.owned->type()) {
+        case PhysType::kU32: {
+          std::vector<uint32_t> v;
+          v.reserve(out.rows);
+          for (const Chunk& c : chunks) {
+            auto s = c.cols[ci].owned->Span<uint32_t>();
+            v.insert(v.end(), s.begin(), s.end());
+          }
+          col.owned = std::make_shared<const Column>(Column::U32(std::move(v)));
+          break;
+        }
+        case PhysType::kI64: {
+          std::vector<int64_t> v;
+          v.reserve(out.rows);
+          for (const Chunk& c : chunks) {
+            auto s = c.cols[ci].owned->Span<int64_t>();
+            v.insert(v.end(), s.begin(), s.end());
+          }
+          col.owned = std::make_shared<const Column>(Column::I64(std::move(v)));
+          break;
+        }
+        case PhysType::kF64: {
+          std::vector<double> v;
+          v.reserve(out.rows);
+          for (const Chunk& c : chunks) {
+            auto s = c.cols[ci].owned->Span<double>();
+            v.insert(v.end(), s.begin(), s.end());
+          }
+          col.owned = std::make_shared<const Column>(Column::F64(std::move(v)));
+          break;
+        }
+        case PhysType::kStr: {
+          std::vector<std::string> v;
+          v.reserve(out.rows);
+          for (const Chunk& c : chunks) {
+            for (size_t i = 0; i < c.cols[ci].owned->size(); ++i) {
+              v.emplace_back(c.cols[ci].owned->GetStr(i));
+            }
+          }
+          col.owned = std::make_shared<const Column>(Column::Str(v));
+          break;
+        }
+        default:
+          return Status::InvalidArgument("ConcatChunks: unsupported owned type");
+      }
+    }
+    out.cols.push_back(std::move(col));
+  }
+  return out;
+}
+
+// --- ScanOp ------------------------------------------------------------------
+
+ScanOp::ScanOp(const Table* table, size_t chunk_rows)
+    : table_(table), chunk_rows_(chunk_rows == 0 ? SIZE_MAX : chunk_rows) {}
+
+Status ScanOp::Open() {
+  pos_ = 0;
+  emitted_ = false;
+  return Status::Ok();
+}
+
+StatusOr<bool> ScanOp::Next(Chunk* out) {
+  size_t total = table_->num_rows();
+  if (pos_ >= total && emitted_) return false;
+  size_t n = std::min(chunk_rows_, total - pos_);
+  out->rows = n;
+  out->cands = {Candidates::Dense(static_cast<oid_t>(pos_), n)};
+  out->cols.clear();
+  for (size_t i = 0; i < table_->num_columns(); ++i) {
+    ChunkColumn c;
+    c.name = table_->schema().field(i).name;
+    c.base = table_;
+    c.base_col = i;
+    c.cand_slot = 0;
+    out->cols.push_back(std::move(c));
+  }
+  pos_ += n;
+  emitted_ = true;
+  return true;
+}
+
+// --- SelectOp ----------------------------------------------------------------
+
+SelectOp::SelectOp(std::unique_ptr<Operator> child, Predicate pred)
+    : child_(std::move(child)), pred_(std::move(pred)) {}
+
+Status SelectOp::Open() { return child_->Open(); }
+void SelectOp::Close() { child_->Close(); }
+
+namespace {
+
+/// Evaluates `pred` over one chunk, returning the qualifying row positions.
+StatusOr<std::vector<uint32_t>> EvalPredicate(const Chunk& in,
+                                              const Predicate& pred) {
+  CCDB_ASSIGN_OR_RETURN(size_t ci, in.Find(pred.column));
+  const ChunkColumn& col = in.cols[ci];
+
+  // Integral range over a lazy base column: the candidate-list select kernel.
+  auto range_on_bat = [&](uint32_t lo, uint32_t hi)
+      -> StatusOr<std::vector<uint32_t>> {
+    const Bat& bat = col.base->column_bat(col.base_col);
+    const Candidates& cd = in.cands[col.cand_slot];
+    if (cd.dense()) {
+      return BatSelectPositionsDense(bat, lo, hi, cd.base, cd.count);
+    }
+    return BatSelectPositions(bat, lo, hi, OidSpan(cd));
+  };
+
+  switch (pred.kind) {
+    case Predicate::Kind::kRangeU32: {
+      if (col.lazy()) return range_on_bat(pred.lo_u32, pred.hi_u32);
+      CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> v, in.GatherU32(ci));
+      std::vector<uint32_t> out;
+      for (size_t i = 0; i < v.size(); ++i) {
+        if (pred.lo_u32 <= v[i] && v[i] <= pred.hi_u32) {
+          out.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      return out;
+    }
+    case Predicate::Kind::kRangeF64: {
+      CCDB_ASSIGN_OR_RETURN(std::vector<double> v, in.GatherF64(ci));
+      std::vector<uint32_t> out;
+      for (size_t i = 0; i < v.size(); ++i) {
+        if (pred.lo_f64 <= v[i] && v[i] <= pred.hi_f64) {
+          out.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      return out;
+    }
+    case Predicate::Kind::kEqStr: {
+      if (col.lazy() && col.base->is_encoded(col.base_col)) {
+        // Predicate remap (§3.1): the string equality becomes an integral
+        // range [code, code] on the 1-2 byte code column, evaluated through
+        // the candidate list.
+        auto code = col.base->dict(col.base_col).Lookup(pred.str_value);
+        if (!code.ok()) return std::vector<uint32_t>{};  // unknown: empty
+        return range_on_bat(*code, *code);
+      }
+      CCDB_ASSIGN_OR_RETURN(std::vector<std::string> v, in.GatherStr(ci));
+      std::vector<uint32_t> out;
+      for (size_t i = 0; i < v.size(); ++i) {
+        if (v[i] == pred.str_value) out.push_back(static_cast<uint32_t>(i));
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unreachable predicate kind");
+}
+
+}  // namespace
+
+StatusOr<bool> SelectOp::Next(Chunk* out) {
+  Chunk in;
+  CCDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+  if (!more) return false;
+  CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> positions,
+                        EvalPredicate(in, pred_));
+  CCDB_ASSIGN_OR_RETURN(*out, in.Take(positions));
+  return true;
+}
+
+// --- JoinOp ------------------------------------------------------------------
+
+JoinOp::JoinOp(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
+               std::string left_key, std::string right_key,
+               JoinStrategy strategy, const MachineProfile& profile,
+               JoinNodeInfo* info)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_key_(std::move(left_key)),
+      right_key_(std::move(right_key)),
+      strategy_(strategy),
+      profile_(profile),
+      info_(info) {}
+
+Status JoinOp::Open() {
+  CCDB_RETURN_IF_ERROR(left_->Open());
+  CCDB_RETURN_IF_ERROR(right_->Open());
+  // Drain the inner (build) side, then plan the join for its *actual*
+  // cardinality: the per-node cost-model consultation.
+  std::vector<Chunk> inner_chunks;
+  for (;;) {
+    Chunk c;
+    CCDB_ASSIGN_OR_RETURN(bool more, right_->Next(&c));
+    if (!more) break;
+    inner_chunks.push_back(std::move(c));
+  }
+  CCDB_ASSIGN_OR_RETURN(inner_, ConcatChunks(std::move(inner_chunks)));
+  CCDB_ASSIGN_OR_RETURN(size_t rk, inner_.Find(right_key_));
+  CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> keys, inner_.GatherU32(rk));
+  inner_buns_.resize(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    inner_buns_[i] = {static_cast<oid_t>(i), keys[i]};
+  }
+  // An empty inner needs no clustering; the model's argmin is undefined at
+  // C = 0.
+  plan_ = inner_buns_.empty()
+              ? PlanJoin(JoinStrategy::kSimpleHash, 0, profile_)
+              : PlanJoin(strategy_, inner_buns_.size(), profile_);
+  if (info_ != nullptr) {
+    info_->left_key = left_key_;
+    info_->right_key = right_key_;
+    info_->inner_cardinality = inner_buns_.size();
+    info_->plan = plan_;
+    info_->stats = JoinStats{};
+    info_->stats.bits = plan_.bits;
+    info_->stats.passes = plan_.passes;
+  }
+  return Status::Ok();
+}
+
+void JoinOp::Close() {
+  left_->Close();
+  right_->Close();
+  inner_ = Chunk{};
+  inner_buns_.clear();
+}
+
+StatusOr<bool> JoinOp::Next(Chunk* out) {
+  Chunk probe;
+  CCDB_ASSIGN_OR_RETURN(bool more, left_->Next(&probe));
+  if (!more) return false;
+  CCDB_ASSIGN_OR_RETURN(size_t lk, probe.Find(left_key_));
+  CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> keys, probe.GatherU32(lk));
+  std::vector<Bun> probe_buns(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    probe_buns[i] = {static_cast<oid_t>(i), keys[i]};
+  }
+  JoinStats stats;
+  CCDB_ASSIGN_OR_RETURN(
+      std::vector<Bun> matches,
+      ExecuteJoinPlan(probe_buns, inner_buns_, plan_, &stats));
+  if (info_ != nullptr) {
+    info_->stats.cluster_left_ms += stats.cluster_left_ms;
+    info_->stats.cluster_right_ms += stats.cluster_right_ms;
+    info_->stats.join_ms += stats.join_ms;
+    info_->stats.result_count += stats.result_count;
+  }
+  // matches = [probe position, inner position]: take each side through its
+  // positions, then zip the column sets. Both sides stay lazy — the join
+  // produced nothing but two candidate lists.
+  std::vector<uint32_t> lpos(matches.size()), rpos(matches.size());
+  for (size_t i = 0; i < matches.size(); ++i) {
+    lpos[i] = matches[i].head;
+    rpos[i] = matches[i].tail;
+  }
+  CCDB_ASSIGN_OR_RETURN(Chunk lpart, probe.Take(lpos));
+  CCDB_ASSIGN_OR_RETURN(Chunk rpart, inner_.Take(rpos));
+  out->rows = matches.size();
+  out->cands = std::move(lpart.cands);
+  size_t shift = out->cands.size();
+  for (Candidates& cd : rpart.cands) out->cands.push_back(std::move(cd));
+  out->cols = std::move(lpart.cols);
+  for (ChunkColumn& c : rpart.cols) {
+    if (c.lazy()) c.cand_slot += shift;
+    out->cols.push_back(std::move(c));
+  }
+  return true;
+}
+
+// --- ProjectOp ---------------------------------------------------------------
+
+ProjectOp::ProjectOp(std::unique_ptr<Operator> child,
+                     std::vector<std::string> columns)
+    : child_(std::move(child)), columns_(std::move(columns)) {}
+
+Status ProjectOp::Open() { return child_->Open(); }
+void ProjectOp::Close() { child_->Close(); }
+
+StatusOr<bool> ProjectOp::Next(Chunk* out) {
+  Chunk in;
+  CCDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+  if (!more) return false;
+  out->rows = in.rows;
+  out->cols.clear();
+  out->cands.clear();
+  // Keep only the candidate slots the projected columns still use.
+  std::vector<size_t> slot_map(in.cands.size(), SIZE_MAX);
+  for (const std::string& name : columns_) {
+    CCDB_ASSIGN_OR_RETURN(size_t ci, in.Find(name));
+    ChunkColumn col = in.cols[ci];
+    if (col.lazy()) {
+      if (slot_map[col.cand_slot] == SIZE_MAX) {
+        slot_map[col.cand_slot] = out->cands.size();
+        out->cands.push_back(in.cands[col.cand_slot]);
+      }
+      col.cand_slot = slot_map[col.cand_slot];
+    }
+    out->cols.push_back(std::move(col));
+  }
+  return true;
+}
+
+// --- GroupBySumOp ------------------------------------------------------------
+
+GroupBySumOp::GroupBySumOp(std::unique_ptr<Operator> child,
+                           std::string group_col, std::string value_col)
+    : child_(std::move(child)),
+      group_col_(std::move(group_col)),
+      value_col_(std::move(value_col)) {}
+
+Status GroupBySumOp::Open() {
+  done_ = false;
+  return child_->Open();
+}
+void GroupBySumOp::Close() { child_->Close(); }
+
+StatusOr<bool> GroupBySumOp::Next(Chunk* out) {
+  if (done_) return false;
+  done_ = true;
+
+  // Incremental hash grouping (§3.2) accumulated across child chunks; the
+  // group table stays cache-resident while chunks stream through.
+  GroupAggregates agg;
+  constexpr uint32_t kEmpty = UINT32_MAX;
+  std::vector<uint32_t> heads(1024, kEmpty);
+  std::vector<uint32_t> next;
+  uint32_t mask = static_cast<uint32_t>(heads.size() - 1);
+
+  const Table* dict_table = nullptr;  // set when grouping an encoded column
+  size_t dict_col = 0;
+
+  for (;;) {
+    Chunk in;
+    CCDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    if (!more) break;
+    CCDB_ASSIGN_OR_RETURN(size_t gi, in.Find(group_col_));
+    CCDB_ASSIGN_OR_RETURN(size_t vi, in.Find(value_col_));
+    const ChunkColumn& gcol = in.cols[gi];
+    if (gcol.lazy() && gcol.base->is_encoded(gcol.base_col)) {
+      dict_table = gcol.base;
+      dict_col = gcol.base_col;
+    }
+    // For encoded group columns GatherU32 reads the 1-2 byte codes — the
+    // aggregate groups on codes and decodes only the final group keys.
+    CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> keys, in.GatherU32(gi));
+    CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> vals, in.GatherU32(vi));
+    for (size_t i = 0; i < keys.size(); ++i) {
+      uint32_t k = keys[i];
+      uint32_t b = MurmurHash::Hash(k) & mask;
+      uint32_t g = heads[b];
+      while (g != kEmpty && agg.keys[g] != k) g = next[g];
+      if (g == kEmpty) {
+        g = static_cast<uint32_t>(agg.keys.size());
+        agg.keys.push_back(k);
+        agg.sums.push_back(0);
+        agg.counts.push_back(0);
+        next.push_back(heads[b]);
+        heads[b] = g;
+        // Keep average chain length bounded: rehash at 4x load.
+        if (agg.keys.size() > heads.size() * 4) {
+          heads.assign(heads.size() * 4, kEmpty);
+          mask = static_cast<uint32_t>(heads.size() - 1);
+          for (uint32_t j = 0; j < agg.keys.size(); ++j) {
+            uint32_t nb = MurmurHash::Hash(agg.keys[j]) & mask;
+            next[j] = heads[nb];
+            heads[nb] = j;
+          }
+        }
+      }
+      agg.sums[g] += vals[i];
+      agg.counts[g] += 1;
+    }
+  }
+
+  out->rows = agg.size();
+  out->cands.clear();
+  out->cols.clear();
+  ChunkColumn group;
+  group.name = group_col_;
+  if (dict_table != nullptr) {
+    std::vector<std::string> decoded(agg.size());
+    const StrDictionary& dict = dict_table->dict(dict_col);
+    for (size_t i = 0; i < agg.size(); ++i) {
+      if (agg.keys[i] >= dict.size()) {
+        return Status::Internal("group code beyond dictionary");
+      }
+      decoded[i] = std::string(dict.Get(agg.keys[i]));
+    }
+    group.owned = std::make_shared<const Column>(Column::Str(decoded));
+  } else {
+    group.owned =
+        std::make_shared<const Column>(Column::U32(std::move(agg.keys)));
+  }
+  out->cols.push_back(std::move(group));
+  ChunkColumn sum;
+  sum.name = "sum";
+  sum.owned = std::make_shared<const Column>(Column::I64(
+      std::vector<int64_t>(agg.sums.begin(), agg.sums.end())));
+  out->cols.push_back(std::move(sum));
+  ChunkColumn count;
+  count.name = "count";
+  count.owned = std::make_shared<const Column>(Column::I64(
+      std::vector<int64_t>(agg.counts.begin(), agg.counts.end())));
+  out->cols.push_back(std::move(count));
+  return true;
+}
+
+// --- OrderByOp ---------------------------------------------------------------
+
+OrderByOp::OrderByOp(std::unique_ptr<Operator> child, std::string column,
+                     bool descending)
+    : child_(std::move(child)),
+      column_(std::move(column)),
+      descending_(descending) {}
+
+Status OrderByOp::Open() {
+  done_ = false;
+  return child_->Open();
+}
+void OrderByOp::Close() { child_->Close(); }
+
+StatusOr<bool> OrderByOp::Next(Chunk* out) {
+  if (done_) return false;
+  done_ = true;
+  std::vector<Chunk> chunks;
+  for (;;) {
+    Chunk c;
+    CCDB_ASSIGN_OR_RETURN(bool more, child_->Next(&c));
+    if (!more) break;
+    chunks.push_back(std::move(c));
+  }
+  CCDB_ASSIGN_OR_RETURN(Chunk all, ConcatChunks(std::move(chunks)));
+  CCDB_ASSIGN_OR_RETURN(size_t ci, all.Find(column_));
+  std::vector<uint32_t> positions(all.rows);
+  for (size_t i = 0; i < positions.size(); ++i) {
+    positions[i] = static_cast<uint32_t>(i);
+  }
+  auto argsort = [&](const auto& keys) {
+    if (descending_) {
+      std::stable_sort(positions.begin(), positions.end(),
+                       [&](uint32_t a, uint32_t b) { return keys[b] < keys[a]; });
+    } else {
+      std::stable_sort(positions.begin(), positions.end(),
+                       [&](uint32_t a, uint32_t b) { return keys[a] < keys[b]; });
+    }
+  };
+  switch (all.TypeOf(ci)) {
+    case PhysType::kU32: {
+      CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> keys, all.GatherU32(ci));
+      argsort(keys);
+      break;
+    }
+    case PhysType::kI64: {
+      CCDB_ASSIGN_OR_RETURN(std::vector<int64_t> keys, all.GatherI64(ci));
+      argsort(keys);
+      break;
+    }
+    case PhysType::kF64: {
+      CCDB_ASSIGN_OR_RETURN(std::vector<double> keys, all.GatherF64(ci));
+      argsort(keys);
+      break;
+    }
+    case PhysType::kStr: {
+      CCDB_ASSIGN_OR_RETURN(std::vector<std::string> keys, all.GatherStr(ci));
+      argsort(keys);
+      break;
+    }
+    default:
+      return Status::Internal("unexpected order-by key type");
+  }
+  CCDB_ASSIGN_OR_RETURN(*out, all.Take(positions));
+  return true;
+}
+
+// --- LimitOp -----------------------------------------------------------------
+
+LimitOp::LimitOp(std::unique_ptr<Operator> child, size_t limit, size_t offset)
+    : child_(std::move(child)), limit_(limit), offset_(offset) {}
+
+Status LimitOp::Open() {
+  skipped_ = 0;
+  emitted_ = 0;
+  return child_->Open();
+}
+void LimitOp::Close() { child_->Close(); }
+
+StatusOr<bool> LimitOp::Next(Chunk* out) {
+  if (emitted_ >= limit_ && skipped_ >= offset_ && emitted_ > 0) return false;
+  Chunk in;
+  CCDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+  if (!more) return false;
+  size_t skip = std::min(offset_ - skipped_, in.rows);
+  skipped_ += skip;
+  size_t take = std::min(in.rows - skip, limit_ - emitted_);
+  emitted_ += take;
+  std::vector<uint32_t> positions(take);
+  for (size_t i = 0; i < take; ++i) {
+    positions[i] = static_cast<uint32_t>(skip + i);
+  }
+  CCDB_ASSIGN_OR_RETURN(*out, in.Take(positions));
+  return true;
+}
+
+}  // namespace ccdb

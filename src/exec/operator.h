@@ -1,0 +1,250 @@
+// Physical operators: Open/Next/Close over BAT chunks (Volcano-shaped, but
+// column-at-a-time inside each chunk, as §3.1 prescribes). The payload
+// flowing between operators is a Chunk — a set of aligned columns that are
+// usually *not* materialized: each lazy column is a pointer into a base
+// table plus a shared candidate list (selection vector of OIDs), so a
+// Select pipelines into a Join or an aggregate by narrowing the candidate
+// list, and tuple reconstruction stays the free positional lookup the paper
+// describes (footnote 2). Only pipeline breakers (group-by, order-by) and
+// the final result materialize values.
+#ifndef CCDB_EXEC_OPERATOR_H_
+#define CCDB_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "algo/aggregate.h"
+#include "exec/plan.h"
+#include "exec/result.h"
+#include "exec/table.h"
+#include "model/strategy.h"
+
+namespace ccdb {
+
+/// A candidate list: the OIDs (into one base table) that survive upstream
+/// operators. `oids == nullptr` means the dense virtual sequence
+/// [base, base+count) — a void candidate column costing no memory.
+struct Candidates {
+  std::shared_ptr<const std::vector<oid_t>> oids;
+  oid_t base = 0;
+  size_t count = 0;
+
+  static Candidates Dense(oid_t base, size_t count) {
+    Candidates c;
+    c.base = base;
+    c.count = count;
+    return c;
+  }
+  static Candidates FromOids(std::vector<oid_t> v) {
+    Candidates c;
+    c.count = v.size();
+    c.oids = std::make_shared<const std::vector<oid_t>>(std::move(v));
+    return c;
+  }
+
+  bool dense() const { return oids == nullptr; }
+  oid_t Get(size_t i) const {
+    return dense() ? static_cast<oid_t>(base + i) : (*oids)[i];
+  }
+};
+
+/// One column visible in a chunk: either a lazy reference to a base-table
+/// BAT, resolved through the chunk's candidate list number `cand_slot`, or
+/// a Column materialized by an upstream pipeline breaker.
+struct ChunkColumn {
+  std::string name;
+  const Table* base = nullptr;  // lazy: base table ...
+  size_t base_col = 0;          //   ... column index ...
+  size_t cand_slot = 0;         //   ... resolved through chunk.cands[slot]
+  std::shared_ptr<const Column> owned;  // materialized (null when lazy)
+
+  bool lazy() const { return owned == nullptr; }
+};
+
+/// A batch of rows flowing between operators. All columns are positionally
+/// aligned; lazy columns from the same base-table side share one entry of
+/// `cands` (so a join result carries exactly two candidate lists no matter
+/// how many columns are later touched).
+struct Chunk {
+  size_t rows = 0;
+  std::vector<ChunkColumn> cols;
+  std::vector<Candidates> cands;
+
+  StatusOr<size_t> Find(const std::string& name) const;
+
+  /// Logical value type of column `c` (kU32 / kI64 / kF64 / kStr).
+  PhysType TypeOf(size_t c) const;
+
+  // Gathers (tuple reconstruction): materialize column `c` through its
+  // candidate list. Encoded string columns decode via the dictionary.
+  StatusOr<std::vector<uint32_t>> GatherU32(size_t c) const;
+  StatusOr<std::vector<int64_t>> GatherI64(size_t c) const;
+  StatusOr<std::vector<double>> GatherF64(size_t c) const;
+  StatusOr<std::vector<std::string>> GatherStr(size_t c) const;
+
+  /// Rows at `positions` (indices into this chunk, duplicates allowed —
+  /// a join's take). Candidate lists are remapped, owned columns compacted.
+  StatusOr<Chunk> Take(std::span<const uint32_t> positions) const;
+
+  /// Appends column `c`'s values for all rows onto `out` (decoding strings,
+  /// widening integrals) — the final materialization step.
+  Status AppendTo(size_t c, MaterializedColumn* out) const;
+};
+
+/// Concatenates chunks with identical layout (same names, same lazy/owned
+/// shape) into one; used by pipeline breakers.
+StatusOr<Chunk> ConcatChunks(std::vector<Chunk> chunks);
+
+/// Dispatches a resolved JoinPlan to the concrete join kernel. Shared by
+/// JoinOp and the legacy ExecuteJoin wrapper in exec/ops.h.
+StatusOr<std::vector<Bun>> ExecuteJoinPlan(std::span<const Bun> l,
+                                           std::span<const Bun> r,
+                                           const JoinPlan& plan,
+                                           JoinStats* stats = nullptr);
+
+/// The physical operator interface. Lifecycle: Open() once, Next() until it
+/// returns false, Close() once. Next() fills `out` with the next chunk.
+/// Every operator emits at least one (possibly zero-row) chunk, so
+/// downstream operators always learn their input layout.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual Status Open() = 0;
+  virtual StatusOr<bool> Next(Chunk* out) = 0;
+  virtual void Close() = 0;
+};
+
+/// Per-join diagnostics a physical plan records at Open() time: the actual
+/// inner cardinality and the JoinPlan the cost model chose for it.
+struct JoinNodeInfo {
+  std::string left_key, right_key;
+  uint64_t inner_cardinality = 0;
+  JoinPlan plan;
+  JoinStats stats;  // accumulated over probe chunks
+};
+
+// --- concrete operators ------------------------------------------------------
+
+/// Leaf: emits the base table as lazy columns over dense candidate lists,
+/// `chunk_rows` rows at a time (SIZE_MAX = whole-BAT-at-a-time, the paper's
+/// full-materialization model).
+class ScanOp : public Operator {
+ public:
+  ScanOp(const Table* table, size_t chunk_rows);
+  Status Open() override;
+  StatusOr<bool> Next(Chunk* out) override;
+  void Close() override {}
+
+ private:
+  const Table* table_;
+  size_t chunk_rows_;
+  size_t pos_ = 0;
+  bool emitted_ = false;
+};
+
+/// Filter: evaluates `pred` through the candidate list (predicate remap for
+/// encoded columns) and narrows the chunk — no values are materialized.
+class SelectOp : public Operator {
+ public:
+  SelectOp(std::unique_ptr<Operator> child, Predicate pred);
+  Status Open() override;
+  StatusOr<bool> Next(Chunk* out) override;
+  void Close() override;
+
+ private:
+  std::unique_ptr<Operator> child_;
+  Predicate pred_;
+};
+
+/// Equi-join. Open() drains the inner (right) child, then asks the cost
+/// model for a JoinPlan at the *actual* inner cardinality (recorded into
+/// `info`). Next() probes with one outer chunk at a time; output columns
+/// stay lazy on both sides — the join only produces two candidate lists.
+class JoinOp : public Operator {
+ public:
+  JoinOp(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
+         std::string left_key, std::string right_key, JoinStrategy strategy,
+         const MachineProfile& profile, JoinNodeInfo* info);
+  Status Open() override;
+  StatusOr<bool> Next(Chunk* out) override;
+  void Close() override;
+
+ private:
+  std::unique_ptr<Operator> left_, right_;
+  std::string left_key_, right_key_;
+  JoinStrategy strategy_;
+  MachineProfile profile_;
+  JoinNodeInfo* info_;  // owned by the PhysicalPlan; may be null
+  JoinPlan plan_;
+  Chunk inner_;
+  std::vector<Bun> inner_buns_;
+};
+
+/// Narrows and reorders the visible columns; unused candidate slots are
+/// dropped.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(std::unique_ptr<Operator> child, std::vector<std::string> columns);
+  Status Open() override;
+  StatusOr<bool> Next(Chunk* out) override;
+  void Close() override;
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<std::string> columns_;
+};
+
+/// Pipeline breaker: hash-grouped SUM/COUNT accumulated chunk by chunk
+/// (§3.2: the group table usually fits the caches). Emits one chunk of
+/// owned columns [group, "sum", "count"]; encoded group keys are decoded.
+class GroupBySumOp : public Operator {
+ public:
+  GroupBySumOp(std::unique_ptr<Operator> child, std::string group_col,
+               std::string value_col);
+  Status Open() override;
+  StatusOr<bool> Next(Chunk* out) override;
+  void Close() override;
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::string group_col_, value_col_;
+  bool done_ = false;
+};
+
+/// Pipeline breaker: drains the child, stable-sorts row positions by the
+/// key column, re-emits the permuted chunk (columns stay lazy!).
+class OrderByOp : public Operator {
+ public:
+  OrderByOp(std::unique_ptr<Operator> child, std::string column,
+            bool descending);
+  Status Open() override;
+  StatusOr<bool> Next(Chunk* out) override;
+  void Close() override;
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::string column_;
+  bool descending_;
+  bool done_ = false;
+};
+
+/// Streams through the child, skipping `offset` rows and truncating after
+/// `limit` (Monet's slice).
+class LimitOp : public Operator {
+ public:
+  LimitOp(std::unique_ptr<Operator> child, size_t limit, size_t offset);
+  Status Open() override;
+  StatusOr<bool> Next(Chunk* out) override;
+  void Close() override;
+
+ private:
+  std::unique_ptr<Operator> child_;
+  size_t limit_, offset_;
+  size_t skipped_ = 0, emitted_ = 0;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_EXEC_OPERATOR_H_

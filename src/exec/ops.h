@@ -1,5 +1,8 @@
-// Physical join execution: dispatches a JoinPlan (model/strategy.h) to the
-// concrete algorithm and exposes table-level equi-join on u32 columns.
+// Legacy free-function exec API, kept as thin compatibility wrappers over
+// the composable query-plan layer (exec/plan.h + exec/operator.h +
+// model/planner.h). New code should build a QueryBuilder plan; these
+// entry points remain for callers that want one join or one projection
+// without a plan.
 #ifndef CCDB_EXEC_OPS_H_
 #define CCDB_EXEC_OPS_H_
 
@@ -7,13 +10,14 @@
 #include <vector>
 
 #include "algo/join_common.h"
+#include "exec/result.h"
 #include "exec/table.h"
 #include "model/strategy.h"
 
 namespace ccdb {
 
 /// Runs the join described by `plan` on raw BUN spans. `stats` (optional)
-/// receives phase timings.
+/// receives phase timings. Wrapper over ExecuteJoinPlan (exec/operator.h).
 StatusOr<std::vector<Bun>> ExecuteJoin(std::span<const Bun> l,
                                        std::span<const Bun> r,
                                        const JoinPlan& plan,
@@ -21,7 +25,8 @@ StatusOr<std::vector<Bun>> ExecuteJoin(std::span<const Bun> l,
 
 /// Equi-join `left.left_col == right.right_col` (both u32 columns).
 /// Returns the [left OID, right OID] join index. Strategy defaults to the
-/// model-driven best plan for the inner cardinality.
+/// model-driven best plan for the inner cardinality. Wrapper over a
+/// Scan-Join operator pipeline.
 StatusOr<std::vector<Bun>> JoinTables(
     const Table& left, const std::string& left_col, const Table& right,
     const std::string& right_col,
@@ -34,20 +39,12 @@ StatusOr<std::vector<Bun>> JoinTables(
 StatusOr<std::vector<Bun>> ColumnBuns(const Table& table,
                                       const std::string& col);
 
-/// One output column of a materialized join (string values are decoded).
-struct MaterializedColumn {
-  std::string name;
-  std::vector<std::string> str_values;   // filled for string columns
-  std::vector<double> f64_values;        // filled for f64 columns
-  std::vector<uint32_t> u32_values;      // filled for integral columns
-  PhysType type = PhysType::kU32;
-};
-
 /// Materializes the projection of a join result: for each [left OID,
 /// right OID] pair of `join_index`, fetches `left_cols` from `left` and
 /// `right_cols` from `right` via positional lookup — the
 /// tuple-reconstruction phase that §3.1 (footnote 2) describes as
 /// "additional tuple-reconstruction joins", free on void-headed BATs.
+/// Wrapper over Chunk candidate-list materialization.
 StatusOr<std::vector<MaterializedColumn>> MaterializeJoin(
     const Table& left, const std::vector<std::string>& left_cols,
     const Table& right, const std::vector<std::string>& right_cols,

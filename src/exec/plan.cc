@@ -1,0 +1,328 @@
+#include "exec/plan.h"
+
+#include <algorithm>
+
+namespace ccdb {
+
+const char* LogicalOpName(LogicalOp op) {
+  switch (op) {
+    case LogicalOp::kScan: return "Scan";
+    case LogicalOp::kSelect: return "Select";
+    case LogicalOp::kJoin: return "Join";
+    case LogicalOp::kProject: return "Project";
+    case LogicalOp::kGroupByAgg: return "GroupByAgg";
+    case LogicalOp::kOrderBy: return "OrderBy";
+    case LogicalOp::kLimit: return "Limit";
+  }
+  return "?";
+}
+
+namespace {
+
+using Schema = std::vector<PlanColumn>;
+
+StatusOr<const PlanColumn*> FindColumn(const Schema& schema,
+                                       const std::string& name,
+                                       const char* op) {
+  const PlanColumn* found = nullptr;
+  for (const PlanColumn& c : schema) {
+    if (c.name != name) continue;
+    if (c.ambiguous) {
+      return Status::InvalidArgument(std::string(op) + ": column '" + name +
+                                     "' is ambiguous (appears on both sides "
+                                     "of a join); Project it away first");
+    }
+    found = &c;
+    break;
+  }
+  if (found == nullptr) {
+    return Status::NotFound(std::string(op) + ": no column named '" + name +
+                            "'");
+  }
+  return found;
+}
+
+/// Logical value type of a stored table column: encoded and raw string
+/// columns read as kStr; u8/u16/u32 as kU32.
+PlanColumn ScanColumn(const Table& t, size_t i) {
+  PlanColumn c;
+  c.name = t.schema().field(i).name;
+  if (t.is_encoded(i)) {
+    c.type = PhysType::kStr;
+    c.encoded = true;
+    return c;
+  }
+  switch (t.column_bat(i).tail().type()) {
+    case PhysType::kStr:
+      c.type = PhysType::kStr;
+      break;
+    case PhysType::kF64:
+      c.type = PhysType::kF64;
+      break;
+    case PhysType::kI64:
+      c.type = PhysType::kI64;
+      break;
+    default:
+      c.type = PhysType::kU32;
+      break;
+  }
+  return c;
+}
+
+/// Child `i` of `n`, or the error a consumed builder leaves behind (its
+/// moved-from root becomes a null child of the next appended node).
+StatusOr<const LogicalNode*> ChildOf(const LogicalNode& n, size_t i) {
+  if (n.children.size() <= i || n.children[i] == nullptr) {
+    return Status::FailedPrecondition(
+        "QueryBuilder already consumed by Build()");
+  }
+  return n.children[i].get();
+}
+
+StatusOr<Schema> ValidateNode(const LogicalNode& n) {
+  switch (n.op) {
+    case LogicalOp::kScan: {
+      if (n.table == nullptr) {
+        return Status::InvalidArgument("Scan: null table");
+      }
+      Schema out;
+      for (size_t i = 0; i < n.table->num_columns(); ++i) {
+        out.push_back(ScanColumn(*n.table, i));
+      }
+      return out;
+    }
+    case LogicalOp::kSelect: {
+      CCDB_ASSIGN_OR_RETURN(const LogicalNode* child, ChildOf(n, 0));
+      CCDB_ASSIGN_OR_RETURN(Schema in, ValidateNode(*child));
+      CCDB_ASSIGN_OR_RETURN(const PlanColumn* c,
+                            FindColumn(in, n.pred.column, "Select"));
+      switch (n.pred.kind) {
+        case Predicate::Kind::kRangeU32:
+          if (c->type != PhysType::kU32) {
+            return Status::InvalidArgument("Select: RangeU32 predicate on "
+                                           "non-integral column '" +
+                                           c->name + "'");
+          }
+          break;
+        case Predicate::Kind::kRangeF64:
+          if (c->type != PhysType::kF64) {
+            return Status::InvalidArgument(
+                "Select: RangeF64 predicate on non-f64 column '" + c->name +
+                "'");
+          }
+          break;
+        case Predicate::Kind::kEqStr:
+          if (c->type != PhysType::kStr) {
+            return Status::InvalidArgument(
+                "Select: EqStr predicate on non-string column '" + c->name +
+                "'");
+          }
+          break;
+      }
+      return in;
+    }
+    case LogicalOp::kJoin: {
+      CCDB_ASSIGN_OR_RETURN(const LogicalNode* lchild, ChildOf(n, 0));
+      CCDB_ASSIGN_OR_RETURN(const LogicalNode* rchild, ChildOf(n, 1));
+      CCDB_ASSIGN_OR_RETURN(Schema l, ValidateNode(*lchild));
+      CCDB_ASSIGN_OR_RETURN(Schema r, ValidateNode(*rchild));
+      CCDB_ASSIGN_OR_RETURN(const PlanColumn* lk,
+                            FindColumn(l, n.left_key, "Join"));
+      CCDB_ASSIGN_OR_RETURN(const PlanColumn* rk,
+                            FindColumn(r, n.right_key, "Join"));
+      if (lk->type != PhysType::kU32 || rk->type != PhysType::kU32) {
+        return Status::InvalidArgument(
+            "Join: keys must be u32 columns (got '" + n.left_key + "', '" +
+            n.right_key + "')");
+      }
+      Schema out = l;
+      for (PlanColumn c : r) {
+        for (PlanColumn& existing : out) {
+          if (existing.name == c.name) {
+            existing.ambiguous = true;
+            c.ambiguous = true;
+          }
+        }
+        out.push_back(std::move(c));
+      }
+      return out;
+    }
+    case LogicalOp::kProject: {
+      CCDB_ASSIGN_OR_RETURN(const LogicalNode* child, ChildOf(n, 0));
+      CCDB_ASSIGN_OR_RETURN(Schema in, ValidateNode(*child));
+      if (n.columns.empty()) {
+        return Status::InvalidArgument("Project: empty column list");
+      }
+      Schema out;
+      for (const std::string& name : n.columns) {
+        CCDB_ASSIGN_OR_RETURN(const PlanColumn* c,
+                              FindColumn(in, name, "Project"));
+        out.push_back(*c);
+      }
+      return out;
+    }
+    case LogicalOp::kGroupByAgg: {
+      CCDB_ASSIGN_OR_RETURN(const LogicalNode* child, ChildOf(n, 0));
+      CCDB_ASSIGN_OR_RETURN(Schema in, ValidateNode(*child));
+      CCDB_ASSIGN_OR_RETURN(const PlanColumn* g,
+                            FindColumn(in, n.group_col, "GroupByAgg"));
+      CCDB_ASSIGN_OR_RETURN(const PlanColumn* v,
+                            FindColumn(in, n.value_col, "GroupByAgg"));
+      if (g->type != PhysType::kU32 && !(g->type == PhysType::kStr && g->encoded)) {
+        return Status::InvalidArgument(
+            "GroupByAgg: group column '" + g->name +
+            "' must be integral or an encoded string column");
+      }
+      if (v->type != PhysType::kU32) {
+        return Status::InvalidArgument("GroupByAgg: value column '" + v->name +
+                                       "' must be u32");
+      }
+      Schema out;
+      PlanColumn group = *g;
+      group.encoded = false;  // aggregation output decodes group keys
+      group.ambiguous = false;
+      out.push_back(std::move(group));
+      out.push_back({"sum", PhysType::kI64, false, false});
+      out.push_back({"count", PhysType::kI64, false, false});
+      return out;
+    }
+    case LogicalOp::kOrderBy: {
+      CCDB_ASSIGN_OR_RETURN(const LogicalNode* child, ChildOf(n, 0));
+      CCDB_ASSIGN_OR_RETURN(Schema in, ValidateNode(*child));
+      CCDB_ASSIGN_OR_RETURN(const PlanColumn* c,
+                            FindColumn(in, n.order_col, "OrderBy"));
+      (void)c;  // every logical type is orderable
+      return in;
+    }
+    case LogicalOp::kLimit: {
+      CCDB_ASSIGN_OR_RETURN(const LogicalNode* child, ChildOf(n, 0));
+      return ValidateNode(*child);
+    }
+  }
+  return Status::Internal("unreachable logical op");
+}
+
+void RenderNode(const LogicalNode& n, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(LogicalOpName(n.op));
+  switch (n.op) {
+    case LogicalOp::kScan:
+      out->append("(" + std::to_string(n.table->num_rows()) + " rows)");
+      break;
+    case LogicalOp::kSelect:
+      out->append("(" + n.pred.column + ")");
+      break;
+    case LogicalOp::kJoin:
+      out->append("(" + n.left_key + " = " + n.right_key + ", " +
+                  JoinStrategyName(n.join_strategy) + ")");
+      break;
+    case LogicalOp::kProject: {
+      out->append("(");
+      for (size_t i = 0; i < n.columns.size(); ++i) {
+        if (i) out->append(", ");
+        out->append(n.columns[i]);
+      }
+      out->append(")");
+      break;
+    }
+    case LogicalOp::kGroupByAgg:
+      out->append("(" + n.group_col + ", sum(" + n.value_col + "))");
+      break;
+    case LogicalOp::kOrderBy:
+      out->append("(" + n.order_col + (n.descending ? " desc)" : " asc)"));
+      break;
+    case LogicalOp::kLimit:
+      out->append("(" + std::to_string(n.limit) + ", offset " +
+                  std::to_string(n.offset) + ")");
+      break;
+  }
+  out->push_back('\n');
+  for (const auto& c : n.children) RenderNode(*c, depth + 1, out);
+}
+
+}  // namespace
+
+std::string LogicalPlan::ToString() const {
+  std::string out;
+  RenderNode(*root_, 0, &out);
+  return out;
+}
+
+QueryBuilder::QueryBuilder(const Table& table)
+    : root_(std::make_unique<LogicalNode>()) {
+  root_->op = LogicalOp::kScan;
+  root_->table = &table;
+}
+
+namespace {
+
+std::unique_ptr<LogicalNode> Wrap(std::unique_ptr<LogicalNode> child,
+                                  LogicalOp op) {
+  auto n = std::make_unique<LogicalNode>();
+  n->op = op;
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+}  // namespace
+
+QueryBuilder& QueryBuilder::Select(Predicate pred) {
+  root_ = Wrap(std::move(root_), LogicalOp::kSelect);
+  root_->pred = std::move(pred);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Join(const Table& right, std::string left_key,
+                                 std::string right_key, JoinStrategy strategy) {
+  return Join(QueryBuilder(right), std::move(left_key), std::move(right_key),
+              strategy);
+}
+
+QueryBuilder& QueryBuilder::Join(QueryBuilder right, std::string left_key,
+                                 std::string right_key, JoinStrategy strategy) {
+  root_ = Wrap(std::move(root_), LogicalOp::kJoin);
+  root_->children.push_back(std::move(right.root_));
+  root_->left_key = std::move(left_key);
+  root_->right_key = std::move(right_key);
+  root_->join_strategy = strategy;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Project(std::vector<std::string> columns) {
+  root_ = Wrap(std::move(root_), LogicalOp::kProject);
+  root_->columns = std::move(columns);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::GroupBySum(std::string group_col,
+                                       std::string value_col) {
+  root_ = Wrap(std::move(root_), LogicalOp::kGroupByAgg);
+  root_->group_col = std::move(group_col);
+  root_->value_col = std::move(value_col);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::OrderBy(std::string column, bool descending) {
+  root_ = Wrap(std::move(root_), LogicalOp::kOrderBy);
+  root_->order_col = std::move(column);
+  root_->descending = descending;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Limit(size_t n, size_t offset) {
+  root_ = Wrap(std::move(root_), LogicalOp::kLimit);
+  root_->limit = n;
+  root_->offset = offset;
+  return *this;
+}
+
+StatusOr<LogicalPlan> QueryBuilder::Build() {
+  if (root_ == nullptr) {
+    return Status::FailedPrecondition(
+        "QueryBuilder already consumed by Build()");
+  }
+  CCDB_ASSIGN_OR_RETURN(std::vector<PlanColumn> schema, ValidateNode(*root_));
+  return LogicalPlan(std::move(root_), std::move(schema));
+}
+
+}  // namespace ccdb

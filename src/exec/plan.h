@@ -1,0 +1,169 @@
+// Logical query plans and the fluent QueryBuilder — the MIL-flavoured
+// composition layer of the paper's architecture (§3.1): a whole query is a
+// tree of BAT-algebra operators (Scan, Select, Join, Project, GroupByAgg,
+// OrderBy, Limit) that the Planner (model/planner.h) lowers to physical
+// operators per node, consulting the memory-access cost model for every
+// join instead of only at call sites.
+//
+//   auto plan = QueryBuilder(items)
+//                   .Select(Predicate::EqStr("shipmode", "MAIL"))
+//                   .Join(orders, "order", "order_id")
+//                   .GroupBySum("supp", "qty")
+//                   .OrderBy("sum", /*descending=*/true)
+//                   .Limit(5)
+//                   .Build();
+//
+// Build() validates the whole tree against the table schemas (unknown or
+// ambiguous columns, type mismatches) and computes the output schema;
+// execution is Execute(plan) in model/planner.h.
+#ifndef CCDB_EXEC_PLAN_H_
+#define CCDB_EXEC_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/table.h"
+#include "model/strategy.h"
+#include "util/status.h"
+
+namespace ccdb {
+
+/// A single-column predicate, remappable onto encoded columns (§3.1): an
+/// EqStr on a dictionary-encoded column becomes a 1-2 byte code scan.
+struct Predicate {
+  enum class Kind { kRangeU32, kRangeF64, kEqStr };
+
+  std::string column;
+  Kind kind = Kind::kRangeU32;
+  uint32_t lo_u32 = 0, hi_u32 = 0;
+  double lo_f64 = 0, hi_f64 = 0;
+  std::string str_value;
+
+  static Predicate RangeU32(std::string col, uint32_t lo, uint32_t hi) {
+    Predicate p;
+    p.column = std::move(col);
+    p.kind = Kind::kRangeU32;
+    p.lo_u32 = lo;
+    p.hi_u32 = hi;
+    return p;
+  }
+  static Predicate RangeF64(std::string col, double lo, double hi) {
+    Predicate p;
+    p.column = std::move(col);
+    p.kind = Kind::kRangeF64;
+    p.lo_f64 = lo;
+    p.hi_f64 = hi;
+    return p;
+  }
+  static Predicate EqStr(std::string col, std::string value) {
+    Predicate p;
+    p.column = std::move(col);
+    p.kind = Kind::kEqStr;
+    p.str_value = std::move(value);
+    return p;
+  }
+};
+
+enum class LogicalOp {
+  kScan,
+  kSelect,
+  kJoin,
+  kProject,
+  kGroupByAgg,
+  kOrderBy,
+  kLimit,
+};
+
+const char* LogicalOpName(LogicalOp op);
+
+/// One node of the logical tree. Unary operators have one child; kJoin has
+/// two (children[0] = outer/probe side, children[1] = inner/build side).
+struct LogicalNode {
+  LogicalOp op = LogicalOp::kScan;
+  std::vector<std::unique_ptr<LogicalNode>> children;
+
+  const Table* table = nullptr;     // kScan
+  Predicate pred;                   // kSelect
+  std::string left_key, right_key;  // kJoin
+  JoinStrategy join_strategy = JoinStrategy::kBest;  // kJoin hint
+  std::vector<std::string> columns;                  // kProject
+  std::string group_col, value_col;                  // kGroupByAgg
+  std::string order_col;                             // kOrderBy
+  bool descending = false;                           // kOrderBy
+  size_t limit = 0, offset = 0;                      // kLimit
+};
+
+/// What the plan knows about one visible column between operators.
+struct PlanColumn {
+  std::string name;
+  PhysType type = PhysType::kU32;  // logical value type (kU32/kI64/kF64/kStr)
+  bool encoded = false;   // kStr stored as 1-2 byte codes + dictionary
+  bool ambiguous = false; // same name on both sides of a join
+};
+
+/// A validated logical plan: the node tree plus the output schema that
+/// Build() derived for it.
+class LogicalPlan {
+ public:
+  const LogicalNode& root() const { return *root_; }
+  const std::vector<PlanColumn>& output_schema() const { return schema_; }
+
+  /// Indented tree rendering, one operator per line (EXPLAIN-style).
+  std::string ToString() const;
+
+ private:
+  friend class QueryBuilder;
+  LogicalPlan(std::unique_ptr<LogicalNode> root, std::vector<PlanColumn> schema)
+      : root_(std::move(root)), schema_(std::move(schema)) {}
+
+  std::unique_ptr<LogicalNode> root_;
+  std::vector<PlanColumn> schema_;
+};
+
+/// Fluent builder over a base table. Methods append logical nodes without
+/// validating; Build() validates the whole tree and reports the first error.
+/// The builder is move-only (a Join(QueryBuilder) consumes the subplan).
+class QueryBuilder {
+ public:
+  /// Starts a plan with Scan(table). The table must outlive execution.
+  explicit QueryBuilder(const Table& table);
+
+  QueryBuilder(QueryBuilder&&) = default;
+  QueryBuilder& operator=(QueryBuilder&&) = default;
+
+  QueryBuilder& Select(Predicate pred);
+
+  /// Equi-join against `right` (u32 keys): this.left_key == right.right_key.
+  /// `strategy` is a hint; the default lets the Planner pick per-node via
+  /// the cost model. `right` becomes the inner (build) relation.
+  QueryBuilder& Join(const Table& right, std::string left_key,
+                     std::string right_key,
+                     JoinStrategy strategy = JoinStrategy::kBest);
+
+  /// Joins against a subplan (e.g. a pre-filtered table).
+  QueryBuilder& Join(QueryBuilder right, std::string left_key,
+                     std::string right_key,
+                     JoinStrategy strategy = JoinStrategy::kBest);
+
+  QueryBuilder& Project(std::vector<std::string> columns);
+
+  /// Group by `group_col` (integral or encoded string), summing u32
+  /// `value_col`. Output columns: `group_col` (decoded), "sum", "count".
+  QueryBuilder& GroupBySum(std::string group_col, std::string value_col);
+
+  QueryBuilder& OrderBy(std::string column, bool descending = false);
+
+  QueryBuilder& Limit(size_t n, size_t offset = 0);
+
+  /// Validates the tree (column existence, ambiguity, types) and returns
+  /// the plan. Consumes the builder — it must not be reused afterwards.
+  StatusOr<LogicalPlan> Build();
+
+ private:
+  std::unique_ptr<LogicalNode> root_;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_EXEC_PLAN_H_

@@ -1,0 +1,52 @@
+// Materialized query output: decoded, caller-facing column vectors. This is
+// the only layer where tuples are reconstructed into "wide" form — inside a
+// plan everything stays BATs + candidate lists (§3.1).
+#ifndef CCDB_EXEC_RESULT_H_
+#define CCDB_EXEC_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bat/types.h"
+#include "util/status.h"
+
+namespace ccdb {
+
+/// One output column of a query (string values are decoded).
+struct MaterializedColumn {
+  std::string name;
+  std::vector<std::string> str_values;   // filled for string columns
+  std::vector<double> f64_values;        // filled for f64 columns
+  std::vector<uint32_t> u32_values;      // filled for integral columns
+  std::vector<int64_t> i64_values;       // filled for i64 columns (aggregates)
+  PhysType type = PhysType::kU32;
+
+  size_t size() const {
+    switch (type) {
+      case PhysType::kStr: return str_values.size();
+      case PhysType::kF64: return f64_values.size();
+      case PhysType::kI64: return i64_values.size();
+      default: return u32_values.size();
+    }
+  }
+};
+
+/// The full result table of an executed plan.
+struct QueryResult {
+  std::vector<MaterializedColumn> columns;
+
+  size_t num_rows() const { return columns.empty() ? 0 : columns[0].size(); }
+  size_t num_columns() const { return columns.size(); }
+
+  StatusOr<size_t> ColumnIndex(const std::string& name) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == name) return i;
+    }
+    return Status::NotFound("no result column named " + name);
+  }
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_EXEC_RESULT_H_

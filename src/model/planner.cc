@@ -1,0 +1,125 @@
+#include "model/planner.h"
+
+#include <cstdio>
+
+namespace ccdb {
+
+namespace {
+
+size_t CountJoins(const LogicalNode& n) {
+  size_t c = n.op == LogicalOp::kJoin ? 1 : 0;
+  for (const auto& child : n.children) c += CountJoins(*child);
+  return c;
+}
+
+std::unique_ptr<Operator> LowerNode(const LogicalNode& n,
+                                    const PlannerOptions& options,
+                                    std::vector<JoinNodeInfo>* joins,
+                                    size_t* next_join) {
+  switch (n.op) {
+    case LogicalOp::kScan:
+      return std::make_unique<ScanOp>(n.table, options.scan_chunk_rows);
+    case LogicalOp::kSelect:
+      return std::make_unique<SelectOp>(
+          LowerNode(*n.children[0], options, joins, next_join), n.pred);
+    case LogicalOp::kJoin: {
+      auto left = LowerNode(*n.children[0], options, joins, next_join);
+      auto right = LowerNode(*n.children[1], options, joins, next_join);
+      JoinNodeInfo* info = &(*joins)[(*next_join)++];
+      return std::make_unique<JoinOp>(std::move(left), std::move(right),
+                                      n.left_key, n.right_key,
+                                      n.join_strategy, options.profile, info);
+    }
+    case LogicalOp::kProject:
+      return std::make_unique<ProjectOp>(
+          LowerNode(*n.children[0], options, joins, next_join), n.columns);
+    case LogicalOp::kGroupByAgg:
+      return std::make_unique<GroupBySumOp>(
+          LowerNode(*n.children[0], options, joins, next_join), n.group_col,
+          n.value_col);
+    case LogicalOp::kOrderBy:
+      return std::make_unique<OrderByOp>(
+          LowerNode(*n.children[0], options, joins, next_join), n.order_col,
+          n.descending);
+    case LogicalOp::kLimit:
+      return std::make_unique<LimitOp>(
+          LowerNode(*n.children[0], options, joins, next_join), n.limit,
+          n.offset);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+StatusOr<PhysicalPlan> Planner::Lower(const LogicalPlan& plan) const {
+  auto joins = std::make_unique<std::vector<JoinNodeInfo>>(
+      CountJoins(plan.root()));
+  size_t next_join = 0;
+  std::unique_ptr<Operator> root =
+      LowerNode(plan.root(), options_, joins.get(), &next_join);
+  if (root == nullptr) {
+    return Status::Internal("planner produced no operator tree");
+  }
+  return PhysicalPlan(std::move(root), plan.output_schema(), std::move(joins));
+}
+
+StatusOr<QueryResult> PhysicalPlan::Execute() {
+  QueryResult result;
+  result.columns.resize(output_schema_.size());
+  for (size_t i = 0; i < output_schema_.size(); ++i) {
+    result.columns[i].name = output_schema_[i].name;
+    result.columns[i].type = output_schema_[i].type;
+  }
+  CCDB_RETURN_IF_ERROR(root_->Open());
+  for (;;) {
+    Chunk chunk;
+    auto more = root_->Next(&chunk);
+    if (!more.ok()) {
+      root_->Close();
+      return more.status();
+    }
+    if (!*more) break;
+    if (chunk.cols.size() != output_schema_.size()) {
+      root_->Close();
+      return Status::Internal("operator output does not match plan schema");
+    }
+    for (size_t i = 0; i < chunk.cols.size(); ++i) {
+      Status st = chunk.AppendTo(i, &result.columns[i]);
+      if (!st.ok()) {
+        root_->Close();
+        return st;
+      }
+    }
+  }
+  root_->Close();
+  return result;
+}
+
+std::string PhysicalPlan::ExplainJoins() const {
+  std::string out;
+  char line[256];
+  for (const JoinNodeInfo& j : *joins_) {
+    std::snprintf(line, sizeof(line),
+                  "join %s = %s: inner C=%llu -> %s%s, B=%d (%d passes), "
+                  "model %.2f ms, result %llu\n",
+                  j.left_key.c_str(), j.right_key.c_str(),
+                  (unsigned long long)j.inner_cardinality,
+                  JoinStrategyName(j.plan.strategy),
+                  j.plan.strategy == JoinStrategy::kBest
+                      ? (j.plan.use_radix_join ? " (radix)" : " (phash)")
+                      : "",
+                  j.plan.bits, j.plan.passes, j.plan.predicted_ms,
+                  (unsigned long long)j.stats.result_count);
+    out += line;
+  }
+  return out;
+}
+
+StatusOr<QueryResult> Execute(const LogicalPlan& plan,
+                              const PlannerOptions& options) {
+  Planner planner(options);
+  CCDB_ASSIGN_OR_RETURN(PhysicalPlan physical, planner.Lower(plan));
+  return physical.Execute();
+}
+
+}  // namespace ccdb

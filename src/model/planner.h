@@ -1,0 +1,80 @@
+// Planner: lowers a validated LogicalPlan to a tree of physical operators
+// (exec/operator.h), consulting the memory-access cost model per join node
+// — each JoinOp gets its JoinPlan from PlanJoin() at the *actual* inner
+// cardinality observed at Open() time, so a selection below a join changes
+// the strategy the model picks for that node (§3.4.4 applied per operator
+// instead of per call site).
+#ifndef CCDB_MODEL_PLANNER_H_
+#define CCDB_MODEL_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "exec/plan.h"
+#include "exec/result.h"
+#include "mem/machine.h"
+
+namespace ccdb {
+
+struct PlannerOptions {
+  MachineProfile profile = MachineProfile::GenericX86();
+  /// Rows per scan chunk. SIZE_MAX (default) executes whole-BAT-at-a-time,
+  /// the paper's full-materialization model; smaller values pipeline chunks
+  /// through non-breaking operators.
+  size_t scan_chunk_rows = SIZE_MAX;
+};
+
+/// An executable physical plan. Move-only; run with Execute(). The logical
+/// plan's tables must outlive it.
+class PhysicalPlan {
+ public:
+  PhysicalPlan(PhysicalPlan&&) = default;
+  PhysicalPlan& operator=(PhysicalPlan&&) = default;
+
+  /// Open/Next/Close loop over the operator tree, materializing the output.
+  StatusOr<QueryResult> Execute();
+
+  /// Per-join diagnostics: inner cardinality, the JoinPlan the cost model
+  /// chose, and accumulated kernel timings. Populated during Execute()
+  /// (join plans are resolved at Open() time); ordered left-to-right,
+  /// bottom-up over the logical tree.
+  const std::vector<JoinNodeInfo>& joins() const { return *joins_; }
+
+  /// Human-readable summary of the join decisions (after Execute()).
+  std::string ExplainJoins() const;
+
+ private:
+  friend class Planner;
+  PhysicalPlan(std::unique_ptr<Operator> root,
+               std::vector<PlanColumn> output_schema,
+               std::unique_ptr<std::vector<JoinNodeInfo>> joins)
+      : root_(std::move(root)),
+        output_schema_(std::move(output_schema)),
+        joins_(std::move(joins)) {}
+
+  std::unique_ptr<Operator> root_;
+  std::vector<PlanColumn> output_schema_;
+  std::unique_ptr<std::vector<JoinNodeInfo>> joins_;  // stable addresses
+};
+
+class Planner {
+ public:
+  explicit Planner(PlannerOptions options = {}) : options_(options) {}
+
+  /// Lowers logical nodes 1:1 to physical operators. The returned plan
+  /// borrows the logical plan's tables (not the LogicalPlan itself).
+  StatusOr<PhysicalPlan> Lower(const LogicalPlan& plan) const;
+
+ private:
+  PlannerOptions options_;
+};
+
+/// One-shot convenience: lower + execute.
+StatusOr<QueryResult> Execute(const LogicalPlan& plan,
+                              const PlannerOptions& options = {});
+
+}  // namespace ccdb
+
+#endif  // CCDB_MODEL_PLANNER_H_

@@ -1,0 +1,476 @@
+// The composable query API: builder validation, logical->physical lowering,
+// candidate-list pipelining (pipelined == materialized), per-node cost-model
+// planning, and the candidate-list BAT-algebra kernels.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "algo/bat_algebra.h"
+#include "exec/ops.h"
+#include "exec/plan.h"
+#include "model/planner.h"
+#include "util/rng.h"
+
+namespace ccdb {
+namespace {
+
+RowStore MakeItems(size_t n) {
+  auto rs = RowStore::Make(
+      {
+          {"order", FieldType::kU32},
+          {"qty", FieldType::kU32},
+          {"price", FieldType::kF64},
+          {"shipmode", FieldType::kChar10},
+      },
+      n);
+  CCDB_CHECK(rs.ok());
+  const char* modes[] = {"MAIL", "AIR", "TRUCK", "SHIP"};
+  for (size_t i = 0; i < n; ++i) {
+    size_t r = *rs->AppendRow();
+    rs->SetU32(r, 0, static_cast<uint32_t>(i / 3));
+    rs->SetU32(r, 1, static_cast<uint32_t>(1 + i % 5));
+    rs->SetF64(r, 2, 10.0 + static_cast<double>(i));
+    const char* m = modes[i % 4];
+    rs->SetBytes(r, 3, m, strlen(m));
+  }
+  return *std::move(rs);
+}
+
+Table MakeOrders(size_t n) {
+  auto rs = RowStore::Make(
+      {{"order_id", FieldType::kU32}, {"prio", FieldType::kU32}}, n);
+  CCDB_CHECK(rs.ok());
+  for (size_t i = 0; i < n; ++i) {
+    size_t r = *rs->AppendRow();
+    rs->SetU32(r, 0, static_cast<uint32_t>(i));
+    rs->SetU32(r, 1, static_cast<uint32_t>(i % 7));
+  }
+  return *Table::FromRowStore(*rs);
+}
+
+// --- builder validation ------------------------------------------------------
+
+TEST(QueryBuilderTest, UnknownColumnIsNotFound) {
+  Table t = *Table::FromRowStore(MakeItems(10));
+  auto plan = QueryBuilder(t).Select(Predicate::RangeU32("nope", 0, 1)).Build();
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotFound);
+}
+
+TEST(QueryBuilderTest, PredicateTypeMismatch) {
+  Table t = *Table::FromRowStore(MakeItems(10));
+  // RangeU32 on an f64 column.
+  auto p1 = QueryBuilder(t).Select(Predicate::RangeU32("price", 0, 1)).Build();
+  EXPECT_EQ(p1.status().code(), StatusCode::kInvalidArgument);
+  // RangeF64 on a u32 column.
+  auto p2 = QueryBuilder(t).Select(Predicate::RangeF64("qty", 0, 1)).Build();
+  EXPECT_EQ(p2.status().code(), StatusCode::kInvalidArgument);
+  // EqStr on a u32 column.
+  auto p3 = QueryBuilder(t).Select(Predicate::EqStr("qty", "x")).Build();
+  EXPECT_EQ(p3.status().code(), StatusCode::kInvalidArgument);
+  // EqStr on an encoded string column is fine.
+  auto p4 = QueryBuilder(t).Select(Predicate::EqStr("shipmode", "AIR")).Build();
+  EXPECT_TRUE(p4.ok());
+}
+
+TEST(QueryBuilderTest, JoinKeyMustBeU32) {
+  Table items = *Table::FromRowStore(MakeItems(10));
+  Table orders = MakeOrders(5);
+  auto plan =
+      QueryBuilder(items).Join(orders, "price", "order_id").Build();
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+  auto plan2 =
+      QueryBuilder(items).Join(orders, "order", "order_id").Build();
+  EXPECT_TRUE(plan2.ok());
+}
+
+TEST(QueryBuilderTest, AmbiguousColumnAfterSelfJoin) {
+  Table items = *Table::FromRowStore(MakeItems(10));
+  // items x items: every column name collides; referencing one is an error.
+  auto plan = QueryBuilder(items)
+                  .Join(items, "order", "order")
+                  .Select(Predicate::RangeU32("qty", 0, 5))
+                  .Build();
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(plan.status().message().find("ambiguous"), std::string::npos);
+}
+
+TEST(QueryBuilderTest, EmptyProjectAndBadAggregates) {
+  Table t = *Table::FromRowStore(MakeItems(10));
+  auto p1 = QueryBuilder(t).Project({}).Build();
+  EXPECT_EQ(p1.status().code(), StatusCode::kInvalidArgument);
+  // Grouping on an f64 column.
+  auto p2 = QueryBuilder(t).GroupBySum("price", "qty").Build();
+  EXPECT_EQ(p2.status().code(), StatusCode::kInvalidArgument);
+  // Summing an f64 column.
+  auto p3 = QueryBuilder(t).GroupBySum("qty", "price").Build();
+  EXPECT_EQ(p3.status().code(), StatusCode::kInvalidArgument);
+  // Grouping on an encoded string column is fine.
+  auto p4 = QueryBuilder(t).GroupBySum("shipmode", "qty").Build();
+  EXPECT_TRUE(p4.ok());
+}
+
+TEST(QueryBuilderTest, OutputSchemaAndToString) {
+  Table items = *Table::FromRowStore(MakeItems(12));
+  auto plan = QueryBuilder(items)
+                  .Select(Predicate::EqStr("shipmode", "MAIL"))
+                  .GroupBySum("shipmode", "qty")
+                  .OrderBy("sum", true)
+                  .Limit(3)
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  const auto& schema = plan->output_schema();
+  ASSERT_EQ(schema.size(), 3u);
+  EXPECT_EQ(schema[0].name, "shipmode");
+  EXPECT_EQ(schema[0].type, PhysType::kStr);
+  EXPECT_EQ(schema[1].name, "sum");
+  EXPECT_EQ(schema[1].type, PhysType::kI64);
+  EXPECT_EQ(schema[2].name, "count");
+  std::string s = plan->ToString();
+  EXPECT_NE(s.find("Limit"), std::string::npos);
+  EXPECT_NE(s.find("GroupByAgg"), std::string::npos);
+  EXPECT_NE(s.find("Scan"), std::string::npos);
+}
+
+// --- execution vs hand-composed baselines ------------------------------------
+
+TEST(PlanExecTest, SelectProjectMatchesBatAlgebra) {
+  Rng rng(11);
+  constexpr size_t kN = 5000;
+  auto rs = RowStore::Make({{"a", FieldType::kU32}, {"b", FieldType::kU32}},
+                           kN);
+  ASSERT_TRUE(rs.ok());
+  for (size_t i = 0; i < kN; ++i) {
+    size_t r = *rs->AppendRow();
+    rs->SetU32(r, 0, static_cast<uint32_t>(rng.NextBelow(1000)));
+    rs->SetU32(r, 1, static_cast<uint32_t>(i));
+  }
+  Table t = *Table::FromRowStore(*rs);
+
+  auto plan = QueryBuilder(t)
+                  .Select(Predicate::RangeU32("a", 100, 300))
+                  .Project({"b"})
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  auto result = Execute(*plan);
+  ASSERT_TRUE(result.ok());
+
+  // Baseline: BatSelect on the a-BAT, positional BatJoin to reconstruct b.
+  auto sel = BatSelect(t.column_bat(0), 100, 300);
+  ASSERT_TRUE(sel.ok());
+  auto cand = Bat::Make(sel->head(), sel->head());
+  ASSERT_TRUE(cand.ok());
+  auto b = BatJoin(*cand, t.column_bat(1));
+  ASSERT_TRUE(b.ok());
+
+  const auto& got = result->columns[0].u32_values;
+  ASSERT_EQ(got.size(), b->size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], b->tail().Span<uint32_t>()[i]);
+  }
+}
+
+TEST(PlanExecTest, SelectJoinAggregateMatchesOracle) {
+  constexpr size_t kItems = 3000;
+  RowStore rows = MakeItems(kItems);
+  Table items = *Table::FromRowStore(rows);
+  Table orders = MakeOrders(kItems / 3 + 1);
+
+  // SELECT prio, SUM(qty) FROM items JOIN orders ON order = order_id
+  // WHERE shipmode = 'MAIL' GROUP BY prio;
+  auto plan = QueryBuilder(items)
+                  .Select(Predicate::EqStr("shipmode", "MAIL"))
+                  .Join(orders, "order", "order_id")
+                  .GroupBySum("prio", "qty")
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  auto result = Execute(*plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Row-at-a-time oracle.
+  std::map<uint32_t, uint64_t> expect_sum;
+  std::map<uint32_t, uint64_t> expect_count;
+  for (size_t i = 0; i < kItems; ++i) {
+    if (i % 4 != 0) continue;  // shipmode == "MAIL"
+    uint32_t order = static_cast<uint32_t>(i / 3);
+    uint32_t prio = order % 7;
+    expect_sum[prio] += 1 + i % 5;
+    expect_count[prio] += 1;
+  }
+
+  const auto& prio = result->columns[*result->ColumnIndex("prio")].u32_values;
+  const auto& sum = result->columns[*result->ColumnIndex("sum")].i64_values;
+  const auto& count =
+      result->columns[*result->ColumnIndex("count")].i64_values;
+  ASSERT_EQ(prio.size(), expect_sum.size());
+  for (size_t g = 0; g < prio.size(); ++g) {
+    EXPECT_EQ(static_cast<uint64_t>(sum[g]), expect_sum[prio[g]]) << prio[g];
+    EXPECT_EQ(static_cast<uint64_t>(count[g]), expect_count[prio[g]]);
+  }
+}
+
+TEST(PlanExecTest, OrderByLimitOffset) {
+  Table items = *Table::FromRowStore(MakeItems(40));
+  auto build = [&](bool desc, size_t limit, size_t offset) {
+    auto plan = QueryBuilder(items)
+                    .GroupBySum("shipmode", "qty")
+                    .OrderBy("sum", desc)
+                    .Limit(limit, offset)
+                    .Build();
+    CCDB_CHECK(plan.ok());
+    auto r = Execute(*plan);
+    CCDB_CHECK(r.ok());
+    return *std::move(r);
+  };
+  QueryResult top = build(true, 2, 0);
+  ASSERT_EQ(top.num_rows(), 2u);
+  EXPECT_GE(top.columns[1].i64_values[0], top.columns[1].i64_values[1]);
+  QueryResult rest = build(true, 2, 2);
+  ASSERT_EQ(rest.num_rows(), 2u);
+  // Offset continues where the first page ended.
+  EXPECT_GE(top.columns[1].i64_values[1], rest.columns[1].i64_values[0]);
+  QueryResult asc = build(false, 4, 0);
+  ASSERT_EQ(asc.num_rows(), 4u);
+  EXPECT_LE(asc.columns[1].i64_values[0], asc.columns[1].i64_values[3]);
+}
+
+TEST(PlanExecTest, EmptySelectionStillTyped) {
+  Table items = *Table::FromRowStore(MakeItems(20));
+  auto plan = QueryBuilder(items)
+                  .Select(Predicate::EqStr("shipmode", "PIGEON"))
+                  .Project({"qty", "shipmode"})
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  auto result = Execute(*plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 0u);
+  ASSERT_EQ(result->num_columns(), 2u);
+  EXPECT_EQ(result->columns[0].name, "qty");
+  EXPECT_EQ(result->columns[1].type, PhysType::kStr);
+}
+
+// --- candidate-list equivalence ----------------------------------------------
+
+TEST(PlanExecTest, PipelinedEqualsMaterialized) {
+  constexpr size_t kItems = 10000;
+  Table items = *Table::FromRowStore(MakeItems(kItems));
+  Table orders = MakeOrders(kItems / 3 + 1);
+  auto build = [&]() {
+    auto plan = QueryBuilder(items)
+                    .Select(Predicate::RangeU32("qty", 2, 4))
+                    .Join(orders, "order", "order_id")
+                    .GroupBySum("prio", "qty")
+                    .OrderBy("prio")
+                    .Build();
+    CCDB_CHECK(plan.ok());
+    return *std::move(plan);
+  };
+  // Whole-BAT-at-a-time (full materialization, the paper's model) ...
+  PlannerOptions mat;
+  mat.scan_chunk_rows = SIZE_MAX;
+  auto materialized = Execute(build(), mat);
+  ASSERT_TRUE(materialized.ok());
+  // ... vs small chunks pipelined through select and join.
+  for (size_t chunk : {64u, 257u, 4096u}) {
+    PlannerOptions piped;
+    piped.scan_chunk_rows = chunk;
+    auto pipelined = Execute(build(), piped);
+    ASSERT_TRUE(pipelined.ok()) << pipelined.status().ToString();
+    ASSERT_EQ(pipelined->num_columns(), materialized->num_columns());
+    ASSERT_EQ(pipelined->num_rows(), materialized->num_rows()) << chunk;
+    for (size_t c = 0; c < materialized->num_columns(); ++c) {
+      EXPECT_EQ(pipelined->columns[c].u32_values,
+                materialized->columns[c].u32_values);
+      EXPECT_EQ(pipelined->columns[c].i64_values,
+                materialized->columns[c].i64_values);
+    }
+  }
+}
+
+// --- per-node cost-model planning --------------------------------------------
+
+TEST(PlannerTest, StrategySwitchesWithInnerCardinality) {
+  // fact JOIN small (inner C=2000) JOIN big (inner C=1<<20): the model must
+  // pick different physical plans for the two join nodes.
+  constexpr size_t kFact = 20000, kSmall = 2000, kBig = 1 << 20;
+  Rng rng(5);
+  auto fact_rs = RowStore::Make(
+      {{"sk", FieldType::kU32}, {"bk", FieldType::kU32}}, kFact);
+  ASSERT_TRUE(fact_rs.ok());
+  for (size_t i = 0; i < kFact; ++i) {
+    size_t r = *fact_rs->AppendRow();
+    fact_rs->SetU32(r, 0, static_cast<uint32_t>(rng.NextBelow(kSmall)));
+    fact_rs->SetU32(r, 1, static_cast<uint32_t>(rng.NextBelow(kBig)));
+  }
+  Table fact = *Table::FromRowStore(*fact_rs);
+  auto dim = [](size_t n, const char* key) {
+    auto rs = RowStore::Make({{key, FieldType::kU32}}, n);
+    CCDB_CHECK(rs.ok());
+    for (size_t i = 0; i < n; ++i) {
+      size_t r = *rs->AppendRow();
+      rs->SetU32(r, 0, static_cast<uint32_t>(i));
+    }
+    return *Table::FromRowStore(*rs);
+  };
+  Table small = dim(kSmall, "sid");
+  Table big = dim(kBig, "bid");
+
+  auto plan = QueryBuilder(fact)
+                  .Join(small, "sk", "sid")
+                  .Join(big, "bk", "bid")
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  Planner planner;
+  auto physical = planner.Lower(*plan);
+  ASSERT_TRUE(physical.ok());
+  auto result = physical->Execute();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows(), kFact);  // both joins hit exactly once
+
+  ASSERT_EQ(physical->joins().size(), 2u);
+  const JoinNodeInfo& j_small = physical->joins()[0];
+  const JoinNodeInfo& j_big = physical->joins()[1];
+  EXPECT_EQ(j_small.inner_cardinality, kSmall);
+  EXPECT_EQ(j_big.inner_cardinality, kBig);
+  // The cost model prescribes more radix bits as the inner relation grows
+  // past the cache sizes; at 2000 vs 1M tuples the plans must differ.
+  EXPECT_LT(j_small.plan.bits, j_big.plan.bits);
+  EXPECT_EQ(j_small.stats.result_count + j_big.stats.result_count,
+            2 * kFact);
+}
+
+TEST(PlannerTest, InnerSelectionChangesJoinPlan) {
+  // The same join planned at full vs filtered inner cardinality: the
+  // per-node planner must consult the model with the *actual* (post-
+  // selection) cardinality, not the base table's.
+  constexpr size_t kN = 1 << 20;
+  Table fact = MakeOrders(5000);  // order_id 0..4999
+  auto rs = RowStore::Make({{"id", FieldType::kU32}}, kN);
+  ASSERT_TRUE(rs.ok());
+  for (size_t i = 0; i < kN; ++i) {
+    size_t r = *rs->AppendRow();
+    rs->SetU32(r, 0, static_cast<uint32_t>(i));
+  }
+  Table big = *Table::FromRowStore(*rs);
+
+  auto unfiltered = QueryBuilder(fact).Join(big, "order_id", "id").Build();
+  ASSERT_TRUE(unfiltered.ok());
+  QueryBuilder inner(big);
+  inner.Select(Predicate::RangeU32("id", 0, 999));
+  auto filtered =
+      QueryBuilder(fact).Join(std::move(inner), "order_id", "id").Build();
+  ASSERT_TRUE(filtered.ok());
+
+  Planner planner;
+  auto p1 = planner.Lower(*unfiltered);
+  auto p2 = planner.Lower(*filtered);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  ASSERT_TRUE(p1->Execute().ok());
+  ASSERT_TRUE(p2->Execute().ok());
+  EXPECT_EQ(p1->joins()[0].inner_cardinality, kN);
+  EXPECT_EQ(p2->joins()[0].inner_cardinality, 1000u);
+  EXPECT_LT(p2->joins()[0].plan.bits, p1->joins()[0].plan.bits);
+  EXPECT_FALSE(p1->ExplainJoins().empty());
+}
+
+// --- candidate-list kernels --------------------------------------------------
+
+TEST(CandidateKernelTest, SelectPositions) {
+  Bat b = Bat::DenseTail(Column::U32({5, 10, 15, 20, 25, 30}));
+  std::vector<oid_t> cands = {1, 3, 5};
+  auto pos = BatSelectPositions(b, 10, 25, cands);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(*pos, (std::vector<uint32_t>{0, 1}));  // oids 1 (10) and 3 (20)
+  // Dense variant over [2, 5): values 15, 20, 25.
+  auto dense = BatSelectPositionsDense(b, 20, 99, /*base=*/2, /*count=*/3);
+  ASSERT_TRUE(dense.ok());
+  EXPECT_EQ(*dense, (std::vector<uint32_t>{1, 2}));
+  // Out-of-range candidates are errors, not skips.
+  std::vector<oid_t> bad = {99};
+  EXPECT_EQ(BatSelectPositions(b, 0, 99, bad).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(BatSelectPositionsDense(b, 0, 99, 4, 3).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(CandidateKernelTest, Project) {
+  Bat b = Bat::DenseTail(Column::U16({7, 8, 9, 10}));
+  std::vector<oid_t> cands = {3, 0, 3};
+  auto proj = BatProject(b, cands);
+  ASSERT_TRUE(proj.ok());
+  ASSERT_EQ(proj->size(), 3u);
+  EXPECT_TRUE(proj->head().is_void());  // fresh dense head: free OIDs
+  auto tails = proj->tail().Span<uint32_t>();
+  EXPECT_EQ(tails[0], 10u);
+  EXPECT_EQ(tails[1], 7u);
+  EXPECT_EQ(tails[2], 10u);
+  // Non-integral tail rejected.
+  Bat f = Bat::DenseTail(Column::F64({1.0}));
+  std::vector<oid_t> zero = {0};
+  EXPECT_EQ(BatProject(f, zero).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PlanExecTest, LazyI64ColumnsMaterialize) {
+  auto rs = RowStore::Make({{"k", FieldType::kU32}, {"big", FieldType::kI64}},
+                           6);
+  ASSERT_TRUE(rs.ok());
+  for (size_t i = 0; i < 6; ++i) {
+    size_t r = *rs->AppendRow();
+    rs->SetU32(r, 0, static_cast<uint32_t>(i));
+    rs->SetI64(r, 1, static_cast<int64_t>(i) * 1'000'000'000'000 - 3);
+  }
+  Table t = *Table::FromRowStore(*rs);
+  auto plan = QueryBuilder(t)
+                  .Select(Predicate::RangeU32("k", 2, 4))
+                  .OrderBy("big", /*descending=*/true)
+                  .Project({"big"})
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  auto result = Execute(*plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->columns[0].type, PhysType::kI64);
+  EXPECT_EQ(result->columns[0].i64_values,
+            (std::vector<int64_t>{3'999'999'999'997, 2'999'999'999'997,
+                                  1'999'999'999'997}));
+}
+
+TEST(PlanExecTest, GroupByManyDistinctKeys) {
+  // Exercises the group table's rehash growth (far beyond the initial
+  // 1024 buckets) and checks totals against a closed form.
+  constexpr size_t kN = 100000;
+  auto rs = RowStore::Make({{"g", FieldType::kU32}, {"v", FieldType::kU32}},
+                           kN);
+  ASSERT_TRUE(rs.ok());
+  for (size_t i = 0; i < kN; ++i) {
+    size_t r = *rs->AppendRow();
+    rs->SetU32(r, 0, static_cast<uint32_t>(i / 2));  // 50000 groups
+    rs->SetU32(r, 1, 1);
+  }
+  Table t = *Table::FromRowStore(*rs);
+  auto plan = QueryBuilder(t).GroupBySum("g", "v").Build();
+  ASSERT_TRUE(plan.ok());
+  auto result = Execute(*plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), kN / 2);
+  const auto& sums = result->columns[1].i64_values;
+  for (int64_t s : sums) ASSERT_EQ(s, 2);
+}
+
+// --- legacy wrappers ---------------------------------------------------------
+
+TEST(WrapperTest, JoinTablesMatchesPlanJoin) {
+  Table items = *Table::FromRowStore(MakeItems(300));
+  Table orders = MakeOrders(101);
+  JoinStats stats;
+  auto idx = JoinTables(items, "order", orders, "order_id",
+                        JoinStrategy::kBest, MachineProfile::GenericX86(),
+                        &stats);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx->size(), 300u);
+  EXPECT_EQ(stats.result_count, 300u);
+  for (const Bun& b : *idx) EXPECT_EQ(b.head / 3, b.tail);
+}
+
+}  // namespace
+}  // namespace ccdb
