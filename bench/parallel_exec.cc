@@ -1,0 +1,206 @@
+// Morsel-parallel execution micro-benchmark: the partitioned-join and
+// group-by paths at parallelism 1 vs all hardware threads, plus a fig9-style
+// radix-cluster smoke — the per-commit perf numbers CI tracks.
+//
+// With --json=PATH the results are also written as BENCH_ci.json for the CI
+// artifact (see ci.sh). Speedups are reported, not asserted: on a 1-core
+// runner parallel == serial and that is fine.
+//
+//   --full        4M-row fact table (default 1M)
+//   --json=PATH   write the machine-readable results to PATH
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algo/radix_cluster.h"
+#include "exec/plan.h"
+#include "exec/table.h"
+#include "model/cost_model.h"
+#include "model/planner.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace ccdb;
+
+namespace {
+
+double MinOfRunsMs(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    fn();
+    double ms = t.ElapsedMillis();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+struct PathTiming {
+  const char* name;
+  double serial_ms = 0;
+  double parallel_ms = 0;
+
+  double speedup() const {
+    return parallel_ms > 0 ? serial_ms / parallel_ms : 0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const size_t kFact = full ? (4u << 20) : (1u << 20);
+  const size_t kDim = kFact / 4;
+  const size_t kWorkers = ThreadPool::HardwareThreads();
+  const int kReps = 3;
+
+  std::printf("== parallel_exec: morsel-parallel operator speedups ==\n");
+  std::printf("fact=%zu rows, dim=%zu rows, %zu hardware threads\n\n", kFact,
+              kDim, kWorkers);
+
+  Rng rng(2026);
+  auto fact_rs = RowStore::Make({{"fk", FieldType::kU32},
+                                 {"g", FieldType::kU32},
+                                 {"gg", FieldType::kU32},
+                                 {"v", FieldType::kU32}},
+                                kFact);
+  CCDB_CHECK(fact_rs.ok());
+  for (size_t i = 0; i < kFact; ++i) {
+    size_t r = *fact_rs->AppendRow();
+    fact_rs->SetU32(r, 0, static_cast<uint32_t>(rng.NextBelow(kDim)));
+    fact_rs->SetU32(r, 1, static_cast<uint32_t>(rng.NextBelow(64)));
+    fact_rs->SetU32(r, 2, static_cast<uint32_t>(rng.NextBelow(100000)));
+    fact_rs->SetU32(r, 3, static_cast<uint32_t>(rng.NextBelow(1000)));
+  }
+  Table fact = *Table::FromRowStore(*fact_rs);
+  auto dim_rs = RowStore::Make({{"id", FieldType::kU32}}, kDim);
+  CCDB_CHECK(dim_rs.ok());
+  for (size_t i = 0; i < kDim; ++i) {
+    size_t r = *dim_rs->AppendRow();
+    dim_rs->SetU32(r, 0, static_cast<uint32_t>(i));
+  }
+  Table dim = *Table::FromRowStore(*dim_rs);
+
+  auto run_at = [&](const std::function<LogicalPlan()>& build, size_t par) {
+    PlannerOptions opts;
+    opts.exec.parallelism = par;
+    return MinOfRunsMs(kReps, [&] {
+      auto r = Execute(build(), opts);
+      CCDB_CHECK(r.ok());
+    });
+  };
+
+  // Partitioned-join path: the join dominates (64-group aggregate on top
+  // keeps result materialization negligible).
+  auto join_query = [&]() {
+    auto p = QueryBuilder(fact)
+                 .Join(dim, "fk", "id")
+                 .GroupBySum("g", "v")
+                 .Build();
+    CCDB_CHECK(p.ok());
+    return *std::move(p);
+  };
+  // Group-by path: 100k distinct groups, no join.
+  auto groupby_query = [&]() {
+    auto p = QueryBuilder(fact).GroupBySum("gg", "v").Build();
+    CCDB_CHECK(p.ok());
+    return *std::move(p);
+  };
+  // Select path: morsel-parallel candidate evaluation.
+  auto select_query = [&]() {
+    auto p = QueryBuilder(fact)
+                 .Select(Predicate::RangeU32("v", 0, 99))
+                 .GroupBySum("g", "v")
+                 .Build();
+    CCDB_CHECK(p.ok());
+    return *std::move(p);
+  };
+
+  PathTiming paths[] = {{"partitioned_join"}, {"group_by"}, {"select"}};
+  const std::function<LogicalPlan()> queries[] = {join_query, groupby_query,
+                                                  select_query};
+  for (size_t i = 0; i < 3; ++i) {
+    paths[i].serial_ms = run_at(queries[i], 1);
+    paths[i].parallel_ms = run_at(queries[i], kWorkers);
+    std::printf("%-18s serial %8.2f ms   x%zu workers %8.2f ms   "
+                "speedup %.2fx\n",
+                paths[i].name, paths[i].serial_ms, kWorkers,
+                paths[i].parallel_ms, paths[i].speedup());
+  }
+
+  // fig9-style radix-cluster smoke: a few (B, P) points, measured vs model.
+  std::printf("\nradix-cluster smoke (C=%zu):\n", kFact);
+  MachineProfile profile = MachineProfile::GenericX86();
+  CostModel model(profile);
+  DirectMemory mem;
+  std::vector<Bun> rel(kFact);
+  for (size_t i = 0; i < kFact; ++i) {
+    rel[i] = {static_cast<oid_t>(i), static_cast<uint32_t>(rng.NextBelow(
+                                         static_cast<uint64_t>(kFact)))};
+  }
+  struct ClusterPoint {
+    int bits, passes;
+    double measured_ms, model_ms;
+  };
+  std::vector<ClusterPoint> cluster_points;
+  for (int bits : {4, 8, 12}) {
+    for (int passes : {1, 2}) {
+      RadixClusterOptions opt{.bits = bits, .passes = passes,
+                              .bits_per_pass = {}};
+      double ms = MinOfRunsMs(kReps, [&] {
+        auto out = RadixCluster(std::span<const Bun>(rel), opt, mem);
+        CCDB_CHECK(out.ok());
+      });
+      double model_ms = model.Millis(model.Cluster(passes, bits, kFact));
+      cluster_points.push_back({bits, passes, ms, model_ms});
+      std::printf("  B=%-2d P=%d  measured %7.2f ms  model %7.2f ms\n", bits,
+                  passes, ms, model_ms);
+    }
+  }
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"fact_rows\": %zu,\n  \"dim_rows\": %zu,\n"
+                 "  \"hardware_threads\": %zu,\n  \"paths\": {\n",
+                 kFact, kDim, kWorkers);
+    for (size_t i = 0; i < 3; ++i) {
+      std::fprintf(f,
+                   "    \"%s\": {\"serial_ms\": %.3f, \"parallel_ms\": %.3f, "
+                   "\"speedup\": %.3f}%s\n",
+                   paths[i].name, paths[i].serial_ms, paths[i].parallel_ms,
+                   paths[i].speedup(), i + 1 < 3 ? "," : "");
+    }
+    std::fprintf(f, "  },\n  \"radix_cluster_smoke\": [\n");
+    for (size_t i = 0; i < cluster_points.size(); ++i) {
+      const ClusterPoint& c = cluster_points[i];
+      std::fprintf(f,
+                   "    {\"bits\": %d, \"passes\": %d, \"measured_ms\": %.3f, "
+                   "\"model_ms\": %.3f}%s\n",
+                   c.bits, c.passes, c.measured_ms, c.model_ms,
+                   i + 1 < cluster_points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

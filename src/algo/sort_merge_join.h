@@ -17,27 +17,13 @@ enum class SortAlgo {
                ///< degenerates to at cluster size 1)
 };
 
+/// Merge phase over two tail-sorted runs, appending [l.head, r.head] pairs
+/// to `out` (equal-value runs emit the cross product, l-major). Shared by
+/// SortMergeJoin and JoinOp's chunked sort-merge path so their emit order
+/// can never drift apart.
 template <class Mem>
-std::vector<Bun> SortMergeJoin(std::span<const Bun> l, std::span<const Bun> r,
-                               Mem& mem, JoinStats* stats = nullptr,
-                               SortAlgo sort = SortAlgo::kQuickSort,
-                               size_t result_hint = 0) {
-  WallTimer t_sort;
-  std::vector<Bun> ls(l.size()), rs(r.size());
-  for (size_t i = 0; i < l.size(); ++i) mem.Store(&ls[i], mem.Load(&l[i]));
-  for (size_t i = 0; i < r.size(); ++i) mem.Store(&rs[i], mem.Load(&r[i]));
-  if (sort == SortAlgo::kQuickSort) {
-    QuickSortByTail(std::span<Bun>(ls), mem);
-    QuickSortByTail(std::span<Bun>(rs), mem);
-  } else {
-    RadixSortByTail(std::span<Bun>(ls), mem);
-    RadixSortByTail(std::span<Bun>(rs), mem);
-  }
-  double sort_ms = t_sort.ElapsedMillis();
-
-  WallTimer t_merge;
-  std::vector<Bun> out;
-  out.reserve(result_hint != 0 ? result_hint : std::min(l.size(), r.size()));
+void MergeSortedByTail(std::span<const Bun> ls, std::span<const Bun> rs,
+                       Mem& mem, std::vector<Bun>& out) {
   size_t i = 0, j = 0;
   while (i < ls.size() && j < rs.size()) {
     uint32_t vl = mem.Load(&ls[i]).tail;
@@ -63,6 +49,30 @@ std::vector<Bun> SortMergeJoin(std::span<const Bun> l, std::span<const Bun> r,
       j = j2;
     }
   }
+}
+
+template <class Mem>
+std::vector<Bun> SortMergeJoin(std::span<const Bun> l, std::span<const Bun> r,
+                               Mem& mem, JoinStats* stats = nullptr,
+                               SortAlgo sort = SortAlgo::kQuickSort,
+                               size_t result_hint = 0) {
+  WallTimer t_sort;
+  std::vector<Bun> ls(l.size()), rs(r.size());
+  for (size_t i = 0; i < l.size(); ++i) mem.Store(&ls[i], mem.Load(&l[i]));
+  for (size_t i = 0; i < r.size(); ++i) mem.Store(&rs[i], mem.Load(&r[i]));
+  if (sort == SortAlgo::kQuickSort) {
+    QuickSortByTail(std::span<Bun>(ls), mem);
+    QuickSortByTail(std::span<Bun>(rs), mem);
+  } else {
+    RadixSortByTail(std::span<Bun>(ls), mem);
+    RadixSortByTail(std::span<Bun>(rs), mem);
+  }
+  double sort_ms = t_sort.ElapsedMillis();
+
+  WallTimer t_merge;
+  std::vector<Bun> out;
+  out.reserve(result_hint != 0 ? result_hint : std::min(l.size(), r.size()));
+  MergeSortedByTail<Mem>(ls, rs, mem, out);
   if (stats != nullptr) {
     *stats = JoinStats{};
     // Report the sort as the "cluster" phase: it plays the same role

@@ -34,16 +34,24 @@ StatusOr<EncodedStrColumn> DictEncode(const Column& str_column) {
   EncodedStrColumn out;
   // Two passes: first build the dictionary with a hash map for speed, then
   // emit codes at the final width. Intern() itself is linear-scan (dicts are
-  // small by definition), so bulk encoding uses the map.
-  std::unordered_map<std::string_view, uint32_t> index;
+  // small by definition), so bulk encoding uses the map. The map owns its
+  // keys: views into the dictionary dangle when its string vector grows
+  // (SSO buffers move on reallocation); heterogeneous lookup keeps probes
+  // allocation-free.
+  struct SvHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, uint32_t, SvHash, std::equal_to<>> index;
   std::vector<uint32_t> wide_codes(n);
   for (size_t i = 0; i < n; ++i) {
     std::string_view v = str_column.GetStr(i);
     auto it = index.find(v);
     if (it == index.end()) {
       uint32_t code = out.dict.Intern(v);
-      // Re-point the key at the dictionary's stable copy, not the arena view.
-      index.emplace(out.dict.Get(code), code);
+      index.emplace(std::string(v), code);
       wide_codes[i] = code;
     } else {
       wide_codes[i] = it->second;

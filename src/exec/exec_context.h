@@ -1,0 +1,55 @@
+// ExecOptions is the user-facing execution knob set (chunking +
+// parallelism) that rides PlannerOptions from QueryBuilder-built plans into
+// the Planner; ExecContext is its resolved, operator-facing form owned by
+// the PhysicalPlan. Operators hold a borrowed pointer and draw workers from
+// ctx->pool via ParallelFor — every operator in a plan (and every plan that
+// doesn't pass its own pool) shares one process-wide pool, so concurrent
+// queries cannot oversubscribe the machine.
+#ifndef CCDB_EXEC_EXEC_CONTEXT_H_
+#define CCDB_EXEC_EXEC_CONTEXT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ccdb {
+
+class ThreadPool;
+
+/// Execution knobs, orthogonal to plan shape: the same LogicalPlan runs at
+/// any parallelism with identical results (modulo row order of unordered
+/// group-by output at parallelism > 1).
+struct ExecOptions {
+  /// Rows per scan chunk. 0 (default) picks a cache-sized chunk from the
+  /// machine profile (see DefaultScanChunkRows); SIZE_MAX executes
+  /// whole-BAT-at-a-time, the paper's full-materialization model.
+  size_t scan_chunk_rows = 0;
+
+  /// Worker threads operators may use (morsels, radix partitions, group-by
+  /// partials). 1 = serial execution, byte-identical to the pre-parallel
+  /// engine; 0 = all hardware threads.
+  size_t parallelism = 1;
+
+  /// Pool to draw workers from; null uses ThreadPool::Shared() when
+  /// parallelism > 1. The pool must outlive plan execution.
+  ThreadPool* pool = nullptr;
+};
+
+/// Resolved ExecOptions (owned by PhysicalPlan, borrowed by operators).
+struct ExecContext {
+  ThreadPool* pool = nullptr;
+  size_t parallelism = 1;
+
+  bool parallel() const { return parallelism > 1 && pool != nullptr; }
+
+  /// Morsel count for an n-row input: enough to busy `parallelism` workers,
+  /// but never morsels smaller than `min_rows`.
+  size_t ShardsFor(size_t n, size_t min_rows) const {
+    if (!parallel() || n < 2 * min_rows) return 1;
+    size_t by_rows = n / min_rows;
+    return by_rows < parallelism ? by_rows : parallelism;
+  }
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_EXEC_EXEC_CONTEXT_H_

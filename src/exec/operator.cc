@@ -5,8 +5,32 @@
 #include "algo/bat_algebra.h"
 #include "algo/partitioned_hash_join.h"
 #include "algo/radix_join.h"
+#include "algo/radix_sort.h"
 #include "algo/simple_hash_join.h"
 #include "algo/sort_merge_join.h"
+#include "util/thread_pool.h"
+
+namespace ccdb {
+namespace {
+
+/// Smallest worthwhile morsel: below this, task dispatch costs more than
+/// the memory traffic it parallelizes.
+constexpr size_t kMorselRows = 4096;
+
+size_t CtxShards(const ExecContext* ctx, size_t n) {
+  return ctx == nullptr ? 1 : ctx->ShardsFor(n, kMorselRows);
+}
+
+ThreadPool* CtxPool(const ExecContext* ctx) {
+  return ctx == nullptr ? nullptr : ctx->pool;
+}
+
+size_t CtxParallelism(const ExecContext* ctx) {
+  return ctx == nullptr ? 1 : ctx->parallelism;
+}
+
+}  // namespace
+}  // namespace ccdb
 
 namespace ccdb {
 
@@ -394,34 +418,103 @@ StatusOr<bool> ScanOp::Next(Chunk* out) {
 
 // --- SelectOp ----------------------------------------------------------------
 
-SelectOp::SelectOp(std::unique_ptr<Operator> child, Predicate pred)
-    : child_(std::move(child)), pred_(std::move(pred)) {}
+SelectOp::SelectOp(std::unique_ptr<Operator> child, Predicate pred,
+                   const ExecContext* ctx)
+    : child_(std::move(child)), pred_(std::move(pred)), ctx_(ctx) {}
 
 Status SelectOp::Open() { return child_->Open(); }
 void SelectOp::Close() { child_->Close(); }
 
 namespace {
 
+/// True when `pred` on column `ci` can be evaluated over an arbitrary
+/// candidate sub-range without first gathering the whole chunk — the lazy
+/// base-column paths that morsel-parallel evaluation splits up.
+bool RangedEvalSupported(const Chunk& in, size_t ci, const Predicate& pred) {
+  const ChunkColumn& col = in.cols[ci];
+  if (!col.lazy()) return false;
+  switch (pred.kind) {
+    case Predicate::Kind::kRangeU32:
+      return true;  // integral check happens inside the select kernel
+    case Predicate::Kind::kRangeF64:
+      return col.base->column_bat(col.base_col).tail().type() ==
+             PhysType::kF64;
+    case Predicate::Kind::kEqStr:
+      return col.base->is_encoded(col.base_col);
+  }
+  return false;
+}
+
+/// Evaluates `pred` over candidate rows [row_lo, row_hi) of lazy column
+/// `ci`, returning qualifying chunk-relative positions (ascending). Only
+/// valid when RangedEvalSupported; morsel results concatenated in range
+/// order equal a full-range evaluation.
+StatusOr<std::vector<uint32_t>> EvalPredicateLazyRange(const Chunk& in,
+                                                       const Predicate& pred,
+                                                       size_t ci,
+                                                       size_t row_lo,
+                                                       size_t row_hi) {
+  const ChunkColumn& col = in.cols[ci];
+  const Bat& bat = col.base->column_bat(col.base_col);
+  const Candidates& cd = in.cands[col.cand_slot];
+  size_t n = row_hi - row_lo;
+  auto to_chunk_positions = [&](std::vector<uint32_t> pos) {
+    if (row_lo != 0) {
+      for (uint32_t& p : pos) p += static_cast<uint32_t>(row_lo);
+    }
+    return pos;
+  };
+  // Integral range through the candidate list: the select kernel.
+  auto range_on_bat = [&](uint32_t lo, uint32_t hi)
+      -> StatusOr<std::vector<uint32_t>> {
+    if (cd.dense()) {
+      CCDB_ASSIGN_OR_RETURN(
+          std::vector<uint32_t> pos,
+          BatSelectPositionsDense(bat, lo, hi, cd.base + row_lo, n));
+      return to_chunk_positions(std::move(pos));
+    }
+    CCDB_ASSIGN_OR_RETURN(
+        std::vector<uint32_t> pos,
+        BatSelectPositions(bat, lo, hi, OidSpan(cd).subspan(row_lo, n)));
+    return to_chunk_positions(std::move(pos));
+  };
+  switch (pred.kind) {
+    case Predicate::Kind::kRangeU32:
+      return range_on_bat(pred.lo_u32, pred.hi_u32);
+    case Predicate::Kind::kEqStr: {
+      // Predicate remap (§3.1): the string equality becomes an integral
+      // range [code, code] on the 1-2 byte code column, evaluated through
+      // the candidate list.
+      auto code = col.base->dict(col.base_col).Lookup(pred.str_value);
+      if (!code.ok()) return std::vector<uint32_t>{};  // unknown: empty
+      return range_on_bat(*code, *code);
+    }
+    case Predicate::Kind::kRangeF64: {
+      auto v = bat.tail().Span<double>();
+      std::vector<uint32_t> out;
+      for (size_t i = row_lo; i < row_hi; ++i) {
+        oid_t o = cd.Get(i);
+        if (o >= v.size()) return Status::OutOfRange("candidate beyond column");
+        if (pred.lo_f64 <= v[o] && v[o] <= pred.hi_f64) {
+          out.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unreachable predicate kind");
+}
+
 /// Evaluates `pred` over one chunk, returning the qualifying row positions.
 StatusOr<std::vector<uint32_t>> EvalPredicate(const Chunk& in,
                                               const Predicate& pred) {
   CCDB_ASSIGN_OR_RETURN(size_t ci, in.Find(pred.column));
-  const ChunkColumn& col = in.cols[ci];
-
-  // Integral range over a lazy base column: the candidate-list select kernel.
-  auto range_on_bat = [&](uint32_t lo, uint32_t hi)
-      -> StatusOr<std::vector<uint32_t>> {
-    const Bat& bat = col.base->column_bat(col.base_col);
-    const Candidates& cd = in.cands[col.cand_slot];
-    if (cd.dense()) {
-      return BatSelectPositionsDense(bat, lo, hi, cd.base, cd.count);
-    }
-    return BatSelectPositions(bat, lo, hi, OidSpan(cd));
-  };
-
+  if (RangedEvalSupported(in, ci, pred)) {
+    return EvalPredicateLazyRange(in, pred, ci, 0, in.rows);
+  }
+  // Gather-based fallback for owned or unencoded columns.
   switch (pred.kind) {
     case Predicate::Kind::kRangeU32: {
-      if (col.lazy()) return range_on_bat(pred.lo_u32, pred.hi_u32);
       CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> v, in.GatherU32(ci));
       std::vector<uint32_t> out;
       for (size_t i = 0; i < v.size(); ++i) {
@@ -442,14 +535,6 @@ StatusOr<std::vector<uint32_t>> EvalPredicate(const Chunk& in,
       return out;
     }
     case Predicate::Kind::kEqStr: {
-      if (col.lazy() && col.base->is_encoded(col.base_col)) {
-        // Predicate remap (§3.1): the string equality becomes an integral
-        // range [code, code] on the 1-2 byte code column, evaluated through
-        // the candidate list.
-        auto code = col.base->dict(col.base_col).Lookup(pred.str_value);
-        if (!code.ok()) return std::vector<uint32_t>{};  // unknown: empty
-        return range_on_bat(*code, *code);
-      }
       CCDB_ASSIGN_OR_RETURN(std::vector<std::string> v, in.GatherStr(ci));
       std::vector<uint32_t> out;
       for (size_t i = 0; i < v.size(); ++i) {
@@ -467,8 +552,31 @@ StatusOr<bool> SelectOp::Next(Chunk* out) {
   Chunk in;
   CCDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
   if (!more) return false;
-  CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> positions,
-                        EvalPredicate(in, pred_));
+  CCDB_ASSIGN_OR_RETURN(size_t ci, in.Find(pred_.column));
+  std::vector<uint32_t> positions;
+  size_t shards =
+      RangedEvalSupported(in, ci, pred_) ? CtxShards(ctx_, in.rows) : 1;
+  if (shards <= 1) {
+    CCDB_ASSIGN_OR_RETURN(positions, EvalPredicate(in, pred_));
+  } else {
+    // Morsel-parallel candidate evaluation: shard s fills slot s, and the
+    // ordered concatenation equals the serial result exactly.
+    std::vector<std::vector<uint32_t>> parts(shards);
+    CCDB_RETURN_IF_ERROR(ParallelFor(
+        ctx_->pool, ctx_->parallelism, shards, [&](size_t s) -> Status {
+          size_t lo = in.rows * s / shards;
+          size_t hi = in.rows * (s + 1) / shards;
+          CCDB_ASSIGN_OR_RETURN(parts[s],
+                                EvalPredicateLazyRange(in, pred_, ci, lo, hi));
+          return Status::Ok();
+        }));
+    size_t total = 0;
+    for (const auto& p : parts) total += p.size();
+    positions.reserve(total);
+    for (const auto& p : parts) {
+      positions.insert(positions.end(), p.begin(), p.end());
+    }
+  }
   CCDB_ASSIGN_OR_RETURN(*out, in.Take(positions));
   return true;
 }
@@ -478,14 +586,15 @@ StatusOr<bool> SelectOp::Next(Chunk* out) {
 JoinOp::JoinOp(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
                std::string left_key, std::string right_key,
                JoinStrategy strategy, const MachineProfile& profile,
-               JoinNodeInfo* info)
+               JoinNodeInfo* info, const ExecContext* ctx)
     : left_(std::move(left)),
       right_(std::move(right)),
       left_key_(std::move(left_key)),
       right_key_(std::move(right_key)),
       strategy_(strategy),
       profile_(profile),
-      info_(info) {}
+      info_(info),
+      ctx_(ctx) {}
 
 Status JoinOp::Open() {
   CCDB_RETURN_IF_ERROR(left_->Open());
@@ -511,6 +620,57 @@ Status JoinOp::Open() {
   plan_ = inner_buns_.empty()
               ? PlanJoin(JoinStrategy::kSimpleHash, 0, profile_)
               : PlanJoin(strategy_, inner_buns_.size(), profile_);
+
+  // Prepare the inner side exactly once for the chosen plan; probe chunks
+  // reuse it. (This fixes the ROADMAP chunking defect: the full join kernel
+  // used to re-cluster the inner for every probe chunk.) The build cost is
+  // reported as the cluster_right phase, including the per-partition hash
+  // tables that used to be rebuilt inside every chunk's join phase.
+  DirectMemory mem;
+  double prepare_ms = 0;
+  switch (plan_.strategy) {
+    case JoinStrategy::kSortMerge: {
+      WallTimer t;
+      inner_sorted_ = inner_buns_;
+      QuickSortByTail(std::span<Bun>(inner_sorted_), mem);
+      prepare_ms = t.ElapsedMillis();
+      break;
+    }
+    case JoinStrategy::kSimpleHash: {
+      WallTimer t;
+      inner_table_.emplace(std::span<const Bun>(inner_buns_), /*shift=*/0,
+                           kDefaultChainLength, mem);
+      prepare_ms = t.ElapsedMillis();
+      break;
+    }
+    default: {
+      RadixClusterOptions opt{
+          .bits = plan_.bits, .passes = plan_.passes, .bits_per_pass = {}};
+      RadixClusterStats cs;
+      CCDB_ASSIGN_OR_RETURN(
+          inner_clustered_,
+          (RadixCluster<DirectMemory, IdentityHash>(inner_buns_, opt, mem,
+                                                    &cs)));
+      inner_bounds_ = ClusterBounds<IdentityHash>(inner_clustered_);
+      prepare_ms = cs.total_ms;
+      if (!plan_.use_radix_join) {
+        WallTimer t;
+        size_t h = size_t{1} << plan_.bits;
+        inner_tables_.resize(h);
+        for (size_t c = 0; c < h; ++c) {
+          size_t lo = inner_bounds_[c], hi = inner_bounds_[c + 1];
+          if (hi == lo) continue;
+          inner_tables_[c] = std::make_unique<InnerHashTable>(
+              std::span<const Bun>(inner_clustered_.tuples.data() + lo,
+                                   hi - lo),
+              /*shift=*/plan_.bits, kDefaultChainLength, mem);
+        }
+        prepare_ms += t.ElapsedMillis();
+      }
+      break;
+    }
+  }
+
   if (info_ != nullptr) {
     info_->left_key = left_key_;
     info_->right_key = right_key_;
@@ -519,6 +679,10 @@ Status JoinOp::Open() {
     info_->stats = JoinStats{};
     info_->stats.bits = plan_.bits;
     info_->stats.passes = plan_.passes;
+    info_->stats.cluster_right_ms = prepare_ms;
+    info_->inner_cluster_runs = 1;
+    info_->partition_tasks = 0;
+    info_->parallelism = CtxParallelism(ctx_);
   }
   return Status::Ok();
 }
@@ -526,8 +690,122 @@ Status JoinOp::Open() {
 void JoinOp::Close() {
   left_->Close();
   right_->Close();
+  // Non-owning views (inner_table_, inner_tables_) go before their backing
+  // stores.
+  inner_table_.reset();
+  inner_tables_.clear();
+  inner_bounds_.clear();
+  inner_clustered_ = ClusteredRelation{};
+  inner_sorted_.clear();
   inner_ = Chunk{};
   inner_buns_.clear();
+}
+
+namespace {
+
+/// Concatenates per-task result vectors in task order (deterministic join
+/// output regardless of which worker ran which task).
+std::vector<Bun> ConcatBuns(std::vector<std::vector<Bun>> parts) {
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<Bun> out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Bun>> JoinOp::ProbeSimpleHash(
+    std::span<const Bun> probe) const {
+  size_t shards = CtxShards(ctx_, probe.size());
+  if (shards <= 1) {
+    std::vector<Bun> out;
+    out.reserve(std::min(probe.size(), inner_buns_.size()));
+    DirectMemory mem;
+    for (const Bun& lt : probe) {
+      inner_table_->Probe(lt, mem, [&](Bun rt) {
+        out.push_back({lt.head, rt.head});
+      });
+    }
+    return out;
+  }
+  std::vector<std::vector<Bun>> parts(shards);
+  CCDB_RETURN_IF_ERROR(ParallelFor(
+      ctx_->pool, ctx_->parallelism, shards, [&](size_t s) -> Status {
+        size_t lo = probe.size() * s / shards;
+        size_t hi = probe.size() * (s + 1) / shards;
+        DirectMemory mem;
+        for (size_t i = lo; i < hi; ++i) {
+          Bun lt = probe[i];
+          inner_table_->Probe(lt, mem, [&](Bun rt) {
+            parts[s].push_back({lt.head, rt.head});
+          });
+        }
+        return Status::Ok();
+      }));
+  return ConcatBuns(std::move(parts));
+}
+
+StatusOr<std::vector<Bun>> JoinOp::JoinClusteredChunk(
+    const ClusteredRelation& cl, uint64_t* tasks) {
+  // Partition tasks: one per non-empty probe cluster whose radix value has
+  // inner tuples — the independent units the pool executes. Probe cluster
+  // boundaries are rediscovered from the radix bits (as the paper notes is
+  // always possible); inner boundaries come from the bounds built at
+  // Open().
+  struct Part {
+    size_t l_lo, l_hi;
+    uint64_t r_lo, r_hi;
+  };
+  uint32_t mask = LowMask32(plan_.bits);
+  size_t n = cl.tuples.size();
+  std::vector<Part> parts;
+  size_t i = 0;
+  while (i < n) {
+    uint32_t h = IdentityHash::Hash(cl.tuples[i].tail) & mask;
+    size_t j = i + 1;
+    while (j < n && (IdentityHash::Hash(cl.tuples[j].tail) & mask) == h) ++j;
+    uint64_t r_lo = inner_bounds_[h], r_hi = inner_bounds_[h + 1];
+    if (r_hi > r_lo) parts.push_back({i, j, r_lo, r_hi});
+    i = j;
+  }
+  if (tasks != nullptr) *tasks += parts.size();
+
+  std::vector<std::vector<Bun>> results(parts.size());
+  const bool radix = plan_.use_radix_join;
+  CCDB_RETURN_IF_ERROR(ParallelFor(
+      CtxPool(ctx_), CtxParallelism(ctx_), parts.size(),
+      [&](size_t p) -> Status {
+        const Part& pt = parts[p];
+        std::vector<Bun>& out = results[p];
+        if (radix) {
+          // Radix-join: clusters are tiny (~4-8 tuples); nested loop.
+          for (size_t a = pt.l_lo; a < pt.l_hi; ++a) {
+            Bun lt = cl.tuples[a];
+            for (uint64_t b = pt.r_lo; b < pt.r_hi; ++b) {
+              const Bun& rt = inner_clustered_.tuples[b];
+              if (lt.tail == rt.tail) out.push_back({lt.head, rt.head});
+            }
+          }
+          return Status::Ok();
+        }
+        // Partitioned hash-join: probe the partition's prebuilt table.
+        uint32_t h = IdentityHash::Hash(cl.tuples[pt.l_lo].tail) & mask;
+        const InnerHashTable* table = inner_tables_[h].get();
+        if (table == nullptr) {
+          return Status::Internal("missing partition hash table");
+        }
+        DirectMemory mem;
+        for (size_t a = pt.l_lo; a < pt.l_hi; ++a) {
+          Bun lt = cl.tuples[a];
+          table->Probe(lt, mem, [&](Bun rt) {
+            out.push_back({lt.head, rt.head});
+          });
+        }
+        return Status::Ok();
+      }));
+  return ConcatBuns(std::move(results));
 }
 
 StatusOr<bool> JoinOp::Next(Chunk* out) {
@@ -541,9 +819,48 @@ StatusOr<bool> JoinOp::Next(Chunk* out) {
     probe_buns[i] = {static_cast<oid_t>(i), keys[i]};
   }
   JoinStats stats;
-  CCDB_ASSIGN_OR_RETURN(
-      std::vector<Bun> matches,
-      ExecuteJoinPlan(probe_buns, inner_buns_, plan_, &stats));
+  std::vector<Bun> matches;
+  switch (plan_.strategy) {
+    case JoinStrategy::kSortMerge: {
+      DirectMemory mem;
+      WallTimer t_sort;
+      // The bun heads carry the chunk positions, so sorting in place loses
+      // nothing — probe_buns is not read again after the merge.
+      QuickSortByTail(std::span<Bun>(probe_buns), mem);
+      stats.cluster_left_ms = t_sort.ElapsedMillis();
+      WallTimer t_join;
+      matches.reserve(std::min(probe_buns.size(), inner_sorted_.size()));
+      MergeSortedByTail<DirectMemory>(probe_buns, inner_sorted_, mem, matches);
+      stats.join_ms = t_join.ElapsedMillis();
+      break;
+    }
+    case JoinStrategy::kSimpleHash: {
+      WallTimer t;
+      CCDB_ASSIGN_OR_RETURN(matches, ProbeSimpleHash(probe_buns));
+      stats.join_ms = t.ElapsedMillis();
+      break;
+    }
+    default: {
+      // Only the cache-sized probe chunk is clustered per Next(); the
+      // inner stays clustered from Open().
+      DirectMemory mem;
+      RadixClusterOptions opt{
+          .bits = plan_.bits, .passes = plan_.passes, .bits_per_pass = {}};
+      RadixClusterStats cs;
+      CCDB_ASSIGN_OR_RETURN(
+          ClusteredRelation cl,
+          (RadixCluster<DirectMemory, IdentityHash>(probe_buns, opt, mem,
+                                                    &cs)));
+      stats.cluster_left_ms = cs.total_ms;
+      WallTimer t;
+      uint64_t tasks = 0;
+      CCDB_ASSIGN_OR_RETURN(matches, JoinClusteredChunk(cl, &tasks));
+      stats.join_ms = t.ElapsedMillis();
+      if (info_ != nullptr) info_->partition_tasks += tasks;
+      break;
+    }
+  }
+  stats.result_count = matches.size();
   if (info_ != nullptr) {
     info_->stats.cluster_left_ms += stats.cluster_left_ms;
     info_->stats.cluster_right_ms += stats.cluster_right_ms;
@@ -608,10 +925,12 @@ StatusOr<bool> ProjectOp::Next(Chunk* out) {
 // --- GroupBySumOp ------------------------------------------------------------
 
 GroupBySumOp::GroupBySumOp(std::unique_ptr<Operator> child,
-                           std::string group_col, std::string value_col)
+                           std::string group_col, std::string value_col,
+                           const ExecContext* ctx)
     : child_(std::move(child)),
       group_col_(std::move(group_col)),
-      value_col_(std::move(value_col)) {}
+      value_col_(std::move(value_col)),
+      ctx_(ctx) {}
 
 Status GroupBySumOp::Open() {
   done_ = false;
@@ -619,17 +938,71 @@ Status GroupBySumOp::Open() {
 }
 void GroupBySumOp::Close() { child_->Close(); }
 
+namespace {
+
+/// Incremental bucket-chained hash grouping (§3.2: the group table usually
+/// stays cache-resident while chunks stream through). One instance per
+/// worker shard; shard partials merge through Accumulate in shard order.
+class GroupSumTable {
+ public:
+  void Add(uint32_t k, uint32_t v) { Accumulate(k, v, 1); }
+
+  void MergeFrom(const GroupSumTable& other) {
+    for (size_t g = 0; g < other.agg_.size(); ++g) {
+      Accumulate(other.agg_.keys[g], other.agg_.sums[g],
+                 other.agg_.counts[g]);
+    }
+  }
+
+  GroupAggregates TakeAggregates() { return std::move(agg_); }
+
+ private:
+  void Accumulate(uint32_t k, uint64_t sum, uint64_t count) {
+    uint32_t b = MurmurHash::Hash(k) & mask_;
+    uint32_t g = heads_[b];
+    while (g != kEmpty && agg_.keys[g] != k) g = next_[g];
+    if (g == kEmpty) {
+      g = static_cast<uint32_t>(agg_.keys.size());
+      agg_.keys.push_back(k);
+      agg_.sums.push_back(0);
+      agg_.counts.push_back(0);
+      next_.push_back(heads_[b]);
+      heads_[b] = g;
+      // Keep average chain length bounded: rehash at 4x load.
+      if (agg_.keys.size() > heads_.size() * 4) {
+        heads_.assign(heads_.size() * 4, kEmpty);
+        mask_ = static_cast<uint32_t>(heads_.size() - 1);
+        for (uint32_t j = 0; j < agg_.keys.size(); ++j) {
+          uint32_t nb = MurmurHash::Hash(agg_.keys[j]) & mask_;
+          next_[j] = heads_[nb];
+          heads_[nb] = j;
+        }
+      }
+    }
+    agg_.sums[g] += sum;
+    agg_.counts[g] += count;
+  }
+
+  static constexpr uint32_t kEmpty = UINT32_MAX;
+  GroupAggregates agg_;
+  std::vector<uint32_t> heads_ = std::vector<uint32_t>(1024, kEmpty);
+  std::vector<uint32_t> next_;
+  uint32_t mask_ = 1023;
+};
+
+}  // namespace
+
 StatusOr<bool> GroupBySumOp::Next(Chunk* out) {
   if (done_) return false;
   done_ = true;
 
-  // Incremental hash grouping (§3.2) accumulated across child chunks; the
-  // group table stays cache-resident while chunks stream through.
-  GroupAggregates agg;
-  constexpr uint32_t kEmpty = UINT32_MAX;
-  std::vector<uint32_t> heads(1024, kEmpty);
-  std::vector<uint32_t> next;
-  uint32_t mask = static_cast<uint32_t>(heads.size() - 1);
+  // One group table per worker shard, persistent across chunks. At
+  // parallelism 1 the single table sees rows in stream order — byte
+  // identical to the serial engine; shard merging (parallelism > 1) may
+  // emit groups in a different (still deterministic) order.
+  size_t nshards =
+      (ctx_ != nullptr && ctx_->parallel()) ? ctx_->parallelism : 1;
+  std::vector<GroupSumTable> partials(nshards);
 
   const Table* dict_table = nullptr;  // set when grouping an encoded column
   size_t dict_col = 0;
@@ -649,33 +1022,26 @@ StatusOr<bool> GroupBySumOp::Next(Chunk* out) {
     // aggregate groups on codes and decodes only the final group keys.
     CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> keys, in.GatherU32(gi));
     CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> vals, in.GatherU32(vi));
-    for (size_t i = 0; i < keys.size(); ++i) {
-      uint32_t k = keys[i];
-      uint32_t b = MurmurHash::Hash(k) & mask;
-      uint32_t g = heads[b];
-      while (g != kEmpty && agg.keys[g] != k) g = next[g];
-      if (g == kEmpty) {
-        g = static_cast<uint32_t>(agg.keys.size());
-        agg.keys.push_back(k);
-        agg.sums.push_back(0);
-        agg.counts.push_back(0);
-        next.push_back(heads[b]);
-        heads[b] = g;
-        // Keep average chain length bounded: rehash at 4x load.
-        if (agg.keys.size() > heads.size() * 4) {
-          heads.assign(heads.size() * 4, kEmpty);
-          mask = static_cast<uint32_t>(heads.size() - 1);
-          for (uint32_t j = 0; j < agg.keys.size(); ++j) {
-            uint32_t nb = MurmurHash::Hash(agg.keys[j]) & mask;
-            next[j] = heads[nb];
-            heads[nb] = j;
-          }
-        }
+    size_t shards = nshards == 1 ? 1 : CtxShards(ctx_, keys.size());
+    if (shards <= 1) {
+      for (size_t i = 0; i < keys.size(); ++i) {
+        partials[0].Add(keys[i], vals[i]);
       }
-      agg.sums[g] += vals[i];
-      agg.counts[g] += 1;
+    } else {
+      CCDB_RETURN_IF_ERROR(ParallelFor(
+          ctx_->pool, ctx_->parallelism, shards, [&](size_t s) -> Status {
+            size_t lo = keys.size() * s / shards;
+            size_t hi = keys.size() * (s + 1) / shards;
+            for (size_t i = lo; i < hi; ++i) {
+              partials[s].Add(keys[i], vals[i]);
+            }
+            return Status::Ok();
+          }));
     }
   }
+
+  for (size_t s = 1; s < nshards; ++s) partials[0].MergeFrom(partials[s]);
+  GroupAggregates agg = partials[0].TakeAggregates();
 
   out->rows = agg.size();
   out->cands.clear();
@@ -713,10 +1079,11 @@ StatusOr<bool> GroupBySumOp::Next(Chunk* out) {
 // --- OrderByOp ---------------------------------------------------------------
 
 OrderByOp::OrderByOp(std::unique_ptr<Operator> child, std::string column,
-                     bool descending)
+                     bool descending, const ExecContext* ctx)
     : child_(std::move(child)),
       column_(std::move(column)),
-      descending_(descending) {}
+      descending_(descending),
+      ctx_(ctx) {}
 
 Status OrderByOp::Open() {
   done_ = false;
@@ -740,34 +1107,55 @@ StatusOr<bool> OrderByOp::Next(Chunk* out) {
   for (size_t i = 0; i < positions.size(); ++i) {
     positions[i] = static_cast<uint32_t>(i);
   }
-  auto argsort = [&](const auto& keys) {
-    if (descending_) {
-      std::stable_sort(positions.begin(), positions.end(),
-                       [&](uint32_t a, uint32_t b) { return keys[b] < keys[a]; });
-    } else {
-      std::stable_sort(positions.begin(), positions.end(),
-                       [&](uint32_t a, uint32_t b) { return keys[a] < keys[b]; });
+  auto argsort = [&](const auto& keys) -> Status {
+    const bool desc = descending_;
+    auto cmp = [&keys, desc](uint32_t a, uint32_t b) {
+      return desc ? keys[b] < keys[a] : keys[a] < keys[b];
+    };
+    size_t shards = CtxShards(ctx_, positions.size());
+    if (shards <= 1) {
+      std::stable_sort(positions.begin(), positions.end(), cmp);
+      return Status::Ok();
     }
+    // Parallel merge sort: stable-sort contiguous shards on the pool, then
+    // fold left to right. inplace_merge takes from the left run on ties —
+    // exactly stable_sort's tie-break — so any parallelism produces the
+    // byte-identical permutation.
+    std::vector<size_t> bounds(shards + 1);
+    for (size_t s = 0; s <= shards; ++s) {
+      bounds[s] = positions.size() * s / shards;
+    }
+    CCDB_RETURN_IF_ERROR(ParallelFor(
+        ctx_->pool, ctx_->parallelism, shards, [&](size_t s) -> Status {
+          std::stable_sort(positions.begin() + bounds[s],
+                           positions.begin() + bounds[s + 1], cmp);
+          return Status::Ok();
+        }));
+    for (size_t s = 1; s < shards; ++s) {
+      std::inplace_merge(positions.begin(), positions.begin() + bounds[s],
+                         positions.begin() + bounds[s + 1], cmp);
+    }
+    return Status::Ok();
   };
   switch (all.TypeOf(ci)) {
     case PhysType::kU32: {
       CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> keys, all.GatherU32(ci));
-      argsort(keys);
+      CCDB_RETURN_IF_ERROR(argsort(keys));
       break;
     }
     case PhysType::kI64: {
       CCDB_ASSIGN_OR_RETURN(std::vector<int64_t> keys, all.GatherI64(ci));
-      argsort(keys);
+      CCDB_RETURN_IF_ERROR(argsort(keys));
       break;
     }
     case PhysType::kF64: {
       CCDB_ASSIGN_OR_RETURN(std::vector<double> keys, all.GatherF64(ci));
-      argsort(keys);
+      CCDB_RETURN_IF_ERROR(argsort(keys));
       break;
     }
     case PhysType::kStr: {
       CCDB_ASSIGN_OR_RETURN(std::vector<std::string> keys, all.GatherStr(ci));
-      argsort(keys);
+      CCDB_RETURN_IF_ERROR(argsort(keys));
       break;
     }
     default:

@@ -11,11 +11,15 @@
 #define CCDB_EXEC_OPERATOR_H_
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "algo/aggregate.h"
+#include "algo/hash_table.h"
+#include "algo/radix_cluster.h"
+#include "exec/exec_context.h"
 #include "exec/plan.h"
 #include "exec/result.h"
 #include "exec/table.h"
@@ -123,6 +127,16 @@ struct JoinNodeInfo {
   uint64_t inner_cardinality = 0;
   JoinPlan plan;
   JoinStats stats;  // accumulated over probe chunks
+
+  /// Times the inner (build) side was reorganized — clustered, sorted, or
+  /// hash-table-built. Always 1 after Open(): the inner is prepared once
+  /// and reused across every probe chunk.
+  int inner_cluster_runs = 0;
+  /// Radix-partition probe tasks dispatched across all probe chunks — the
+  /// independent parallel units of the partitioned join.
+  uint64_t partition_tasks = 0;
+  /// Worker budget the join ran with (ExecContext::parallelism).
+  size_t parallelism = 1;
 };
 
 // --- concrete operators ------------------------------------------------------
@@ -146,9 +160,13 @@ class ScanOp : public Operator {
 
 /// Filter: evaluates `pred` through the candidate list (predicate remap for
 /// encoded columns) and narrows the chunk — no values are materialized.
+/// With a parallel ExecContext the chunk's candidate range is split into
+/// cache-sized morsels evaluated on the pool; morsel results concatenate in
+/// morsel order, so output is byte-identical at any parallelism.
 class SelectOp : public Operator {
  public:
-  SelectOp(std::unique_ptr<Operator> child, Predicate pred);
+  SelectOp(std::unique_ptr<Operator> child, Predicate pred,
+           const ExecContext* ctx = nullptr);
   Status Open() override;
   StatusOr<bool> Next(Chunk* out) override;
   void Close() override;
@@ -156,30 +174,55 @@ class SelectOp : public Operator {
  private:
   std::unique_ptr<Operator> child_;
   Predicate pred_;
+  const ExecContext* ctx_;
 };
 
-/// Equi-join. Open() drains the inner (right) child, then asks the cost
-/// model for a JoinPlan at the *actual* inner cardinality (recorded into
-/// `info`). Next() probes with one outer chunk at a time; output columns
-/// stay lazy on both sides — the join only produces two candidate lists.
+/// Equi-join. Open() drains the inner (right) child, asks the cost model
+/// for a JoinPlan at the *actual* inner cardinality (recorded into `info`),
+/// and prepares the inner side exactly once for that plan: radix-clustered
+/// (plus per-partition hash tables for the phash family), sorted, or
+/// hash-table-built — never redone per probe chunk. Next() probes with one
+/// outer chunk at a time; each radix partition is an independent task run
+/// on the ExecContext's pool, and partition results concatenate in radix
+/// order so join output is byte-identical at any parallelism. Output
+/// columns stay lazy on both sides — the join only produces two candidate
+/// lists.
 class JoinOp : public Operator {
  public:
   JoinOp(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
          std::string left_key, std::string right_key, JoinStrategy strategy,
-         const MachineProfile& profile, JoinNodeInfo* info);
+         const MachineProfile& profile, JoinNodeInfo* info,
+         const ExecContext* ctx = nullptr);
   Status Open() override;
   StatusOr<bool> Next(Chunk* out) override;
   void Close() override;
 
  private:
+  using InnerHashTable = BucketChainedHashTable<DirectMemory, IdentityHash>;
+
+  /// Joins one clustered probe chunk against the prepared inner: one task
+  /// per matching radix-partition pair, concatenated in radix order.
+  /// `tasks` accumulates the number of partition tasks dispatched.
+  StatusOr<std::vector<Bun>> JoinClusteredChunk(const ClusteredRelation& cl,
+                                                uint64_t* tasks);
+  /// Probes the single Open()-built table with one chunk, morsel-parallel.
+  StatusOr<std::vector<Bun>> ProbeSimpleHash(std::span<const Bun> probe) const;
+
   std::unique_ptr<Operator> left_, right_;
   std::string left_key_, right_key_;
   JoinStrategy strategy_;
   MachineProfile profile_;
   JoinNodeInfo* info_;  // owned by the PhysicalPlan; may be null
+  const ExecContext* ctx_;
   JoinPlan plan_;
   Chunk inner_;
   std::vector<Bun> inner_buns_;
+  // Inner side prepared once at Open() (exactly one is populated):
+  ClusteredRelation inner_clustered_;       // radix/phash: clustered copy
+  std::vector<uint64_t> inner_bounds_;      //   + per-partition bounds
+  std::vector<std::unique_ptr<InnerHashTable>> inner_tables_;  // phash only
+  std::vector<Bun> inner_sorted_;           // sort-merge: sorted copy
+  std::optional<InnerHashTable> inner_table_;  // simple hash: one table
 };
 
 /// Narrows and reorders the visible columns; unused candidate slots are
@@ -197,12 +240,16 @@ class ProjectOp : public Operator {
 };
 
 /// Pipeline breaker: hash-grouped SUM/COUNT accumulated chunk by chunk
-/// (§3.2: the group table usually fits the caches). Emits one chunk of
+/// (§3.2: the group table usually fits the caches). With a parallel
+/// ExecContext each worker shard keeps its own group table across chunks
+/// (per-thread partials) and the partials merge in shard order when the
+/// input is exhausted; at parallelism 1 the single table is fed in stream
+/// order, reproducing the serial engine byte for byte. Emits one chunk of
 /// owned columns [group, "sum", "count"]; encoded group keys are decoded.
 class GroupBySumOp : public Operator {
  public:
   GroupBySumOp(std::unique_ptr<Operator> child, std::string group_col,
-               std::string value_col);
+               std::string value_col, const ExecContext* ctx = nullptr);
   Status Open() override;
   StatusOr<bool> Next(Chunk* out) override;
   void Close() override;
@@ -210,15 +257,19 @@ class GroupBySumOp : public Operator {
  private:
   std::unique_ptr<Operator> child_;
   std::string group_col_, value_col_;
+  const ExecContext* ctx_;
   bool done_ = false;
 };
 
 /// Pipeline breaker: drains the child, stable-sorts row positions by the
-/// key column, re-emits the permuted chunk (columns stay lazy!).
+/// key column, re-emits the permuted chunk (columns stay lazy!). Parallel
+/// mode sorts contiguous shards on the pool and merges them left to right;
+/// the merge prefers the left run on ties, which is exactly stable_sort's
+/// tie-break, so output is byte-identical at any parallelism.
 class OrderByOp : public Operator {
  public:
   OrderByOp(std::unique_ptr<Operator> child, std::string column,
-            bool descending);
+            bool descending, const ExecContext* ctx = nullptr);
   Status Open() override;
   StatusOr<bool> Next(Chunk* out) override;
   void Close() override;
@@ -227,6 +278,7 @@ class OrderByOp : public Operator {
   std::unique_ptr<Operator> child_;
   std::string column_;
   bool descending_;
+  const ExecContext* ctx_;
   bool done_ = false;
 };
 

@@ -1,8 +1,18 @@
 #include "model/planner.h"
 
+#include <algorithm>
 #include <cstdio>
 
+#include "util/thread_pool.h"
+
 namespace ccdb {
+
+size_t DefaultScanChunkRows(const MachineProfile& profile) {
+  size_t rows = profile.l2.capacity_bytes / 2 / 16;
+  if (rows < 4096) return 4096;
+  if (rows > (size_t{1} << 20)) return size_t{1} << 20;
+  return rows;
+}
 
 namespace {
 
@@ -14,37 +24,48 @@ size_t CountJoins(const LogicalNode& n) {
 
 std::unique_ptr<Operator> LowerNode(const LogicalNode& n,
                                     const PlannerOptions& options,
+                                    size_t chunk_rows, const ExecContext* ctx,
                                     std::vector<JoinNodeInfo>* joins,
                                     size_t* next_join) {
   switch (n.op) {
     case LogicalOp::kScan:
-      return std::make_unique<ScanOp>(n.table, options.scan_chunk_rows);
+      return std::make_unique<ScanOp>(n.table, chunk_rows);
     case LogicalOp::kSelect:
       return std::make_unique<SelectOp>(
-          LowerNode(*n.children[0], options, joins, next_join), n.pred);
+          LowerNode(*n.children[0], options, chunk_rows, ctx, joins,
+                    next_join),
+          n.pred, ctx);
     case LogicalOp::kJoin: {
-      auto left = LowerNode(*n.children[0], options, joins, next_join);
-      auto right = LowerNode(*n.children[1], options, joins, next_join);
+      auto left = LowerNode(*n.children[0], options, chunk_rows, ctx, joins,
+                            next_join);
+      auto right = LowerNode(*n.children[1], options, chunk_rows, ctx, joins,
+                             next_join);
       JoinNodeInfo* info = &(*joins)[(*next_join)++];
       return std::make_unique<JoinOp>(std::move(left), std::move(right),
                                       n.left_key, n.right_key,
-                                      n.join_strategy, options.profile, info);
+                                      n.join_strategy, options.profile, info,
+                                      ctx);
     }
     case LogicalOp::kProject:
       return std::make_unique<ProjectOp>(
-          LowerNode(*n.children[0], options, joins, next_join), n.columns);
+          LowerNode(*n.children[0], options, chunk_rows, ctx, joins,
+                    next_join),
+          n.columns);
     case LogicalOp::kGroupByAgg:
       return std::make_unique<GroupBySumOp>(
-          LowerNode(*n.children[0], options, joins, next_join), n.group_col,
-          n.value_col);
+          LowerNode(*n.children[0], options, chunk_rows, ctx, joins,
+                    next_join),
+          n.group_col, n.value_col, ctx);
     case LogicalOp::kOrderBy:
       return std::make_unique<OrderByOp>(
-          LowerNode(*n.children[0], options, joins, next_join), n.order_col,
-          n.descending);
+          LowerNode(*n.children[0], options, chunk_rows, ctx, joins,
+                    next_join),
+          n.order_col, n.descending, ctx);
     case LogicalOp::kLimit:
       return std::make_unique<LimitOp>(
-          LowerNode(*n.children[0], options, joins, next_join), n.limit,
-          n.offset);
+          LowerNode(*n.children[0], options, chunk_rows, ctx, joins,
+                    next_join),
+          n.limit, n.offset);
   }
   return nullptr;
 }
@@ -54,13 +75,36 @@ std::unique_ptr<Operator> LowerNode(const LogicalNode& n,
 StatusOr<PhysicalPlan> Planner::Lower(const LogicalPlan& plan) const {
   auto joins = std::make_unique<std::vector<JoinNodeInfo>>(
       CountJoins(plan.root()));
+  // Resolve ExecOptions into the context the operators borrow: parallelism
+  // 0 means every hardware thread; a null pool means the process-shared
+  // one (only reached for, and lazily created at, parallelism > 1).
+  auto ctx = std::make_unique<ExecContext>();
+  ctx->parallelism = options_.exec.parallelism == 0
+                         ? ThreadPool::HardwareThreads()
+                         : options_.exec.parallelism;
+  ctx->pool = options_.exec.pool;
+  if (ctx->pool == nullptr && ctx->parallelism > 1) {
+    ctx->pool = &ThreadPool::Shared();
+  }
+  size_t chunk_rows = options_.exec.scan_chunk_rows;
+  if (chunk_rows == 0) {
+    // Auto chunk: one cache-sized morsel per worker per chunk, so the
+    // morsel floor never caps sharding below the parallelism knob (a
+    // single-morsel chunk would leave workers idle past ~8 threads).
+    chunk_rows = DefaultScanChunkRows(options_.profile);
+    if (ctx->parallelism > 1) {
+      chunk_rows = std::min(chunk_rows * ctx->parallelism, size_t{1} << 22);
+    }
+  }
   size_t next_join = 0;
-  std::unique_ptr<Operator> root =
-      LowerNode(plan.root(), options_, joins.get(), &next_join);
+  std::unique_ptr<Operator> root = LowerNode(plan.root(), options_, chunk_rows,
+                                             ctx.get(), joins.get(),
+                                             &next_join);
   if (root == nullptr) {
     return Status::Internal("planner produced no operator tree");
   }
-  return PhysicalPlan(std::move(root), plan.output_schema(), std::move(joins));
+  return PhysicalPlan(std::move(root), plan.output_schema(), std::move(joins),
+                      std::move(ctx));
 }
 
 StatusOr<QueryResult> PhysicalPlan::Execute() {
@@ -101,7 +145,8 @@ std::string PhysicalPlan::ExplainJoins() const {
   for (const JoinNodeInfo& j : *joins_) {
     std::snprintf(line, sizeof(line),
                   "join %s = %s: inner C=%llu -> %s%s, B=%d (%d passes), "
-                  "model %.2f ms, result %llu\n",
+                  "model %.2f ms, result %llu, %llu partition tasks on "
+                  "%zu workers, inner clustered %dx\n",
                   j.left_key.c_str(), j.right_key.c_str(),
                   (unsigned long long)j.inner_cardinality,
                   JoinStrategyName(j.plan.strategy),
@@ -109,7 +154,9 @@ std::string PhysicalPlan::ExplainJoins() const {
                       ? (j.plan.use_radix_join ? " (radix)" : " (phash)")
                       : "",
                   j.plan.bits, j.plan.passes, j.plan.predicted_ms,
-                  (unsigned long long)j.stats.result_count);
+                  (unsigned long long)j.stats.result_count,
+                  (unsigned long long)j.partition_tasks, j.parallelism,
+                  j.inner_cluster_runs);
     out += line;
   }
   return out;

@@ -20,11 +20,19 @@ namespace ccdb {
 
 struct PlannerOptions {
   MachineProfile profile = MachineProfile::GenericX86();
-  /// Rows per scan chunk. SIZE_MAX (default) executes whole-BAT-at-a-time,
-  /// the paper's full-materialization model; smaller values pipeline chunks
-  /// through non-breaking operators.
-  size_t scan_chunk_rows = SIZE_MAX;
+  /// Execution knobs (exec/exec_context.h): scan chunking and the
+  /// parallelism the lowered operators run with.
+  ExecOptions exec;
 };
+
+/// The cache-sized scan chunk used when ExecOptions::scan_chunk_rows is 0:
+/// sized so a morsel's working set (candidate list + a few gathered
+/// columns, ~16 bytes/row) fills about half of the profile's L2, keeping
+/// chunk state cache-resident while it pipelines through select and join —
+/// which is what lets chunked mode beat full materialization. This is the
+/// *per-worker* morsel size; the planner multiplies it by the resolved
+/// parallelism so each chunk carries one such morsel per worker.
+size_t DefaultScanChunkRows(const MachineProfile& profile);
 
 /// An executable physical plan. Move-only; run with Execute(). The logical
 /// plan's tables must outlive it.
@@ -45,18 +53,24 @@ class PhysicalPlan {
   /// Human-readable summary of the join decisions (after Execute()).
   std::string ExplainJoins() const;
 
+  /// The resolved execution context the operators run with.
+  const ExecContext& context() const { return *ctx_; }
+
  private:
   friend class Planner;
   PhysicalPlan(std::unique_ptr<Operator> root,
                std::vector<PlanColumn> output_schema,
-               std::unique_ptr<std::vector<JoinNodeInfo>> joins)
+               std::unique_ptr<std::vector<JoinNodeInfo>> joins,
+               std::unique_ptr<ExecContext> ctx)
       : root_(std::move(root)),
         output_schema_(std::move(output_schema)),
-        joins_(std::move(joins)) {}
+        joins_(std::move(joins)),
+        ctx_(std::move(ctx)) {}
 
   std::unique_ptr<Operator> root_;
   std::vector<PlanColumn> output_schema_;
   std::unique_ptr<std::vector<JoinNodeInfo>> joins_;  // stable addresses
+  std::unique_ptr<ExecContext> ctx_;                  // borrowed by operators
 };
 
 class Planner {

@@ -1,0 +1,142 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace ccdb {
+
+namespace {
+thread_local bool t_on_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker; }
+
+size_t ThreadPool::HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(HardwareThreads());
+  return pool;
+}
+
+namespace {
+
+Status RunBodyCaught(const std::function<Status(size_t)>& body, size_t i) {
+  try {
+    return body(i);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("ParallelFor body threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("ParallelFor body threw a non-std exception");
+  }
+}
+
+}  // namespace
+
+Status ParallelFor(ThreadPool* pool, size_t parallelism, size_t n,
+                   const std::function<Status(size_t)>& body) {
+  if (n == 0) return Status::Ok();
+  size_t workers = parallelism < n ? parallelism : n;
+  if (pool == nullptr || workers <= 1 || n == 1 ||
+      ThreadPool::OnWorkerThread()) {
+    for (size_t i = 0; i < n; ++i) {
+      Status st = RunBodyCaught(body, i);
+      if (!st.ok()) return st;
+    }
+    return Status::Ok();
+  }
+
+  // The caller returns as soon as every morsel is claimed AND no drive is
+  // still running one — NOT when every submitted drive task has been
+  // scheduled. On the shared pool a query would otherwise be gated on
+  // unrelated queued work just to run its no-op stragglers. A drive task
+  // that starts after the caller returned claims `i >= n` (on failure the
+  // sentinel store below guarantees it), exits without touching `body` or
+  // its captures, and keeps `state` alive through its shared_ptr.
+  struct Shared {
+    std::atomic<size_t> next{0};    // morsel claim counter
+    std::atomic<size_t> active{0};  // drives between entry and exit
+    std::mutex mu;
+    std::condition_variable cv;
+    Status first_error;
+    size_t n = 0;
+  };
+  auto state = std::make_shared<Shared>();
+  state->n = n;
+
+  auto drive = [state, &body] {
+    state->active.fetch_add(1);
+    for (;;) {
+      size_t i = state->next.fetch_add(1);
+      if (i >= state->n) break;
+      Status st = RunBodyCaught(body, i);
+      if (!st.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          if (state->first_error.ok()) state->first_error = std::move(st);
+        }
+        // Stop further claims; late drives see i >= n and exit untouched.
+        state->next.store(state->n);
+        break;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->active.fetch_sub(1);
+    }
+    state->cv.notify_all();
+  };
+
+  for (size_t w = 1; w < workers; ++w) pool->Submit(drive);
+  drive();
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->next.load() >= state->n && state->active.load() == 0;
+  });
+  return state->first_error;
+}
+
+}  // namespace ccdb

@@ -1,0 +1,138 @@
+// ThreadPool + ParallelFor: FIFO task ordering, shutdown draining,
+// exception and Status propagation, nested-call inlining, and the shared
+// pool singleton.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace ccdb {
+namespace {
+
+TEST(ThreadPoolTest, SingleWorkerRunsTasksInSubmissionOrder) {
+  std::vector<int> order;
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&, i] {
+        order.push_back(i);  // single worker: no race
+        done.fetch_add(1);
+      });
+    }
+  }  // destructor drains the queue
+  ASSERT_EQ(done.load(), 64);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 500; ++i) {
+      pool.Submit([&] { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 500);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsASingleton) {
+  EXPECT_EQ(&ThreadPool::Shared(), &ThreadPool::Shared());
+  EXPECT_GE(ThreadPool::Shared().size(), 1u);
+  EXPECT_EQ(ThreadPool::HardwareThreads(), ThreadPool::Shared().size());
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  Status st = ParallelFor(&pool, 8, kN, [&](size_t i) {
+    hits[i].fetch_add(1);
+    return Status::Ok();
+  });
+  ASSERT_TRUE(st.ok());
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, ZeroAndOneIterations) {
+  ThreadPool pool(2);
+  int calls = 0;
+  EXPECT_TRUE(ParallelFor(&pool, 4, 0, [&](size_t) {
+                ++calls;
+                return Status::Ok();
+              }).ok());
+  EXPECT_EQ(calls, 0);
+  EXPECT_TRUE(ParallelFor(&pool, 4, 1, [&](size_t) {
+                ++calls;  // n == 1 runs inline on the caller
+                return Status::Ok();
+              }).ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  std::vector<int> order;
+  Status st = ParallelFor(nullptr, 8, 5, [&](size_t i) {
+    order.push_back(static_cast<int>(i));
+    return Status::Ok();
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, PropagatesFirstStatusAndStops) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  Status st = ParallelFor(&pool, 2, 100000, [&](size_t i) {
+    ran.fetch_add(1);
+    if (i == 3) return Status::InvalidArgument("morsel 3 failed");
+    return Status::Ok();
+  });
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // Failure short-circuits: nowhere near all 100k morsels ran.
+  EXPECT_LT(ran.load(), 100000);
+}
+
+TEST(ParallelForTest, ExceptionsBecomeInternalStatus) {
+  ThreadPool pool(2);
+  Status st = ParallelFor(&pool, 2, 64, [&](size_t i) -> Status {
+    if (i == 7) throw std::runtime_error("boom");
+    return Status::Ok();
+  });
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("boom"), std::string::npos);
+  // The pool survives a throwing body and still runs work.
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(ParallelFor(&pool, 2, 8, [&](size_t) {
+                ran.fetch_add(1);
+                return Status::Ok();
+              }).ok());
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  Status st = ParallelFor(&pool, 2, 4, [&](size_t) {
+    // Nested ParallelFor from (possibly) a worker thread must not re-enter
+    // the pool wait — it runs inline and completes.
+    return ParallelFor(&pool, 2, 8, [&](size_t) {
+      inner_total.fetch_add(1);
+      return Status::Ok();
+    });
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+}  // namespace
+}  // namespace ccdb
