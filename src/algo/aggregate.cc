@@ -1,6 +1,89 @@
 #include "algo/aggregate.h"
 
+#include <algorithm>
+
 namespace ccdb {
+
+namespace {
+
+/// Murmur-folds the key words so multi-column keys spread over the buckets
+/// even when individual columns are small dense domains.
+uint32_t HashKey(const uint32_t* key, size_t width) {
+  uint32_t h = 0;
+  for (size_t k = 0; k < width; ++k) {
+    h = MurmurHash::Hash(h ^ key[k]);
+  }
+  return h;
+}
+
+}  // namespace
+
+GroupAggTable::GroupAggTable(size_t key_width, size_t num_values)
+    : key_width_(key_width),
+      num_values_(num_values),
+      heads_(1024, kEmpty),
+      mask_(1023) {
+  CCDB_CHECK(key_width_ > 0);
+}
+
+uint32_t GroupAggTable::FindOrInsert(const uint32_t* key) {
+  uint32_t b = HashKey(key, key_width_) & mask_;
+  uint32_t g = heads_[b];
+  while (g != kEmpty &&
+         !std::equal(key, key + key_width_, &keys_[g * key_width_])) {
+    g = next_[g];
+  }
+  if (g != kEmpty) return g;
+  g = static_cast<uint32_t>(rows_.size());
+  keys_.insert(keys_.end(), key, key + key_width_);
+  rows_.push_back(0);
+  states_.resize(states_.size() + num_values_);
+  next_.push_back(heads_[b]);
+  heads_[b] = g;
+  // Keep average chain length bounded: rehash at 4x load.
+  if (rows_.size() > heads_.size() * 4) {
+    heads_.assign(heads_.size() * 4, kEmpty);
+    mask_ = static_cast<uint32_t>(heads_.size() - 1);
+    for (uint32_t j = 0; j < rows_.size(); ++j) {
+      uint32_t nb = HashKey(&keys_[j * key_width_], key_width_) & mask_;
+      next_[j] = heads_[nb];
+      heads_[nb] = j;
+    }
+  }
+  return g;
+}
+
+void GroupAggTable::Add(const uint32_t* key, const uint32_t* values) {
+  uint32_t g = FindOrInsert(key);
+  rows_[g] += 1;
+  GroupAggState* s = states_.data() + size_t{g} * num_values_;
+  for (size_t v = 0; v < num_values_; ++v) {
+    s[v].sum += values[v];
+    s[v].min = std::min(s[v].min, values[v]);
+    s[v].max = std::max(s[v].max, values[v]);
+  }
+}
+
+void GroupAggTable::AccumulateGroup(const uint32_t* key, uint64_t rows,
+                                    const GroupAggState* states) {
+  uint32_t g = FindOrInsert(key);
+  rows_[g] += rows;
+  GroupAggState* s = states_.data() + size_t{g} * num_values_;
+  for (size_t v = 0; v < num_values_; ++v) {
+    s[v].sum += states[v].sum;
+    s[v].min = std::min(s[v].min, states[v].min);
+    s[v].max = std::max(s[v].max, states[v].max);
+  }
+}
+
+void GroupAggTable::MergeFrom(const GroupAggTable& other) {
+  CCDB_CHECK(other.key_width_ == key_width_ &&
+             other.num_values_ == num_values_);
+  for (size_t g = 0; g < other.num_groups(); ++g) {
+    AccumulateGroup(&other.keys_[g * key_width_], other.rows_[g],
+                    other.states_.data() + g * num_values_);
+  }
+}
 
 template GroupAggregates HashGroupSum<DirectMemory, IdentityHash>(
     std::span<const uint32_t>, std::span<const uint32_t>, DirectMemory&,

@@ -5,12 +5,14 @@
 #ifndef CCDB_ALGO_AGGREGATE_H_
 #define CCDB_ALGO_AGGREGATE_H_
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "algo/join_common.h"
 #include "algo/radix_sort.h"
 #include "util/bits.h"
+#include "util/status.h"
 
 namespace ccdb {
 
@@ -57,6 +59,79 @@ GroupAggregates HashGroupSum(std::span<const uint32_t> keys,
   }
   return out;
 }
+
+/// Per-(group, value-column) accumulator carrying everything any aggregate
+/// function needs: SUM and AVG read `sum` (plus the group's row count kept
+/// by the table), MIN/MAX the extremes. Partials merge exactly: sums add,
+/// extremes fold — so shard-parallel aggregation loses nothing.
+struct GroupAggState {
+  uint64_t sum = 0;
+  uint32_t min = UINT32_MAX;
+  uint32_t max = 0;
+};
+
+/// Narrows an unsigned running aggregate to the signed i64 output column,
+/// surfacing overflow past INT64_MAX as OutOfRange instead of silently
+/// emitting a negative value.
+inline StatusOr<int64_t> CheckedI64(uint64_t v) {
+  if (v > static_cast<uint64_t>(INT64_MAX)) {
+    return Status::OutOfRange("aggregate exceeds INT64_MAX");
+  }
+  return static_cast<int64_t>(v);
+}
+
+/// Bucket-chained hash table over multi-column group keys with a
+/// GroupAggState per value column — the per-shard partial table of the
+/// generalized group-by operator (§3.2: the group table usually stays
+/// cache-resident while chunks stream through). Keys are stored flat with
+/// stride key_width; groups keep first-appearance order, so a single table
+/// fed in stream order reproduces a serial reference exactly, and MergeFrom
+/// appends unseen groups in the other table's order (deterministic
+/// shard-order merging).
+class GroupAggTable {
+ public:
+  /// `key_width` group-key words per row, `num_values` aggregated columns
+  /// (0 is valid: a pure COUNT keeps only per-group row counts).
+  GroupAggTable(size_t key_width, size_t num_values);
+
+  /// Folds one input row: key[0..key_width), values[0..num_values).
+  void Add(const uint32_t* key, const uint32_t* values);
+
+  /// Folds one pre-aggregated group — `rows` input rows whose per-value
+  /// accumulators are states[0..num_values). This is the per-group step of
+  /// MergeFrom; public so overflow handling in downstream i64 narrowing can
+  /// be regression-tested without accumulating 2^31 actual rows.
+  void AccumulateGroup(const uint32_t* key, uint64_t rows,
+                       const GroupAggState* states);
+
+  /// Merges another shard's partial table into this one.
+  void MergeFrom(const GroupAggTable& other);
+
+  size_t num_groups() const { return rows_.size(); }
+  size_t key_width() const { return key_width_; }
+  size_t num_values() const { return num_values_; }
+
+  /// Key word `k` of group `g`.
+  uint32_t key(size_t g, size_t k) const { return keys_[g * key_width_ + k]; }
+  /// Input rows folded into group `g` (the COUNT aggregate).
+  uint64_t group_rows(size_t g) const { return rows_[g]; }
+  /// Accumulator of value column `v` for group `g`.
+  const GroupAggState& state(size_t g, size_t v) const {
+    return states_[g * num_values_ + v];
+  }
+
+ private:
+  /// Group index for `key`, inserting a zeroed group when unseen.
+  uint32_t FindOrInsert(const uint32_t* key);
+
+  static constexpr uint32_t kEmpty = UINT32_MAX;
+  size_t key_width_, num_values_;
+  std::vector<uint32_t> keys_;          // flat, stride key_width_
+  std::vector<uint64_t> rows_;          // per group
+  std::vector<GroupAggState> states_;   // flat, stride num_values_
+  std::vector<uint32_t> heads_, next_;  // bucket chains over groups
+  uint32_t mask_;
+};
 
 /// Sort/merge grouping: sorts [key,value] pairs, then aggregates runs.
 template <class Mem>

@@ -418,9 +418,14 @@ StatusOr<bool> ScanOp::Next(Chunk* out) {
 
 // --- SelectOp ----------------------------------------------------------------
 
+SelectOp::SelectOp(std::unique_ptr<Operator> child,
+                   std::vector<Predicate> preds, const ExecContext* ctx)
+    : child_(std::move(child)), preds_(std::move(preds)), ctx_(ctx) {}
+
 SelectOp::SelectOp(std::unique_ptr<Operator> child, Predicate pred,
                    const ExecContext* ctx)
-    : child_(std::move(child)), pred_(std::move(pred)), ctx_(ctx) {}
+    : SelectOp(std::move(child),
+               std::vector<Predicate>{std::move(pred)}, ctx) {}
 
 Status SelectOp::Open() { return child_->Open(); }
 void SelectOp::Close() { child_->Close(); }
@@ -546,35 +551,141 @@ StatusOr<std::vector<uint32_t>> EvalPredicate(const Chunk& in,
   return Status::Internal("unreachable predicate kind");
 }
 
+/// First pass of a conjunction: evaluates `pred` over the whole chunk,
+/// morsel-parallel when the column supports ranged evaluation.
+StatusOr<std::vector<uint32_t>> EvalFirstPredicate(const Chunk& in,
+                                                   const Predicate& pred,
+                                                   const ExecContext* ctx) {
+  CCDB_ASSIGN_OR_RETURN(size_t ci, in.Find(pred.column));
+  size_t shards =
+      RangedEvalSupported(in, ci, pred) ? CtxShards(ctx, in.rows) : 1;
+  if (shards <= 1) return EvalPredicate(in, pred);
+  // Morsel-parallel candidate evaluation: shard s fills slot s, and the
+  // ordered concatenation equals the serial result exactly.
+  std::vector<std::vector<uint32_t>> parts(shards);
+  CCDB_RETURN_IF_ERROR(ParallelFor(
+      ctx->pool, ctx->parallelism, shards, [&](size_t s) -> Status {
+        size_t lo = in.rows * s / shards;
+        size_t hi = in.rows * (s + 1) / shards;
+        CCDB_ASSIGN_OR_RETURN(parts[s],
+                              EvalPredicateLazyRange(in, pred, ci, lo, hi));
+        return Status::Ok();
+      }));
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<uint32_t> positions;
+  positions.reserve(total);
+  for (const auto& p : parts) {
+    positions.insert(positions.end(), p.begin(), p.end());
+  }
+  return positions;
+}
+
+/// Evaluates `pred` over the surviving chunk positions [lo, hi) of
+/// `positions`, touching only those candidates (never the full chunk).
+/// Returns the qualifying subset, in order. Requires RangedEvalSupported.
+StatusOr<std::vector<uint32_t>> NarrowSlice(const Chunk& in,
+                                            const Predicate& pred, size_t ci,
+                                            std::span<const uint32_t> positions,
+                                            size_t lo, size_t hi) {
+  const ChunkColumn& col = in.cols[ci];
+  const Bat& bat = col.base->column_bat(col.base_col);
+  const Candidates& cd = in.cands[col.cand_slot];
+  auto range_on_survivors = [&](uint32_t vlo, uint32_t vhi)
+      -> StatusOr<std::vector<uint32_t>> {
+    std::vector<oid_t> oids(hi - lo);
+    for (size_t i = lo; i < hi; ++i) oids[i - lo] = cd.Get(positions[i]);
+    CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> idx,
+                          BatSelectPositions(bat, vlo, vhi, oids));
+    std::vector<uint32_t> out(idx.size());
+    for (size_t i = 0; i < idx.size(); ++i) out[i] = positions[lo + idx[i]];
+    return out;
+  };
+  switch (pred.kind) {
+    case Predicate::Kind::kRangeU32:
+      return range_on_survivors(pred.lo_u32, pred.hi_u32);
+    case Predicate::Kind::kEqStr: {
+      auto code = col.base->dict(col.base_col).Lookup(pred.str_value);
+      if (!code.ok()) return std::vector<uint32_t>{};  // unknown: empty
+      return range_on_survivors(*code, *code);
+    }
+    case Predicate::Kind::kRangeF64: {
+      auto v = bat.tail().Span<double>();
+      std::vector<uint32_t> out;
+      for (size_t i = lo; i < hi; ++i) {
+        oid_t o = cd.Get(positions[i]);
+        if (o >= v.size()) return Status::OutOfRange("candidate beyond column");
+        if (pred.lo_f64 <= v[o] && v[o] <= pred.hi_f64) {
+          out.push_back(positions[i]);
+        }
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unreachable predicate kind");
+}
+
+/// Subsequent pass of a conjunction: narrows the surviving candidate
+/// positions by `pred` without re-scanning the chunk. Lazy columns go
+/// through the candidate-list select kernels; owned/unencoded columns fall
+/// back to evaluating on the survivor sub-chunk (still candidate-bounded).
+StatusOr<std::vector<uint32_t>> NarrowPositions(
+    const Chunk& in, const Predicate& pred,
+    std::vector<uint32_t> positions, const ExecContext* ctx) {
+  if (positions.empty()) return positions;
+  CCDB_ASSIGN_OR_RETURN(size_t ci, in.Find(pred.column));
+  if (!RangedEvalSupported(in, ci, pred)) {
+    CCDB_ASSIGN_OR_RETURN(Chunk sub, in.Take(positions));
+    CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> subpos,
+                          EvalPredicate(sub, pred));
+    std::vector<uint32_t> out(subpos.size());
+    for (size_t i = 0; i < subpos.size(); ++i) out[i] = positions[subpos[i]];
+    return out;
+  }
+  size_t shards = CtxShards(ctx, positions.size());
+  if (shards <= 1) {
+    return NarrowSlice(in, pred, ci, positions, 0, positions.size());
+  }
+  std::vector<std::vector<uint32_t>> parts(shards);
+  CCDB_RETURN_IF_ERROR(ParallelFor(
+      ctx->pool, ctx->parallelism, shards, [&](size_t s) -> Status {
+        size_t lo = positions.size() * s / shards;
+        size_t hi = positions.size() * (s + 1) / shards;
+        CCDB_ASSIGN_OR_RETURN(parts[s],
+                              NarrowSlice(in, pred, ci, positions, lo, hi));
+        return Status::Ok();
+      }));
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<uint32_t> out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
 }  // namespace
 
 StatusOr<bool> SelectOp::Next(Chunk* out) {
   Chunk in;
   CCDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
   if (!more) return false;
-  CCDB_ASSIGN_OR_RETURN(size_t ci, in.Find(pred_.column));
+  // An empty conjunction is logically true: pass the chunk through (plan
+  // validation rejects it, but SelectOp is also composed directly).
+  if (preds_.empty()) {
+    *out = std::move(in);
+    return true;
+  }
+  // Fused conjunction pass: the first predicate scans the chunk's candidate
+  // range; each later predicate narrows the survivors only.
   std::vector<uint32_t> positions;
-  size_t shards =
-      RangedEvalSupported(in, ci, pred_) ? CtxShards(ctx_, in.rows) : 1;
-  if (shards <= 1) {
-    CCDB_ASSIGN_OR_RETURN(positions, EvalPredicate(in, pred_));
-  } else {
-    // Morsel-parallel candidate evaluation: shard s fills slot s, and the
-    // ordered concatenation equals the serial result exactly.
-    std::vector<std::vector<uint32_t>> parts(shards);
-    CCDB_RETURN_IF_ERROR(ParallelFor(
-        ctx_->pool, ctx_->parallelism, shards, [&](size_t s) -> Status {
-          size_t lo = in.rows * s / shards;
-          size_t hi = in.rows * (s + 1) / shards;
-          CCDB_ASSIGN_OR_RETURN(parts[s],
-                                EvalPredicateLazyRange(in, pred_, ci, lo, hi));
-          return Status::Ok();
-        }));
-    size_t total = 0;
-    for (const auto& p : parts) total += p.size();
-    positions.reserve(total);
-    for (const auto& p : parts) {
-      positions.insert(positions.end(), p.begin(), p.end());
+  for (size_t p = 0; p < preds_.size(); ++p) {
+    if (p == 0) {
+      CCDB_ASSIGN_OR_RETURN(positions,
+                            EvalFirstPredicate(in, preds_[p], ctx_));
+    } else {
+      CCDB_ASSIGN_OR_RETURN(
+          positions, NarrowPositions(in, preds_[p], std::move(positions),
+                                     ctx_));
     }
   }
   CCDB_ASSIGN_OR_RETURN(*out, in.Take(positions));
@@ -584,13 +695,14 @@ StatusOr<bool> SelectOp::Next(Chunk* out) {
 // --- JoinOp ------------------------------------------------------------------
 
 JoinOp::JoinOp(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
-               std::string left_key, std::string right_key,
+               std::string left_key, std::string right_key, JoinType join_type,
                JoinStrategy strategy, const MachineProfile& profile,
                JoinNodeInfo* info, const ExecContext* ctx)
     : left_(std::move(left)),
       right_(std::move(right)),
       left_key_(std::move(left_key)),
       right_key_(std::move(right_key)),
+      join_type_(join_type),
       strategy_(strategy),
       profile_(profile),
       info_(info),
@@ -674,6 +786,7 @@ Status JoinOp::Open() {
   if (info_ != nullptr) {
     info_->left_key = left_key_;
     info_->right_key = right_key_;
+    info_->join_type = join_type_;
     info_->inner_cardinality = inner_buns_.size();
     info_->plan = plan_;
     info_->stats = JoinStats{};
@@ -860,33 +973,168 @@ StatusOr<bool> JoinOp::Next(Chunk* out) {
       break;
     }
   }
-  stats.result_count = matches.size();
+  // The match list [probe position, inner position] becomes an output
+  // chunk according to the join type; the prepared inner and probe phases
+  // above are identical for all four types.
+  switch (join_type_) {
+    case JoinType::kInner: {
+      // Take each side through its positions, then zip the column sets.
+      // Both sides stay lazy — the join produced nothing but two candidate
+      // lists.
+      std::vector<uint32_t> lpos(matches.size()), rpos(matches.size());
+      for (size_t i = 0; i < matches.size(); ++i) {
+        lpos[i] = matches[i].head;
+        rpos[i] = matches[i].tail;
+      }
+      CCDB_ASSIGN_OR_RETURN(Chunk lpart, probe.Take(lpos));
+      CCDB_ASSIGN_OR_RETURN(Chunk rpart, inner_.Take(rpos));
+      out->rows = matches.size();
+      out->cands = std::move(lpart.cands);
+      size_t shift = out->cands.size();
+      for (Candidates& cd : rpart.cands) out->cands.push_back(std::move(cd));
+      out->cols = std::move(lpart.cols);
+      for (ChunkColumn& c : rpart.cols) {
+        if (c.lazy()) c.cand_slot += shift;
+        out->cols.push_back(std::move(c));
+      }
+      break;
+    }
+    case JoinType::kSemi:
+    case JoinType::kAnti: {
+      // A filter on the probe side: emit probe rows with (semi) / without
+      // (anti) a match, in probe order — each row at most once.
+      std::vector<uint8_t> matched(probe.rows, 0);
+      for (const Bun& m : matches) matched[m.head] = 1;
+      const uint8_t want = join_type_ == JoinType::kSemi ? 1 : 0;
+      std::vector<uint32_t> positions;
+      for (size_t i = 0; i < probe.rows; ++i) {
+        if (matched[i] == want) positions.push_back(static_cast<uint32_t>(i));
+      }
+      CCDB_ASSIGN_OR_RETURN(*out, probe.Take(positions));
+      break;
+    }
+    case JoinType::kLeftOuter: {
+      // Restore probe order (matches arrive in radix order, which is
+      // deterministic, so this stable sort is too) and interleave unmatched
+      // probe rows with a null right side.
+      std::stable_sort(matches.begin(), matches.end(),
+                       [](const Bun& a, const Bun& b) {
+                         return a.head < b.head;
+                       });
+      std::vector<uint32_t> lpos, rpos;
+      std::vector<uint8_t> valid;
+      lpos.reserve(matches.size());
+      size_t m = 0;
+      for (size_t i = 0; i < probe.rows; ++i) {
+        bool any = false;
+        while (m < matches.size() && matches[m].head == i) {
+          lpos.push_back(static_cast<uint32_t>(i));
+          rpos.push_back(matches[m].tail);
+          valid.push_back(1);
+          any = true;
+          ++m;
+        }
+        if (!any) {
+          lpos.push_back(static_cast<uint32_t>(i));
+          rpos.push_back(0);
+          valid.push_back(0);
+        }
+      }
+      CCDB_ASSIGN_OR_RETURN(Chunk lpart, probe.Take(lpos));
+      CCDB_ASSIGN_OR_RETURN(std::vector<ChunkColumn> rcols,
+                            TakeInnerWithNulls(rpos, valid));
+      out->rows = lpos.size();
+      out->cands = std::move(lpart.cands);
+      out->cols = std::move(lpart.cols);
+      for (ChunkColumn& c : rcols) out->cols.push_back(std::move(c));
+      break;
+    }
+  }
+  stats.result_count = out->rows;
   if (info_ != nullptr) {
     info_->stats.cluster_left_ms += stats.cluster_left_ms;
     info_->stats.cluster_right_ms += stats.cluster_right_ms;
     info_->stats.join_ms += stats.join_ms;
     info_->stats.result_count += stats.result_count;
   }
-  // matches = [probe position, inner position]: take each side through its
-  // positions, then zip the column sets. Both sides stay lazy — the join
-  // produced nothing but two candidate lists.
-  std::vector<uint32_t> lpos(matches.size()), rpos(matches.size());
-  for (size_t i = 0; i < matches.size(); ++i) {
-    lpos[i] = matches[i].head;
-    rpos[i] = matches[i].tail;
-  }
-  CCDB_ASSIGN_OR_RETURN(Chunk lpart, probe.Take(lpos));
-  CCDB_ASSIGN_OR_RETURN(Chunk rpart, inner_.Take(rpos));
-  out->rows = matches.size();
-  out->cands = std::move(lpart.cands);
-  size_t shift = out->cands.size();
-  for (Candidates& cd : rpart.cands) out->cands.push_back(std::move(cd));
-  out->cols = std::move(lpart.cols);
-  for (ChunkColumn& c : rpart.cols) {
-    if (c.lazy()) c.cand_slot += shift;
-    out->cols.push_back(std::move(c));
-  }
   return true;
+}
+
+StatusOr<std::vector<ChunkColumn>> JoinOp::TakeInnerWithNulls(
+    std::span<const uint32_t> rpos, std::span<const uint8_t> valid) const {
+  // Materialize the inner rows at rpos (all rows are unmatched when the
+  // inner is empty, so Take is skipped), then overwrite null slots with the
+  // type's surrogate. Owned columns always, so every chunk of a left-outer
+  // join has the same layout.
+  const size_t n = rpos.size();
+  Chunk taken;
+  if (inner_.rows > 0) {
+    CCDB_ASSIGN_OR_RETURN(taken, inner_.Take(rpos));
+  }
+  std::vector<ChunkColumn> out;
+  out.reserve(inner_.cols.size());
+  for (size_t c = 0; c < inner_.cols.size(); ++c) {
+    ChunkColumn col;
+    col.name = inner_.cols[c].name;
+    switch (inner_.TypeOf(c)) {
+      case PhysType::kU32: {
+        std::vector<uint32_t> v;
+        if (inner_.rows > 0) {
+          CCDB_ASSIGN_OR_RETURN(v, taken.GatherU32(c));
+          for (size_t i = 0; i < n; ++i) {
+            if (!valid[i]) v[i] = 0;
+          }
+        } else {
+          v.assign(n, 0);
+        }
+        col.owned = std::make_shared<const Column>(Column::U32(std::move(v)));
+        break;
+      }
+      case PhysType::kI64: {
+        std::vector<int64_t> v;
+        if (inner_.rows > 0) {
+          CCDB_ASSIGN_OR_RETURN(v, taken.GatherI64(c));
+          for (size_t i = 0; i < n; ++i) {
+            if (!valid[i]) v[i] = 0;
+          }
+        } else {
+          v.assign(n, 0);
+        }
+        col.owned = std::make_shared<const Column>(Column::I64(std::move(v)));
+        break;
+      }
+      case PhysType::kF64: {
+        std::vector<double> v;
+        if (inner_.rows > 0) {
+          CCDB_ASSIGN_OR_RETURN(v, taken.GatherF64(c));
+          for (size_t i = 0; i < n; ++i) {
+            if (!valid[i]) v[i] = 0.0;
+          }
+        } else {
+          v.assign(n, 0.0);
+        }
+        col.owned = std::make_shared<const Column>(Column::F64(std::move(v)));
+        break;
+      }
+      case PhysType::kStr: {
+        std::vector<std::string> v;
+        if (inner_.rows > 0) {
+          CCDB_ASSIGN_OR_RETURN(v, taken.GatherStr(c));
+          for (size_t i = 0; i < n; ++i) {
+            if (!valid[i]) v[i].clear();
+          }
+        } else {
+          v.resize(n);
+        }
+        col.owned = std::make_shared<const Column>(Column::Str(v));
+        break;
+      }
+      default:
+        return Status::Internal("unexpected inner column type");
+    }
+    out.push_back(std::move(col));
+  }
+  return out;
 }
 
 // --- ProjectOp ---------------------------------------------------------------
@@ -922,157 +1170,170 @@ StatusOr<bool> ProjectOp::Next(Chunk* out) {
   return true;
 }
 
-// --- GroupBySumOp ------------------------------------------------------------
+// --- GroupByAggOp ------------------------------------------------------------
 
-GroupBySumOp::GroupBySumOp(std::unique_ptr<Operator> child,
-                           std::string group_col, std::string value_col,
-                           const ExecContext* ctx)
+GroupByAggOp::GroupByAggOp(std::unique_ptr<Operator> child,
+                           std::vector<std::string> group_cols,
+                           std::vector<AggSpec> aggs, const ExecContext* ctx)
     : child_(std::move(child)),
-      group_col_(std::move(group_col)),
-      value_col_(std::move(value_col)),
+      group_cols_(std::move(group_cols)),
+      aggs_(std::move(aggs)),
       ctx_(ctx) {}
 
-Status GroupBySumOp::Open() {
+Status GroupByAggOp::Open() {
   done_ = false;
   return child_->Open();
 }
-void GroupBySumOp::Close() { child_->Close(); }
+void GroupByAggOp::Close() { child_->Close(); }
 
-namespace {
-
-/// Incremental bucket-chained hash grouping (§3.2: the group table usually
-/// stays cache-resident while chunks stream through). One instance per
-/// worker shard; shard partials merge through Accumulate in shard order.
-class GroupSumTable {
- public:
-  void Add(uint32_t k, uint32_t v) { Accumulate(k, v, 1); }
-
-  void MergeFrom(const GroupSumTable& other) {
-    for (size_t g = 0; g < other.agg_.size(); ++g) {
-      Accumulate(other.agg_.keys[g], other.agg_.sums[g],
-                 other.agg_.counts[g]);
-    }
-  }
-
-  GroupAggregates TakeAggregates() { return std::move(agg_); }
-
- private:
-  void Accumulate(uint32_t k, uint64_t sum, uint64_t count) {
-    uint32_t b = MurmurHash::Hash(k) & mask_;
-    uint32_t g = heads_[b];
-    while (g != kEmpty && agg_.keys[g] != k) g = next_[g];
-    if (g == kEmpty) {
-      g = static_cast<uint32_t>(agg_.keys.size());
-      agg_.keys.push_back(k);
-      agg_.sums.push_back(0);
-      agg_.counts.push_back(0);
-      next_.push_back(heads_[b]);
-      heads_[b] = g;
-      // Keep average chain length bounded: rehash at 4x load.
-      if (agg_.keys.size() > heads_.size() * 4) {
-        heads_.assign(heads_.size() * 4, kEmpty);
-        mask_ = static_cast<uint32_t>(heads_.size() - 1);
-        for (uint32_t j = 0; j < agg_.keys.size(); ++j) {
-          uint32_t nb = MurmurHash::Hash(agg_.keys[j]) & mask_;
-          next_[j] = heads_[nb];
-          heads_[nb] = j;
-        }
-      }
-    }
-    agg_.sums[g] += sum;
-    agg_.counts[g] += count;
-  }
-
-  static constexpr uint32_t kEmpty = UINT32_MAX;
-  GroupAggregates agg_;
-  std::vector<uint32_t> heads_ = std::vector<uint32_t>(1024, kEmpty);
-  std::vector<uint32_t> next_;
-  uint32_t mask_ = 1023;
-};
-
-}  // namespace
-
-StatusOr<bool> GroupBySumOp::Next(Chunk* out) {
+StatusOr<bool> GroupByAggOp::Next(Chunk* out) {
   if (done_) return false;
   done_ = true;
 
+  const size_t kw = group_cols_.size();
+  // Distinct value columns, in first-use order: several aggregates over the
+  // same column (min+max+avg) share one accumulator slot.
+  std::vector<std::string> value_cols;
+  std::vector<size_t> agg_value_idx(aggs_.size(), SIZE_MAX);
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    if (aggs_[a].func == AggFunc::kCount) continue;
+    size_t v = 0;
+    while (v < value_cols.size() && value_cols[v] != aggs_[a].value_col) ++v;
+    if (v == value_cols.size()) value_cols.push_back(aggs_[a].value_col);
+    agg_value_idx[a] = v;
+  }
+  const size_t nv = value_cols.size();
+
   // One group table per worker shard, persistent across chunks. At
   // parallelism 1 the single table sees rows in stream order — byte
-  // identical to the serial engine; shard merging (parallelism > 1) may
+  // identical to a serial reference; shard merging (parallelism > 1) may
   // emit groups in a different (still deterministic) order.
   size_t nshards =
       (ctx_ != nullptr && ctx_->parallel()) ? ctx_->parallelism : 1;
-  std::vector<GroupSumTable> partials(nshards);
+  std::vector<GroupAggTable> partials(nshards, GroupAggTable(kw, nv));
 
-  const Table* dict_table = nullptr;  // set when grouping an encoded column
-  size_t dict_col = 0;
+  // Dictionaries for decoding encoded group columns on emission.
+  std::vector<const Table*> dict_tables(kw, nullptr);
+  std::vector<size_t> dict_cols(kw, 0);
 
   for (;;) {
     Chunk in;
     CCDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
     if (!more) break;
-    CCDB_ASSIGN_OR_RETURN(size_t gi, in.Find(group_col_));
-    CCDB_ASSIGN_OR_RETURN(size_t vi, in.Find(value_col_));
-    const ChunkColumn& gcol = in.cols[gi];
-    if (gcol.lazy() && gcol.base->is_encoded(gcol.base_col)) {
-      dict_table = gcol.base;
-      dict_col = gcol.base_col;
-    }
     // For encoded group columns GatherU32 reads the 1-2 byte codes — the
     // aggregate groups on codes and decodes only the final group keys.
-    CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> keys, in.GatherU32(gi));
-    CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> vals, in.GatherU32(vi));
-    size_t shards = nshards == 1 ? 1 : CtxShards(ctx_, keys.size());
-    if (shards <= 1) {
-      for (size_t i = 0; i < keys.size(); ++i) {
-        partials[0].Add(keys[i], vals[i]);
+    std::vector<std::vector<uint32_t>> keys(kw), vals(nv);
+    for (size_t c = 0; c < kw; ++c) {
+      CCDB_ASSIGN_OR_RETURN(size_t gi, in.Find(group_cols_[c]));
+      const ChunkColumn& gcol = in.cols[gi];
+      if (gcol.lazy() && gcol.base->is_encoded(gcol.base_col)) {
+        dict_tables[c] = gcol.base;
+        dict_cols[c] = gcol.base_col;
       }
+      CCDB_ASSIGN_OR_RETURN(keys[c], in.GatherU32(gi));
+    }
+    for (size_t v = 0; v < nv; ++v) {
+      CCDB_ASSIGN_OR_RETURN(size_t vi, in.Find(value_cols[v]));
+      CCDB_ASSIGN_OR_RETURN(vals[v], in.GatherU32(vi));
+    }
+    const size_t n = in.rows;
+    auto add_range = [&](GroupAggTable& table, size_t lo, size_t hi) {
+      std::vector<uint32_t> kbuf(kw), vbuf(nv);
+      for (size_t i = lo; i < hi; ++i) {
+        for (size_t c = 0; c < kw; ++c) kbuf[c] = keys[c][i];
+        for (size_t v = 0; v < nv; ++v) vbuf[v] = vals[v][i];
+        table.Add(kbuf.data(), vbuf.data());
+      }
+    };
+    size_t shards = nshards == 1 ? 1 : CtxShards(ctx_, n);
+    if (shards <= 1) {
+      add_range(partials[0], 0, n);
     } else {
       CCDB_RETURN_IF_ERROR(ParallelFor(
           ctx_->pool, ctx_->parallelism, shards, [&](size_t s) -> Status {
-            size_t lo = keys.size() * s / shards;
-            size_t hi = keys.size() * (s + 1) / shards;
-            for (size_t i = lo; i < hi; ++i) {
-              partials[s].Add(keys[i], vals[i]);
-            }
+            add_range(partials[s], n * s / shards, n * (s + 1) / shards);
             return Status::Ok();
           }));
     }
   }
 
   for (size_t s = 1; s < nshards; ++s) partials[0].MergeFrom(partials[s]);
-  GroupAggregates agg = partials[0].TakeAggregates();
+  const GroupAggTable& agg = partials[0];
+  const size_t ngroups = agg.num_groups();
 
-  out->rows = agg.size();
+  out->rows = ngroups;
   out->cands.clear();
   out->cols.clear();
-  ChunkColumn group;
-  group.name = group_col_;
-  if (dict_table != nullptr) {
-    std::vector<std::string> decoded(agg.size());
-    const StrDictionary& dict = dict_table->dict(dict_col);
-    for (size_t i = 0; i < agg.size(); ++i) {
-      if (agg.keys[i] >= dict.size()) {
-        return Status::Internal("group code beyond dictionary");
+  for (size_t c = 0; c < kw; ++c) {
+    ChunkColumn group;
+    group.name = group_cols_[c];
+    if (dict_tables[c] != nullptr) {
+      const StrDictionary& dict = dict_tables[c]->dict(dict_cols[c]);
+      std::vector<std::string> decoded(ngroups);
+      for (size_t g = 0; g < ngroups; ++g) {
+        uint32_t code = agg.key(g, c);
+        if (code >= dict.size()) {
+          return Status::Internal("group code beyond dictionary");
+        }
+        decoded[g] = std::string(dict.Get(code));
       }
-      decoded[i] = std::string(dict.Get(agg.keys[i]));
+      group.owned = std::make_shared<const Column>(Column::Str(decoded));
+    } else {
+      std::vector<uint32_t> raw(ngroups);
+      for (size_t g = 0; g < ngroups; ++g) raw[g] = agg.key(g, c);
+      group.owned = std::make_shared<const Column>(Column::U32(std::move(raw)));
     }
-    group.owned = std::make_shared<const Column>(Column::Str(decoded));
-  } else {
-    group.owned =
-        std::make_shared<const Column>(Column::U32(std::move(agg.keys)));
+    out->cols.push_back(std::move(group));
   }
-  out->cols.push_back(std::move(group));
-  ChunkColumn sum;
-  sum.name = "sum";
-  sum.owned = std::make_shared<const Column>(Column::I64(
-      std::vector<int64_t>(agg.sums.begin(), agg.sums.end())));
-  out->cols.push_back(std::move(sum));
-  ChunkColumn count;
-  count.name = "count";
-  count.owned = std::make_shared<const Column>(Column::I64(
-      std::vector<int64_t>(agg.counts.begin(), agg.counts.end())));
-  out->cols.push_back(std::move(count));
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    ChunkColumn col;
+    col.name = aggs_[a].output_name;
+    const size_t v = agg_value_idx[a];
+    switch (aggs_[a].func) {
+      case AggFunc::kSum: {
+        std::vector<int64_t> sums(ngroups);
+        for (size_t g = 0; g < ngroups; ++g) {
+          // The unchecked u64 -> i64 narrowing used to wrap into negative
+          // sums here; surface overflow instead.
+          CCDB_ASSIGN_OR_RETURN(sums[g], CheckedI64(agg.state(g, v).sum));
+        }
+        col.owned =
+            std::make_shared<const Column>(Column::I64(std::move(sums)));
+        break;
+      }
+      case AggFunc::kCount: {
+        std::vector<int64_t> counts(ngroups);
+        for (size_t g = 0; g < ngroups; ++g) {
+          CCDB_ASSIGN_OR_RETURN(counts[g], CheckedI64(agg.group_rows(g)));
+        }
+        col.owned =
+            std::make_shared<const Column>(Column::I64(std::move(counts)));
+        break;
+      }
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        const bool is_min = aggs_[a].func == AggFunc::kMin;
+        std::vector<uint32_t> ext(ngroups);
+        for (size_t g = 0; g < ngroups; ++g) {
+          ext[g] = is_min ? agg.state(g, v).min : agg.state(g, v).max;
+        }
+        col.owned =
+            std::make_shared<const Column>(Column::U32(std::move(ext)));
+        break;
+      }
+      case AggFunc::kAvg: {
+        std::vector<double> avgs(ngroups);
+        for (size_t g = 0; g < ngroups; ++g) {
+          avgs[g] = static_cast<double>(agg.state(g, v).sum) /
+                    static_cast<double>(agg.group_rows(g));
+        }
+        col.owned =
+            std::make_shared<const Column>(Column::F64(std::move(avgs)));
+        break;
+      }
+    }
+    out->cols.push_back(std::move(col));
+  }
   return true;
 }
 
@@ -1173,12 +1434,17 @@ LimitOp::LimitOp(std::unique_ptr<Operator> child, size_t limit, size_t offset)
 Status LimitOp::Open() {
   skipped_ = 0;
   emitted_ = 0;
+  emitted_chunk_ = false;
   return child_->Open();
 }
 void LimitOp::Close() { child_->Close(); }
 
 StatusOr<bool> LimitOp::Next(Chunk* out) {
-  if (emitted_ >= limit_ && skipped_ >= offset_ && emitted_ > 0) return false;
+  // Once the limit is reached, stop pulling from the child — but only
+  // after at least one (possibly zero-row) chunk carried the layout
+  // downstream. This must not depend on emitted_ > 0: Limit(0) reaches its
+  // limit immediately and used to drain the whole child instead.
+  if (emitted_chunk_ && emitted_ >= limit_) return false;
   Chunk in;
   CCDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
   if (!more) return false;
@@ -1191,6 +1457,7 @@ StatusOr<bool> LimitOp::Next(Chunk* out) {
     positions[i] = static_cast<uint32_t>(skip + i);
   }
   CCDB_ASSIGN_OR_RETURN(*out, in.Take(positions));
+  emitted_chunk_ = true;
   return true;
 }
 

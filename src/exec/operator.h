@@ -124,6 +124,7 @@ class Operator {
 /// inner cardinality and the JoinPlan the cost model chose for it.
 struct JoinNodeInfo {
   std::string left_key, right_key;
+  JoinType join_type = JoinType::kInner;
   uint64_t inner_cardinality = 0;
   JoinPlan plan;
   JoinStats stats;  // accumulated over probe chunks
@@ -158,13 +159,18 @@ class ScanOp : public Operator {
   bool emitted_ = false;
 };
 
-/// Filter: evaluates `pred` through the candidate list (predicate remap for
-/// encoded columns) and narrows the chunk — no values are materialized.
-/// With a parallel ExecContext the chunk's candidate range is split into
-/// cache-sized morsels evaluated on the pool; morsel results concatenate in
-/// morsel order, so output is byte-identical at any parallelism.
+/// Filter: evaluates a conjunction of predicates through the candidate list
+/// (predicate remap for encoded columns) and narrows the chunk — no values
+/// are materialized. The conjunction runs as one fused candidate pass: the
+/// first predicate scans the chunk's candidate range, every subsequent
+/// predicate narrows the surviving candidate list without re-scanning the
+/// chunk. With a parallel ExecContext each pass splits into cache-sized
+/// morsels evaluated on the pool; morsel results concatenate in morsel
+/// order, so output is byte-identical at any parallelism.
 class SelectOp : public Operator {
  public:
+  SelectOp(std::unique_ptr<Operator> child, std::vector<Predicate> preds,
+           const ExecContext* ctx = nullptr);
   SelectOp(std::unique_ptr<Operator> child, Predicate pred,
            const ExecContext* ctx = nullptr);
   Status Open() override;
@@ -173,7 +179,7 @@ class SelectOp : public Operator {
 
  private:
   std::unique_ptr<Operator> child_;
-  Predicate pred_;
+  std::vector<Predicate> preds_;
   const ExecContext* ctx_;
 };
 
@@ -184,15 +190,23 @@ class SelectOp : public Operator {
 /// hash-table-built — never redone per probe chunk. Next() probes with one
 /// outer chunk at a time; each radix partition is an independent task run
 /// on the ExecContext's pool, and partition results concatenate in radix
-/// order so join output is byte-identical at any parallelism. Output
-/// columns stay lazy on both sides — the join only produces two candidate
-/// lists.
+/// order so join output is byte-identical at any parallelism.
+///
+/// All four JoinTypes probe the same prepared-once inner structures; they
+/// differ only in how the per-chunk match list becomes an output chunk:
+///  - kInner: matching pairs in radix order; both sides stay lazy — the
+///    join only produces two candidate lists.
+///  - kSemi / kAnti: probe rows with / without a match, in probe order;
+///    only left columns (and candidate lists) survive.
+///  - kLeftOuter: matches sorted to probe order with unmatched probe rows
+///    interleaved; right-side columns are materialized (decoded), with
+///    type defaults (0 / 0.0 / "") standing in for nulls.
 class JoinOp : public Operator {
  public:
   JoinOp(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
-         std::string left_key, std::string right_key, JoinStrategy strategy,
-         const MachineProfile& profile, JoinNodeInfo* info,
-         const ExecContext* ctx = nullptr);
+         std::string left_key, std::string right_key, JoinType join_type,
+         JoinStrategy strategy, const MachineProfile& profile,
+         JoinNodeInfo* info, const ExecContext* ctx = nullptr);
   Status Open() override;
   StatusOr<bool> Next(Chunk* out) override;
   void Close() override;
@@ -208,8 +222,15 @@ class JoinOp : public Operator {
   /// Probes the single Open()-built table with one chunk, morsel-parallel.
   StatusOr<std::vector<Bun>> ProbeSimpleHash(std::span<const Bun> probe) const;
 
+  /// Right-side columns for a left-outer output chunk: inner row `rpos[i]`
+  /// when `valid[i]`, the type's null surrogate otherwise. Always owned
+  /// columns, so chunk layout is identical whether or not rows matched.
+  StatusOr<std::vector<ChunkColumn>> TakeInnerWithNulls(
+      std::span<const uint32_t> rpos, std::span<const uint8_t> valid) const;
+
   std::unique_ptr<Operator> left_, right_;
   std::string left_key_, right_key_;
+  JoinType join_type_;
   JoinStrategy strategy_;
   MachineProfile profile_;
   JoinNodeInfo* info_;  // owned by the PhysicalPlan; may be null
@@ -239,24 +260,31 @@ class ProjectOp : public Operator {
   std::vector<std::string> columns_;
 };
 
-/// Pipeline breaker: hash-grouped SUM/COUNT accumulated chunk by chunk
-/// (§3.2: the group table usually fits the caches). With a parallel
-/// ExecContext each worker shard keeps its own group table across chunks
-/// (per-thread partials) and the partials merge in shard order when the
-/// input is exhausted; at parallelism 1 the single table is fed in stream
-/// order, reproducing the serial engine byte for byte. Emits one chunk of
-/// owned columns [group, "sum", "count"]; encoded group keys are decoded.
-class GroupBySumOp : public Operator {
+/// Pipeline breaker: hash-grouped aggregation over one or more group-key
+/// columns, accumulated chunk by chunk (§3.2: the group table usually fits
+/// the caches). Each per-shard partial table (GroupAggTable) carries (sum,
+/// count, min, max) per value column, so any subset of
+/// SUM/MIN/MAX/AVG/COUNT is answered from one pass and partials merge
+/// exactly. With a parallel ExecContext each worker shard keeps its own
+/// table across chunks and the partials merge in shard order when the input
+/// is exhausted; at parallelism 1 the single table is fed in stream order,
+/// reproducing a serial reference byte for byte. Emits one chunk of owned
+/// columns [group cols..., one column per AggSpec]; encoded group keys are
+/// decoded. Sums and counts past INT64_MAX surface as OutOfRange rather
+/// than negative values.
+class GroupByAggOp : public Operator {
  public:
-  GroupBySumOp(std::unique_ptr<Operator> child, std::string group_col,
-               std::string value_col, const ExecContext* ctx = nullptr);
+  GroupByAggOp(std::unique_ptr<Operator> child,
+               std::vector<std::string> group_cols, std::vector<AggSpec> aggs,
+               const ExecContext* ctx = nullptr);
   Status Open() override;
   StatusOr<bool> Next(Chunk* out) override;
   void Close() override;
 
  private:
   std::unique_ptr<Operator> child_;
-  std::string group_col_, value_col_;
+  std::vector<std::string> group_cols_;
+  std::vector<AggSpec> aggs_;
   const ExecContext* ctx_;
   bool done_ = false;
 };
@@ -283,7 +311,9 @@ class OrderByOp : public Operator {
 };
 
 /// Streams through the child, skipping `offset` rows and truncating after
-/// `limit` (Monet's slice).
+/// `limit` (Monet's slice). Once the limit is reached — including limit 0 —
+/// it stops pulling from the child after the first (layout-bearing) chunk
+/// instead of draining it.
 class LimitOp : public Operator {
  public:
   LimitOp(std::unique_ptr<Operator> child, size_t limit, size_t offset);
@@ -295,6 +325,7 @@ class LimitOp : public Operator {
   std::unique_ptr<Operator> child_;
   size_t limit_, offset_;
   size_t skipped_ = 0, emitted_ = 0;
+  bool emitted_chunk_ = false;  // a layout-bearing chunk went downstream
 };
 
 }  // namespace ccdb

@@ -31,7 +31,7 @@ StatusOr<std::vector<Bun>> JoinTables(const Table& left,
   JoinNodeInfo info;
   JoinOp join(std::make_unique<ScanOp>(&left, SIZE_MAX),
               std::make_unique<ScanOp>(&right, SIZE_MAX), left_col, right_col,
-              strategy, profile, &info);
+              JoinType::kInner, strategy, profile, &info);
   CCDB_RETURN_IF_ERROR(join.Open());
   std::vector<Bun> index;
   for (;;) {

@@ -4,6 +4,27 @@
 
 namespace ccdb {
 
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum: return "sum";
+    case AggFunc::kMin: return "min";
+    case AggFunc::kMax: return "max";
+    case AggFunc::kAvg: return "avg";
+    case AggFunc::kCount: return "count";
+  }
+  return "?";
+}
+
+const char* JoinTypeName(JoinType t) {
+  switch (t) {
+    case JoinType::kInner: return "inner";
+    case JoinType::kLeftOuter: return "left_outer";
+    case JoinType::kSemi: return "semi";
+    case JoinType::kAnti: return "anti";
+  }
+  return "?";
+}
+
 const char* LogicalOpName(LogicalOp op) {
   switch (op) {
     case LogicalOp::kScan: return "Scan";
@@ -73,10 +94,37 @@ PlanColumn ScanColumn(const Table& t, size_t i) {
 /// moved-from root becomes a null child of the next appended node).
 StatusOr<const LogicalNode*> ChildOf(const LogicalNode& n, size_t i) {
   if (n.children.size() <= i || n.children[i] == nullptr) {
-    return Status::FailedPrecondition(
+    return Status::InvalidArgument(
         "QueryBuilder already consumed by Build()");
   }
   return n.children[i].get();
+}
+
+Status ValidatePredicate(const Schema& in, const Predicate& pred) {
+  CCDB_ASSIGN_OR_RETURN(const PlanColumn* c,
+                        FindColumn(in, pred.column, "Select"));
+  switch (pred.kind) {
+    case Predicate::Kind::kRangeU32:
+      if (c->type != PhysType::kU32) {
+        return Status::InvalidArgument("Select: RangeU32 predicate on "
+                                       "non-integral column '" +
+                                       c->name + "'");
+      }
+      break;
+    case Predicate::Kind::kRangeF64:
+      if (c->type != PhysType::kF64) {
+        return Status::InvalidArgument(
+            "Select: RangeF64 predicate on non-f64 column '" + c->name + "'");
+      }
+      break;
+    case Predicate::Kind::kEqStr:
+      if (c->type != PhysType::kStr) {
+        return Status::InvalidArgument(
+            "Select: EqStr predicate on non-string column '" + c->name + "'");
+      }
+      break;
+  }
+  return Status::Ok();
 }
 
 StatusOr<Schema> ValidateNode(const LogicalNode& n) {
@@ -94,30 +142,11 @@ StatusOr<Schema> ValidateNode(const LogicalNode& n) {
     case LogicalOp::kSelect: {
       CCDB_ASSIGN_OR_RETURN(const LogicalNode* child, ChildOf(n, 0));
       CCDB_ASSIGN_OR_RETURN(Schema in, ValidateNode(*child));
-      CCDB_ASSIGN_OR_RETURN(const PlanColumn* c,
-                            FindColumn(in, n.pred.column, "Select"));
-      switch (n.pred.kind) {
-        case Predicate::Kind::kRangeU32:
-          if (c->type != PhysType::kU32) {
-            return Status::InvalidArgument("Select: RangeU32 predicate on "
-                                           "non-integral column '" +
-                                           c->name + "'");
-          }
-          break;
-        case Predicate::Kind::kRangeF64:
-          if (c->type != PhysType::kF64) {
-            return Status::InvalidArgument(
-                "Select: RangeF64 predicate on non-f64 column '" + c->name +
-                "'");
-          }
-          break;
-        case Predicate::Kind::kEqStr:
-          if (c->type != PhysType::kStr) {
-            return Status::InvalidArgument(
-                "Select: EqStr predicate on non-string column '" + c->name +
-                "'");
-          }
-          break;
+      if (n.preds.empty()) {
+        return Status::InvalidArgument("Select: empty predicate conjunction");
+      }
+      for (const Predicate& pred : n.preds) {
+        CCDB_RETURN_IF_ERROR(ValidatePredicate(in, pred));
       }
       return in;
     }
@@ -135,6 +164,11 @@ StatusOr<Schema> ValidateNode(const LogicalNode& n) {
             "Join: keys must be u32 columns (got '" + n.left_key + "', '" +
             n.right_key + "')");
       }
+      // Semi/anti joins are filters on the probe side: only left columns
+      // survive, so right-side names cannot collide or become nullable.
+      if (n.join_type == JoinType::kSemi || n.join_type == JoinType::kAnti) {
+        return l;
+      }
       Schema out = l;
       for (PlanColumn c : r) {
         for (PlanColumn& existing : out) {
@@ -142,6 +176,13 @@ StatusOr<Schema> ValidateNode(const LogicalNode& n) {
             existing.ambiguous = true;
             c.ambiguous = true;
           }
+        }
+        if (n.join_type == JoinType::kLeftOuter) {
+          // Unmatched probe rows carry nulls on the right side; the
+          // executor materializes (and decodes) those columns, surfacing
+          // nulls as type defaults.
+          c.nullable = true;
+          c.encoded = false;
         }
         out.push_back(std::move(c));
       }
@@ -164,26 +205,62 @@ StatusOr<Schema> ValidateNode(const LogicalNode& n) {
     case LogicalOp::kGroupByAgg: {
       CCDB_ASSIGN_OR_RETURN(const LogicalNode* child, ChildOf(n, 0));
       CCDB_ASSIGN_OR_RETURN(Schema in, ValidateNode(*child));
-      CCDB_ASSIGN_OR_RETURN(const PlanColumn* g,
-                            FindColumn(in, n.group_col, "GroupByAgg"));
-      CCDB_ASSIGN_OR_RETURN(const PlanColumn* v,
-                            FindColumn(in, n.value_col, "GroupByAgg"));
-      if (g->type != PhysType::kU32 && !(g->type == PhysType::kStr && g->encoded)) {
-        return Status::InvalidArgument(
-            "GroupByAgg: group column '" + g->name +
-            "' must be integral or an encoded string column");
+      if (n.group_cols.empty()) {
+        return Status::InvalidArgument("GroupByAgg: empty group-column list");
       }
-      if (v->type != PhysType::kU32) {
-        return Status::InvalidArgument("GroupByAgg: value column '" + v->name +
-                                       "' must be u32");
+      if (n.aggs.empty()) {
+        return Status::InvalidArgument("GroupByAgg: empty aggregate list");
       }
       Schema out;
-      PlanColumn group = *g;
-      group.encoded = false;  // aggregation output decodes group keys
-      group.ambiguous = false;
-      out.push_back(std::move(group));
-      out.push_back({"sum", PhysType::kI64, false, false});
-      out.push_back({"count", PhysType::kI64, false, false});
+      for (const std::string& name : n.group_cols) {
+        CCDB_ASSIGN_OR_RETURN(const PlanColumn* g,
+                              FindColumn(in, name, "GroupByAgg"));
+        if (g->type != PhysType::kU32 &&
+            !(g->type == PhysType::kStr && g->encoded)) {
+          return Status::InvalidArgument(
+              "GroupByAgg: group column '" + g->name +
+              "' must be integral or an encoded string column");
+        }
+        for (const PlanColumn& seen : out) {
+          if (seen.name == name) {
+            return Status::InvalidArgument(
+                "GroupByAgg: duplicate group column '" + name + "'");
+          }
+        }
+        PlanColumn group = *g;
+        group.encoded = false;  // aggregation output decodes group keys
+        group.ambiguous = false;
+        group.nullable = false;  // null surrogates group as concrete values
+        out.push_back(std::move(group));
+      }
+      for (const AggSpec& agg : n.aggs) {
+        if (agg.func != AggFunc::kCount) {
+          CCDB_ASSIGN_OR_RETURN(const PlanColumn* v,
+                                FindColumn(in, agg.value_col, "GroupByAgg"));
+          if (v->type != PhysType::kU32) {
+            return Status::InvalidArgument("GroupByAgg: value column '" +
+                                           v->name + "' must be u32");
+          }
+        }
+        if (agg.output_name.empty()) {
+          return Status::InvalidArgument(
+              "GroupByAgg: empty aggregate output name");
+        }
+        for (const PlanColumn& seen : out) {
+          if (seen.name == agg.output_name) {
+            return Status::InvalidArgument(
+                "GroupByAgg: duplicate output column '" + agg.output_name +
+                "' (rename with Agg::...().As())");
+          }
+        }
+        PhysType t = PhysType::kI64;  // sum, count
+        if (agg.func == AggFunc::kMin || agg.func == AggFunc::kMax) {
+          t = PhysType::kU32;
+        } else if (agg.func == AggFunc::kAvg) {
+          t = PhysType::kF64;
+        }
+        out.push_back({agg.output_name, t, false, false, false});
+      }
       return out;
     }
     case LogicalOp::kOrderBy: {
@@ -202,18 +279,52 @@ StatusOr<Schema> ValidateNode(const LogicalNode& n) {
   return Status::Internal("unreachable logical op");
 }
 
+/// One predicate, EXPLAIN-style: `qty in [2, 4]`, `shipmode = "MAIL"`.
+std::string RenderPredicate(const Predicate& p) {
+  switch (p.kind) {
+    case Predicate::Kind::kRangeU32:
+      return p.column + " in [" + std::to_string(p.lo_u32) + ", " +
+             std::to_string(p.hi_u32) + "]";
+    case Predicate::Kind::kRangeF64:
+      return p.column + " in [" + std::to_string(p.lo_f64) + ", " +
+             std::to_string(p.hi_f64) + "]";
+    case Predicate::Kind::kEqStr:
+      return p.column + " = \"" + p.str_value + "\"";
+  }
+  return "?";
+}
+
+/// One aggregate: `sum(qty)`, `min(qty) as lo`, `count()`.
+std::string RenderAgg(const AggSpec& a) {
+  std::string s;
+  s.append(AggFuncName(a.func));
+  s.append("(").append(a.value_col).append(")");
+  if (a.output_name != AggFuncName(a.func)) {
+    s.append(" as ").append(a.output_name);
+  }
+  return s;
+}
+
 void RenderNode(const LogicalNode& n, int depth, std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
   out->append(LogicalOpName(n.op));
   switch (n.op) {
     case LogicalOp::kScan:
-      out->append("(" + std::to_string(n.table->num_rows()) + " rows)");
+      out->append("(").append(std::to_string(n.table->num_rows()))
+          .append(" rows)");
       break;
-    case LogicalOp::kSelect:
-      out->append("(" + n.pred.column + ")");
+    case LogicalOp::kSelect: {
+      out->append("(");
+      for (size_t i = 0; i < n.preds.size(); ++i) {
+        if (i) out->append(" AND ");
+        out->append(RenderPredicate(n.preds[i]));
+      }
+      out->append(")");
       break;
+    }
     case LogicalOp::kJoin:
       out->append("(" + n.left_key + " = " + n.right_key + ", " +
+                  JoinTypeName(n.join_type) + ", " +
                   JoinStrategyName(n.join_strategy) + ")");
       break;
     case LogicalOp::kProject: {
@@ -225,15 +336,26 @@ void RenderNode(const LogicalNode& n, int depth, std::string* out) {
       out->append(")");
       break;
     }
-    case LogicalOp::kGroupByAgg:
-      out->append("(" + n.group_col + ", sum(" + n.value_col + "))");
+    case LogicalOp::kGroupByAgg: {
+      out->append("(");
+      for (size_t i = 0; i < n.group_cols.size(); ++i) {
+        if (i) out->append(", ");
+        out->append(n.group_cols[i]);
+      }
+      out->append("; ");
+      for (size_t i = 0; i < n.aggs.size(); ++i) {
+        if (i) out->append(", ");
+        out->append(RenderAgg(n.aggs[i]));
+      }
+      out->append(")");
       break;
+    }
     case LogicalOp::kOrderBy:
       out->append("(" + n.order_col + (n.descending ? " desc)" : " asc)"));
       break;
     case LogicalOp::kLimit:
-      out->append("(" + std::to_string(n.limit) + ", offset " +
-                  std::to_string(n.offset) + ")");
+      out->append("(").append(std::to_string(n.limit)).append(", offset ")
+          .append(std::to_string(n.offset)).append(")");
       break;
   }
   out->push_back('\n');
@@ -266,43 +388,80 @@ std::unique_ptr<LogicalNode> Wrap(std::unique_ptr<LogicalNode> child,
 
 }  // namespace
 
+// Every fluent method no-ops on a consumed builder (root_ == nullptr after
+// Build() moved it out, or after the builder was joined into another plan):
+// root_ stays null and the next Build() reports InvalidArgument instead of
+// dereferencing it.
+
 QueryBuilder& QueryBuilder::Select(Predicate pred) {
+  std::vector<Predicate> preds;
+  preds.push_back(std::move(pred));
+  return Select(std::move(preds));
+}
+
+QueryBuilder& QueryBuilder::Select(std::vector<Predicate> conjunction) {
+  if (root_ == nullptr) return *this;
   root_ = Wrap(std::move(root_), LogicalOp::kSelect);
-  root_->pred = std::move(pred);
+  root_->preds = std::move(conjunction);
   return *this;
 }
 
 QueryBuilder& QueryBuilder::Join(const Table& right, std::string left_key,
                                  std::string right_key, JoinStrategy strategy) {
   return Join(QueryBuilder(right), std::move(left_key), std::move(right_key),
-              strategy);
+              JoinType::kInner, strategy);
 }
 
 QueryBuilder& QueryBuilder::Join(QueryBuilder right, std::string left_key,
                                  std::string right_key, JoinStrategy strategy) {
+  return Join(std::move(right), std::move(left_key), std::move(right_key),
+              JoinType::kInner, strategy);
+}
+
+QueryBuilder& QueryBuilder::Join(const Table& right, std::string left_key,
+                                 std::string right_key, JoinType type,
+                                 JoinStrategy strategy) {
+  return Join(QueryBuilder(right), std::move(left_key), std::move(right_key),
+              type, strategy);
+}
+
+QueryBuilder& QueryBuilder::Join(QueryBuilder right, std::string left_key,
+                                 std::string right_key, JoinType type,
+                                 JoinStrategy strategy) {
+  if (root_ == nullptr) return *this;
   root_ = Wrap(std::move(root_), LogicalOp::kJoin);
   root_->children.push_back(std::move(right.root_));
   root_->left_key = std::move(left_key);
   root_->right_key = std::move(right_key);
+  root_->join_type = type;
   root_->join_strategy = strategy;
   return *this;
 }
 
 QueryBuilder& QueryBuilder::Project(std::vector<std::string> columns) {
+  if (root_ == nullptr) return *this;
   root_ = Wrap(std::move(root_), LogicalOp::kProject);
   root_->columns = std::move(columns);
   return *this;
 }
 
-QueryBuilder& QueryBuilder::GroupBySum(std::string group_col,
-                                       std::string value_col) {
+QueryBuilder& QueryBuilder::GroupByAgg(std::vector<std::string> group_cols,
+                                       std::vector<AggSpec> aggs) {
+  if (root_ == nullptr) return *this;
   root_ = Wrap(std::move(root_), LogicalOp::kGroupByAgg);
-  root_->group_col = std::move(group_col);
-  root_->value_col = std::move(value_col);
+  root_->group_cols = std::move(group_cols);
+  root_->aggs = std::move(aggs);
   return *this;
 }
 
+QueryBuilder& QueryBuilder::GroupBySum(std::string group_col,
+                                       std::string value_col) {
+  return GroupByAgg({std::move(group_col)},
+                    {Agg::Sum(std::move(value_col)), Agg::Count()});
+}
+
 QueryBuilder& QueryBuilder::OrderBy(std::string column, bool descending) {
+  if (root_ == nullptr) return *this;
   root_ = Wrap(std::move(root_), LogicalOp::kOrderBy);
   root_->order_col = std::move(column);
   root_->descending = descending;
@@ -310,6 +469,7 @@ QueryBuilder& QueryBuilder::OrderBy(std::string column, bool descending) {
 }
 
 QueryBuilder& QueryBuilder::Limit(size_t n, size_t offset) {
+  if (root_ == nullptr) return *this;
   root_ = Wrap(std::move(root_), LogicalOp::kLimit);
   root_->limit = n;
   root_->offset = offset;
@@ -318,7 +478,7 @@ QueryBuilder& QueryBuilder::Limit(size_t n, size_t offset) {
 
 StatusOr<LogicalPlan> QueryBuilder::Build() {
   if (root_ == nullptr) {
-    return Status::FailedPrecondition(
+    return Status::InvalidArgument(
         "QueryBuilder already consumed by Build()");
   }
   CCDB_ASSIGN_OR_RETURN(std::vector<PlanColumn> schema, ValidateNode(*root_));

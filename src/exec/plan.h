@@ -6,16 +6,20 @@
 // join instead of only at call sites.
 //
 //   auto plan = QueryBuilder(items)
-//                   .Select(Predicate::EqStr("shipmode", "MAIL"))
-//                   .Join(orders, "order", "order_id")
-//                   .GroupBySum("supp", "qty")
+//                   .Select({Predicate::EqStr("shipmode", "MAIL"),
+//                            Predicate::RangeU32("qty", 2, 4)})
+//                   .Join(orders, "order", "order_id", JoinType::kLeftOuter)
+//                   .GroupByAgg({"supp", "prio"},
+//                               {Agg::Sum("qty"), Agg::Min("qty"),
+//                                Agg::Avg("qty")})
 //                   .OrderBy("sum", /*descending=*/true)
 //                   .Limit(5)
 //                   .Build();
 //
 // Build() validates the whole tree against the table schemas (unknown or
-// ambiguous columns, type mismatches) and computes the output schema;
-// execution is Execute(plan) in model/planner.h.
+// ambiguous columns, type mismatches, duplicate aggregate names) and
+// computes the output schema; execution is Execute(plan) in
+// model/planner.h.
 #ifndef CCDB_EXEC_PLAN_H_
 #define CCDB_EXEC_PLAN_H_
 
@@ -65,6 +69,52 @@ struct Predicate {
   }
 };
 
+/// An aggregate function over one u32 value column (kCount takes none).
+enum class AggFunc { kSum, kMin, kMax, kAvg, kCount };
+
+const char* AggFuncName(AggFunc f);
+
+/// One aggregate of a GroupByAgg node: the function, its input column, and
+/// the output column name (defaults to the function name; use As() when a
+/// node computes e.g. two sums). Output types: sum/count -> i64, min/max ->
+/// u32, avg -> f64.
+struct AggSpec {
+  AggFunc func = AggFunc::kSum;
+  std::string value_col;    // empty for kCount
+  std::string output_name;  // result column name
+
+  static AggSpec Sum(std::string col) {
+    return {AggFunc::kSum, std::move(col), "sum"};
+  }
+  static AggSpec Min(std::string col) {
+    return {AggFunc::kMin, std::move(col), "min"};
+  }
+  static AggSpec Max(std::string col) {
+    return {AggFunc::kMax, std::move(col), "max"};
+  }
+  static AggSpec Avg(std::string col) {
+    return {AggFunc::kAvg, std::move(col), "avg"};
+  }
+  static AggSpec Count() { return {AggFunc::kCount, "", "count"}; }
+
+  /// Renames the output column: Agg::Sum("qty").As("total_qty").
+  AggSpec As(std::string name) const {
+    AggSpec s = *this;
+    s.output_name = std::move(name);
+    return s;
+  }
+};
+
+/// Shorthand so call sites read like the algebra: Agg::Sum("qty").
+using Agg = AggSpec;
+
+/// Join flavour. Inner emits matching pairs; left-outer additionally emits
+/// unmatched probe rows with null right-side values; semi/anti emit only
+/// left columns, for probe rows with (semi) or without (anti) a match.
+enum class JoinType { kInner, kLeftOuter, kSemi, kAnti };
+
+const char* JoinTypeName(JoinType t);
+
 enum class LogicalOp {
   kScan,
   kSelect,
@@ -84,11 +134,13 @@ struct LogicalNode {
   std::vector<std::unique_ptr<LogicalNode>> children;
 
   const Table* table = nullptr;     // kScan
-  Predicate pred;                   // kSelect
+  std::vector<Predicate> preds;     // kSelect: conjunction (ANDed)
   std::string left_key, right_key;  // kJoin
+  JoinType join_type = JoinType::kInner;             // kJoin
   JoinStrategy join_strategy = JoinStrategy::kBest;  // kJoin hint
   std::vector<std::string> columns;                  // kProject
-  std::string group_col, value_col;                  // kGroupByAgg
+  std::vector<std::string> group_cols;               // kGroupByAgg
+  std::vector<AggSpec> aggs;                         // kGroupByAgg
   std::string order_col;                             // kOrderBy
   bool descending = false;                           // kOrderBy
   size_t limit = 0, offset = 0;                      // kLimit
@@ -100,6 +152,8 @@ struct PlanColumn {
   PhysType type = PhysType::kU32;  // logical value type (kU32/kI64/kF64/kStr)
   bool encoded = false;   // kStr stored as 1-2 byte codes + dictionary
   bool ambiguous = false; // same name on both sides of a join
+  bool nullable = false;  // right side of a left-outer join; nulls surface
+                          // as type defaults (0 / 0.0 / "") when gathered
 };
 
 /// A validated logical plan: the node tree plus the output schema that
@@ -134,6 +188,11 @@ class QueryBuilder {
 
   QueryBuilder& Select(Predicate pred);
 
+  /// Conjunctive select: all predicates must hold (one logical node,
+  /// evaluated in a single fused candidate pass — each predicate narrows
+  /// the surviving candidate list without re-scanning the chunk).
+  QueryBuilder& Select(std::vector<Predicate> conjunction);
+
   /// Equi-join against `right` (u32 keys): this.left_key == right.right_key.
   /// `strategy` is a hint; the default lets the Planner pick per-node via
   /// the cost model. `right` becomes the inner (build) relation.
@@ -146,10 +205,26 @@ class QueryBuilder {
                      std::string right_key,
                      JoinStrategy strategy = JoinStrategy::kBest);
 
+  /// Typed join variants: left-outer keeps unmatched probe rows (right
+  /// columns become nullable), semi/anti keep only left columns.
+  QueryBuilder& Join(const Table& right, std::string left_key,
+                     std::string right_key, JoinType type,
+                     JoinStrategy strategy = JoinStrategy::kBest);
+  QueryBuilder& Join(QueryBuilder right, std::string left_key,
+                     std::string right_key, JoinType type,
+                     JoinStrategy strategy = JoinStrategy::kBest);
+
   QueryBuilder& Project(std::vector<std::string> columns);
+
+  /// Group by one or more columns (integral or encoded string), computing
+  /// the given aggregates over u32 value columns. Output columns: the group
+  /// columns (decoded), then one column per AggSpec in order.
+  QueryBuilder& GroupByAgg(std::vector<std::string> group_cols,
+                           std::vector<AggSpec> aggs);
 
   /// Group by `group_col` (integral or encoded string), summing u32
   /// `value_col`. Output columns: `group_col` (decoded), "sum", "count".
+  /// Wrapper over GroupByAgg({group_col}, {Agg::Sum, Agg::Count}).
   QueryBuilder& GroupBySum(std::string group_col, std::string value_col);
 
   QueryBuilder& OrderBy(std::string column, bool descending = false);
@@ -157,7 +232,8 @@ class QueryBuilder {
   QueryBuilder& Limit(size_t n, size_t offset = 0);
 
   /// Validates the tree (column existence, ambiguity, types) and returns
-  /// the plan. Consumes the builder — it must not be reused afterwards.
+  /// the plan. Consumes the builder; any later Build() or fluent call on it
+  /// yields InvalidArgument instead of undefined behaviour.
   StatusOr<LogicalPlan> Build();
 
  private:

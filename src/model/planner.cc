@@ -34,15 +34,18 @@ std::unique_ptr<Operator> LowerNode(const LogicalNode& n,
       return std::make_unique<SelectOp>(
           LowerNode(*n.children[0], options, chunk_rows, ctx, joins,
                     next_join),
-          n.pred, ctx);
+          n.preds, ctx);
     case LogicalOp::kJoin: {
       auto left = LowerNode(*n.children[0], options, chunk_rows, ctx, joins,
                             next_join);
       auto right = LowerNode(*n.children[1], options, chunk_rows, ctx, joins,
                              next_join);
       JoinNodeInfo* info = &(*joins)[(*next_join)++];
+      // Every join type shares the same cost-model consultation: outer,
+      // anti, and semi joins probe the same prepared-once inner structures
+      // the model sized for the inner cardinality.
       return std::make_unique<JoinOp>(std::move(left), std::move(right),
-                                      n.left_key, n.right_key,
+                                      n.left_key, n.right_key, n.join_type,
                                       n.join_strategy, options.profile, info,
                                       ctx);
     }
@@ -52,10 +55,10 @@ std::unique_ptr<Operator> LowerNode(const LogicalNode& n,
                     next_join),
           n.columns);
     case LogicalOp::kGroupByAgg:
-      return std::make_unique<GroupBySumOp>(
+      return std::make_unique<GroupByAggOp>(
           LowerNode(*n.children[0], options, chunk_rows, ctx, joins,
                     next_join),
-          n.group_col, n.value_col, ctx);
+          n.group_cols, n.aggs, ctx);
     case LogicalOp::kOrderBy:
       return std::make_unique<OrderByOp>(
           LowerNode(*n.children[0], options, chunk_rows, ctx, joins,
@@ -144,9 +147,10 @@ std::string PhysicalPlan::ExplainJoins() const {
   char line[256];
   for (const JoinNodeInfo& j : *joins_) {
     std::snprintf(line, sizeof(line),
-                  "join %s = %s: inner C=%llu -> %s%s, B=%d (%d passes), "
+                  "join [%s] %s = %s: inner C=%llu -> %s%s, B=%d (%d passes), "
                   "model %.2f ms, result %llu, %llu partition tasks on "
                   "%zu workers, inner clustered %dx\n",
+                  JoinTypeName(j.join_type),
                   j.left_key.c_str(), j.right_key.c_str(),
                   (unsigned long long)j.inner_cardinality,
                   JoinStrategyName(j.plan.strategy),

@@ -1,0 +1,823 @@
+// The richer BAT algebra: multi-key GroupByAgg (sum/min/max/avg/count),
+// conjunctive selects fused into one candidate pass, outer/anti/semi joins
+// from the prepared-once inner — plus regression tests for the operator
+// edge cases fixed alongside (Limit(0) draining its child, QueryBuilder
+// reuse after Build(), unchecked u64 -> i64 aggregate narrowing).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <tuple>
+
+#include "algo/aggregate.h"
+#include "exec/operator.h"
+#include "exec/plan.h"
+#include "model/planner.h"
+
+namespace ccdb {
+namespace {
+
+// items(order u32, qty u32, price f64, shipmode char10): shipmode cycles
+// MAIL/AIR/TRUCK/SHIP, so i % 4 == 0 <=> "MAIL".
+RowStore MakeItems(size_t n) {
+  auto rs = RowStore::Make(
+      {
+          {"order", FieldType::kU32},
+          {"qty", FieldType::kU32},
+          {"price", FieldType::kF64},
+          {"shipmode", FieldType::kChar10},
+      },
+      n);
+  CCDB_CHECK(rs.ok());
+  const char* modes[] = {"MAIL", "AIR", "TRUCK", "SHIP"};
+  for (size_t i = 0; i < n; ++i) {
+    size_t r = *rs->AppendRow();
+    rs->SetU32(r, 0, static_cast<uint32_t>(i / 3));
+    rs->SetU32(r, 1, static_cast<uint32_t>(1 + i % 5));
+    rs->SetF64(r, 2, 10.0 + static_cast<double>(i % 97));
+    const char* m = modes[i % 4];
+    rs->SetBytes(r, 3, m, strlen(m));
+  }
+  return *std::move(rs);
+}
+
+Table MakeOrders(size_t n) {
+  auto rs = RowStore::Make(
+      {{"order_id", FieldType::kU32}, {"prio", FieldType::kU32}}, n);
+  CCDB_CHECK(rs.ok());
+  for (size_t i = 0; i < n; ++i) {
+    size_t r = *rs->AppendRow();
+    rs->SetU32(r, 0, static_cast<uint32_t>(i));
+    rs->SetU32(r, 1, static_cast<uint32_t>(i % 7));
+  }
+  return *Table::FromRowStore(*rs);
+}
+
+Table TableFromU32(const char* name, const std::vector<uint32_t>& values) {
+  auto rs = RowStore::Make({{name, FieldType::kU32}}, values.size());
+  CCDB_CHECK(rs.ok());
+  for (uint32_t v : values) {
+    size_t r = *rs->AppendRow();
+    rs->SetU32(r, 0, v);
+  }
+  return *Table::FromRowStore(*rs);
+}
+
+QueryResult RunPlan(const LogicalPlan& plan, size_t parallelism,
+                size_t chunk_rows = 4096) {
+  PlannerOptions opts;
+  opts.exec.parallelism = parallelism;
+  opts.exec.scan_chunk_rows = chunk_rows;
+  auto r = Execute(plan, opts);
+  CCDB_CHECK(r.ok());
+  return *std::move(r);
+}
+
+void ExpectSameResult(const QueryResult& a, const QueryResult& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.num_columns(), b.num_columns()) << what;
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << what;
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    EXPECT_EQ(a.columns[c].u32_values, b.columns[c].u32_values) << what;
+    EXPECT_EQ(a.columns[c].i64_values, b.columns[c].i64_values) << what;
+    EXPECT_EQ(a.columns[c].f64_values, b.columns[c].f64_values) << what;
+    EXPECT_EQ(a.columns[c].str_values, b.columns[c].str_values) << what;
+  }
+}
+
+// --- builder validation ------------------------------------------------------
+
+TEST(RichAlgebraBuilderTest, GroupByAggSchemaAndTypes) {
+  Table items = *Table::FromRowStore(MakeItems(24));
+  auto plan = QueryBuilder(items)
+                  .GroupByAgg({"order", "shipmode"},
+                              {Agg::Sum("qty"), Agg::Min("qty"),
+                               Agg::Max("qty"), Agg::Avg("qty"),
+                               Agg::Count(), Agg::Sum("qty").As("qty2")})
+                  .Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const auto& schema = plan->output_schema();
+  ASSERT_EQ(schema.size(), 8u);
+  EXPECT_EQ(schema[0].name, "order");
+  EXPECT_EQ(schema[0].type, PhysType::kU32);
+  EXPECT_EQ(schema[1].name, "shipmode");
+  EXPECT_EQ(schema[1].type, PhysType::kStr);
+  EXPECT_FALSE(schema[1].encoded);  // decoded on emission
+  EXPECT_EQ(schema[2].name, "sum");
+  EXPECT_EQ(schema[2].type, PhysType::kI64);
+  EXPECT_EQ(schema[3].name, "min");
+  EXPECT_EQ(schema[3].type, PhysType::kU32);
+  EXPECT_EQ(schema[4].name, "max");
+  EXPECT_EQ(schema[4].type, PhysType::kU32);
+  EXPECT_EQ(schema[5].name, "avg");
+  EXPECT_EQ(schema[5].type, PhysType::kF64);
+  EXPECT_EQ(schema[6].name, "count");
+  EXPECT_EQ(schema[6].type, PhysType::kI64);
+  EXPECT_EQ(schema[7].name, "qty2");
+  std::string s = plan->ToString();
+  EXPECT_NE(s.find("min(qty)"), std::string::npos);
+  EXPECT_NE(s.find("avg(qty)"), std::string::npos);
+  EXPECT_NE(s.find("sum(qty) as qty2"), std::string::npos);
+}
+
+TEST(RichAlgebraBuilderTest, GroupByAggRejectsBadSpecs) {
+  Table items = *Table::FromRowStore(MakeItems(10));
+  // Empty group / aggregate lists.
+  EXPECT_EQ(QueryBuilder(items).GroupByAgg({}, {Agg::Count()}).Build()
+                .status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(QueryBuilder(items).GroupByAgg({"order"}, {}).Build()
+                .status().code(),
+            StatusCode::kInvalidArgument);
+  // Duplicate group column.
+  EXPECT_EQ(QueryBuilder(items)
+                .GroupByAgg({"order", "order"}, {Agg::Count()})
+                .Build().status().code(),
+            StatusCode::kInvalidArgument);
+  // Duplicate output names need As().
+  EXPECT_EQ(QueryBuilder(items)
+                .GroupByAgg({"order"}, {Agg::Sum("qty"), Agg::Sum("qty")})
+                .Build().status().code(),
+            StatusCode::kInvalidArgument);
+  // f64 value column and f64 group column are rejected.
+  EXPECT_EQ(QueryBuilder(items).GroupByAgg({"order"}, {Agg::Min("price")})
+                .Build().status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(QueryBuilder(items).GroupByAgg({"price"}, {Agg::Count()})
+                .Build().status().code(),
+            StatusCode::kInvalidArgument);
+  // Unknown value column.
+  EXPECT_EQ(QueryBuilder(items).GroupByAgg({"order"}, {Agg::Max("nope")})
+                .Build().status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RichAlgebraBuilderTest, ConjunctionValidatesAsOneNode) {
+  Table items = *Table::FromRowStore(MakeItems(10));
+  // Empty conjunction is rejected.
+  EXPECT_EQ(QueryBuilder(items).Select(std::vector<Predicate>{}).Build()
+                .status().code(),
+            StatusCode::kInvalidArgument);
+  // Every conjunct is validated, not just the first.
+  EXPECT_EQ(QueryBuilder(items)
+                .Select({Predicate::RangeU32("qty", 0, 3),
+                         Predicate::RangeU32("price", 0, 3)})
+                .Build().status().code(),
+            StatusCode::kInvalidArgument);
+  // A valid three-way mixed conjunction renders as one Select node.
+  auto plan = QueryBuilder(items)
+                  .Select({Predicate::RangeU32("qty", 2, 4),
+                           Predicate::EqStr("shipmode", "MAIL"),
+                           Predicate::RangeF64("price", 0.0, 60.0)})
+                  .Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  std::string s = plan->ToString();
+  EXPECT_NE(s.find("qty in [2, 4] AND shipmode = \"MAIL\" AND"),
+            std::string::npos);
+  // One Select line, not three.
+  size_t first = s.find("Select");
+  EXPECT_EQ(s.find("Select", first + 1), std::string::npos);
+}
+
+TEST(RichAlgebraBuilderTest, JoinTypeSchemas) {
+  Table items = *Table::FromRowStore(MakeItems(12));
+  Table orders = MakeOrders(5);
+  // Semi/anti keep only left columns.
+  for (JoinType t : {JoinType::kSemi, JoinType::kAnti}) {
+    auto plan =
+        QueryBuilder(items).Join(orders, "order", "order_id", t).Build();
+    ASSERT_TRUE(plan.ok());
+    ASSERT_EQ(plan->output_schema().size(), items.num_columns());
+    for (const PlanColumn& c : plan->output_schema()) {
+      EXPECT_FALSE(c.nullable);
+    }
+    EXPECT_NE(plan->ToString().find(JoinTypeName(t)), std::string::npos);
+  }
+  // Left outer: right columns appended, nullable, decoded.
+  auto outer = QueryBuilder(items)
+                   .Join(orders, "order", "order_id", JoinType::kLeftOuter)
+                   .Build();
+  ASSERT_TRUE(outer.ok());
+  const auto& schema = outer->output_schema();
+  ASSERT_EQ(schema.size(), items.num_columns() + orders.num_columns());
+  for (size_t i = 0; i < items.num_columns(); ++i) {
+    EXPECT_FALSE(schema[i].nullable);
+  }
+  for (size_t i = items.num_columns(); i < schema.size(); ++i) {
+    EXPECT_TRUE(schema[i].nullable);
+    EXPECT_FALSE(schema[i].encoded);
+  }
+  EXPECT_NE(outer->ToString().find("left_outer"), std::string::npos);
+}
+
+// --- satellite regression: QueryBuilder reuse after Build() ------------------
+
+TEST(QueryBuilderReuseTest, SecondBuildIsInvalidArgumentNotUB) {
+  Table items = *Table::FromRowStore(MakeItems(10));
+  QueryBuilder qb(items);
+  qb.Select(Predicate::RangeU32("qty", 0, 3));
+  auto first = qb.Build();
+  ASSERT_TRUE(first.ok());
+  auto second = qb.Build();
+  EXPECT_EQ(second.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryBuilderReuseTest, FluentCallAfterBuildIsSafe) {
+  Table items = *Table::FromRowStore(MakeItems(10));
+  Table orders = MakeOrders(5);
+  QueryBuilder qb(items);
+  auto first = qb.Build();
+  ASSERT_TRUE(first.ok());
+  // Every fluent method on a consumed builder must be a safe no-op ...
+  qb.Select(Predicate::RangeU32("qty", 0, 3))
+      .Join(orders, "order", "order_id")
+      .Project({"qty"})
+      .GroupByAgg({"qty"}, {Agg::Count()})
+      .OrderBy("count")
+      .Limit(1);
+  // ... and the next Build() reports the reuse.
+  EXPECT_EQ(qb.Build().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryBuilderReuseTest, JoiningAConsumedBuilderFailsCleanly) {
+  Table items = *Table::FromRowStore(MakeItems(10));
+  Table orders = MakeOrders(5);
+  QueryBuilder inner(orders);
+  ASSERT_TRUE(inner.Build().ok());  // consumes inner
+  auto plan = QueryBuilder(items)
+                  .Join(std::move(inner), "order", "order_id")
+                  .Build();
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- satellite regression: Limit(0) must not drain its child -----------------
+
+/// Wraps a ScanOp and counts Next() calls, so tests can see how many chunks
+/// a parent operator actually pulled.
+class CountingSource : public Operator {
+ public:
+  CountingSource(const Table* table, size_t chunk_rows)
+      : scan_(table, chunk_rows) {}
+  Status Open() override { return scan_.Open(); }
+  StatusOr<bool> Next(Chunk* out) override {
+    ++next_calls;
+    return scan_.Next(out);
+  }
+  void Close() override { scan_.Close(); }
+
+  int next_calls = 0;
+
+ private:
+  ScanOp scan_;
+};
+
+TEST(LimitZeroTest, TerminatesAfterFirstLayoutChunk) {
+  Table items = *Table::FromRowStore(MakeItems(100));
+  auto source = std::make_unique<CountingSource>(&items, /*chunk_rows=*/10);
+  CountingSource* counter = source.get();
+  LimitOp limit(std::move(source), /*limit=*/0, /*offset=*/0);
+  ASSERT_TRUE(limit.Open().ok());
+  Chunk out;
+  auto first = limit.Next(&out);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(*first);  // one layout-bearing chunk ...
+  EXPECT_EQ(out.rows, 0u);
+  EXPECT_EQ(out.cols.size(), items.num_columns());
+  auto second = limit.Next(&out);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(*second);  // ... then done,
+  limit.Close();
+  // without draining the remaining 9 chunks of the child.
+  EXPECT_EQ(counter->next_calls, 1);
+}
+
+TEST(LimitZeroTest, LimitStopsPullingOnceReached) {
+  Table items = *Table::FromRowStore(MakeItems(100));
+  auto source = std::make_unique<CountingSource>(&items, /*chunk_rows=*/10);
+  CountingSource* counter = source.get();
+  LimitOp limit(std::move(source), /*limit=*/15, /*offset=*/0);
+  ASSERT_TRUE(limit.Open().ok());
+  Chunk out;
+  size_t rows = 0;
+  for (;;) {
+    auto more = limit.Next(&out);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    rows += out.rows;
+  }
+  limit.Close();
+  EXPECT_EQ(rows, 15u);
+  EXPECT_EQ(counter->next_calls, 2);  // 10 + 5, then stop
+}
+
+TEST(LimitZeroTest, EndToEndLimitZeroKeepsSchema) {
+  Table items = *Table::FromRowStore(MakeItems(50));
+  for (size_t par : {1u, 2u, 8u}) {
+    auto plan = QueryBuilder(items)
+                    .GroupByAgg({"shipmode"}, {Agg::Min("qty"),
+                                               Agg::Avg("qty")})
+                    .Limit(0)
+                    .Build();
+    ASSERT_TRUE(plan.ok());
+    QueryResult r = RunPlan(*plan, par);
+    EXPECT_EQ(r.num_rows(), 0u);
+    ASSERT_EQ(r.num_columns(), 3u);
+    EXPECT_EQ(r.columns[0].type, PhysType::kStr);
+    EXPECT_EQ(r.columns[1].type, PhysType::kU32);
+    EXPECT_EQ(r.columns[2].type, PhysType::kF64);
+  }
+}
+
+// --- satellite regression: aggregate overflow --------------------------------
+
+TEST(AggregateOverflowTest, CheckedNarrowingSurfacesOutOfRange) {
+  constexpr uint64_t kMax = static_cast<uint64_t>(
+      std::numeric_limits<int64_t>::max());
+  auto ok = CheckedI64(kMax);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(CheckedI64(kMax + 1).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(AggregateOverflowTest, MergedPartialsPastInt64MaxAreDetected) {
+  // Two shard partials whose merged sum exceeds INT64_MAX — exactly the
+  // state GroupByAggOp narrows to the i64 "sum" column. The pre-fix code
+  // wrapped this into a negative sum.
+  constexpr uint64_t kMax = static_cast<uint64_t>(
+      std::numeric_limits<int64_t>::max());
+  GroupAggTable a(/*key_width=*/2, /*num_values=*/1);
+  GroupAggTable b(/*key_width=*/2, /*num_values=*/1);
+  const uint32_t key[2] = {7, 9};
+  GroupAggState sa{/*sum=*/kMax - 10, /*min=*/3, /*max=*/80};
+  GroupAggState sb{/*sum=*/100, /*min=*/1, /*max=*/40};
+  a.AccumulateGroup(key, /*rows=*/1000, &sa);
+  b.AccumulateGroup(key, /*rows=*/5, &sb);
+  a.MergeFrom(b);
+  ASSERT_EQ(a.num_groups(), 1u);
+  EXPECT_EQ(a.group_rows(0), 1005u);
+  EXPECT_EQ(a.state(0, 0).min, 1u);
+  EXPECT_EQ(a.state(0, 0).max, 80u);
+  EXPECT_EQ(CheckedI64(a.state(0, 0).sum).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+// --- multi-key group-by vs oracle --------------------------------------------
+
+struct OracleAgg {
+  uint64_t sum = 0, count = 0;
+  uint32_t min = UINT32_MAX, max = 0;
+};
+
+TEST(GroupByAggExecTest, MultiKeyMinMaxAvgMatchesOracle) {
+  constexpr size_t kN = 20000;
+  Table items = *Table::FromRowStore(MakeItems(kN));
+  auto plan = QueryBuilder(items)
+                  .GroupByAgg({"order", "shipmode"},
+                              {Agg::Sum("qty"), Agg::Min("qty"),
+                               Agg::Max("qty"), Agg::Avg("qty"),
+                               Agg::Count()})
+                  .Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  std::map<std::pair<uint32_t, std::string>, OracleAgg> oracle;
+  const char* modes[] = {"MAIL", "AIR", "TRUCK", "SHIP"};
+  for (size_t i = 0; i < kN; ++i) {
+    OracleAgg& o = oracle[{static_cast<uint32_t>(i / 3), modes[i % 4]}];
+    uint32_t v = static_cast<uint32_t>(1 + i % 5);
+    o.sum += v;
+    o.count += 1;
+    o.min = std::min(o.min, v);
+    o.max = std::max(o.max, v);
+  }
+
+  for (size_t par : {1u, 2u, 8u}) {
+    QueryResult r = RunPlan(*plan, par);
+    ASSERT_EQ(r.num_rows(), oracle.size()) << par;
+    for (size_t g = 0; g < r.num_rows(); ++g) {
+      std::pair<uint32_t, std::string> key = {
+          r.columns[0].u32_values[g], r.columns[1].str_values[g]};
+      ASSERT_TRUE(oracle.count(key)) << key.first << "/" << key.second;
+      const OracleAgg& o = oracle[key];
+      EXPECT_EQ(static_cast<uint64_t>(r.columns[2].i64_values[g]), o.sum);
+      EXPECT_EQ(r.columns[3].u32_values[g], o.min);
+      EXPECT_EQ(r.columns[4].u32_values[g], o.max);
+      EXPECT_DOUBLE_EQ(r.columns[5].f64_values[g],
+                       static_cast<double>(o.sum) /
+                           static_cast<double>(o.count));
+      EXPECT_EQ(static_cast<uint64_t>(r.columns[6].i64_values[g]), o.count);
+    }
+  }
+}
+
+TEST(GroupByAggExecTest, GroupBySumWrapperUnchanged) {
+  // The GroupBySum convenience is now a GroupByAgg wrapper; its output
+  // schema and values must be exactly the historical [group, sum, count].
+  Table items = *Table::FromRowStore(MakeItems(300));
+  auto plan = QueryBuilder(items).GroupBySum("shipmode", "qty").Build();
+  ASSERT_TRUE(plan.ok());
+  QueryResult r = RunPlan(*plan, 1);
+  ASSERT_EQ(r.num_columns(), 3u);
+  EXPECT_EQ(r.columns[0].name, "shipmode");
+  EXPECT_EQ(r.columns[1].name, "sum");
+  EXPECT_EQ(r.columns[2].name, "count");
+  ASSERT_EQ(r.num_rows(), 4u);
+  int64_t total = 0;
+  for (size_t g = 0; g < 4; ++g) total += r.columns[2].i64_values[g];
+  EXPECT_EQ(total, 300);
+}
+
+// --- conjunctive selects -----------------------------------------------------
+
+TEST(ConjunctiveSelectTest, FusedPassEqualsChainedSelects) {
+  constexpr size_t kN = 30000;
+  Table items = *Table::FromRowStore(MakeItems(kN));
+  auto fused = QueryBuilder(items)
+                   .Select({Predicate::RangeU32("qty", 2, 4),
+                            Predicate::EqStr("shipmode", "MAIL"),
+                            Predicate::RangeF64("price", 20.0, 80.0)})
+                   .Project({"order", "qty", "price"})
+                   .Build();
+  ASSERT_TRUE(fused.ok());
+  auto chained = QueryBuilder(items)
+                     .Select(Predicate::RangeU32("qty", 2, 4))
+                     .Select(Predicate::EqStr("shipmode", "MAIL"))
+                     .Select(Predicate::RangeF64("price", 20.0, 80.0))
+                     .Project({"order", "qty", "price"})
+                     .Build();
+  ASSERT_TRUE(chained.ok());
+  QueryResult expect = RunPlan(*chained, 1);
+  ASSERT_GT(expect.num_rows(), 0u);
+  // Row-at-a-time oracle.
+  size_t oracle_rows = 0;
+  for (size_t i = 0; i < kN; ++i) {
+    uint32_t qty = static_cast<uint32_t>(1 + i % 5);
+    double price = 10.0 + static_cast<double>(i % 97);
+    if (qty >= 2 && qty <= 4 && i % 4 == 0 && price >= 20.0 && price <= 80.0) {
+      ++oracle_rows;
+    }
+  }
+  EXPECT_EQ(expect.num_rows(), oracle_rows);
+  for (size_t par : {1u, 2u, 8u}) {
+    ExpectSameResult(RunPlan(*fused, par), expect,
+                     "fused conjunction, parallelism " +
+                         std::to_string(par));
+  }
+}
+
+TEST(ConjunctiveSelectTest, NonEncodedStringConjunctUsesFallback) {
+  // With auto_encode off the shipmode column stays a raw string BAT: the
+  // EqStr conjunct cannot use the code-range kernel and must fall back to
+  // the candidate-bounded gather path.
+  RowStore rows = MakeItems(5000);
+  Table raw = *Table::FromRowStore(rows, /*auto_encode=*/false);
+  Table encoded = *Table::FromRowStore(rows);
+  auto build = [](const Table& t) {
+    auto plan = QueryBuilder(t)
+                    .Select({Predicate::RangeU32("qty", 1, 3),
+                             Predicate::EqStr("shipmode", "TRUCK")})
+                    .Project({"order", "qty"})
+                    .Build();
+    CCDB_CHECK(plan.ok());
+    return *std::move(plan);
+  };
+  auto raw_plan = build(raw);
+  auto enc_plan = build(encoded);
+  QueryResult expect = RunPlan(enc_plan, 1);
+  ASSERT_GT(expect.num_rows(), 0u);
+  for (size_t par : {1u, 2u, 8u}) {
+    ExpectSameResult(RunPlan(raw_plan, par), expect,
+                     "non-encoded fallback, parallelism " +
+                         std::to_string(par));
+  }
+}
+
+TEST(ConjunctiveSelectTest, EqStrOnNonEncodedColumnStandalone) {
+  // Single-predicate select through the gather fallback (first pass, not
+  // just the narrowing pass).
+  RowStore rows = MakeItems(4000);
+  Table raw = *Table::FromRowStore(rows, /*auto_encode=*/false);
+  auto plan = QueryBuilder(raw)
+                  .Select(Predicate::EqStr("shipmode", "AIR"))
+                  .Project({"order"})
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  for (size_t par : {1u, 2u, 8u}) {
+    QueryResult r = RunPlan(*plan, par);
+    EXPECT_EQ(r.num_rows(), 1000u) << par;  // i % 4 == 1
+  }
+}
+
+TEST(ConjunctiveSelectTest, NaNValuesAndBoundsNeverMatch) {
+  auto rs = RowStore::Make({{"k", FieldType::kU32}, {"x", FieldType::kF64}},
+                           64);
+  ASSERT_TRUE(rs.ok());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (size_t i = 0; i < 64; ++i) {
+    size_t r = *rs->AppendRow();
+    rs->SetU32(r, 0, static_cast<uint32_t>(i));
+    rs->SetF64(r, 1, i % 4 == 0 ? nan : static_cast<double>(i));
+  }
+  Table t = *Table::FromRowStore(*rs);
+  for (size_t par : {1u, 2u, 8u}) {
+    // NaN values fail every range predicate.
+    auto values = QueryBuilder(t)
+                      .Select(Predicate::RangeF64("x", 0.0, 1000.0))
+                      .Build();
+    ASSERT_TRUE(values.ok());
+    EXPECT_EQ(RunPlan(*values, par).num_rows(), 48u) << par;
+    // NaN bounds select nothing.
+    auto bounds = QueryBuilder(t)
+                      .Select(Predicate::RangeF64("x", nan, nan))
+                      .Build();
+    ASSERT_TRUE(bounds.ok());
+    EXPECT_EQ(RunPlan(*bounds, par).num_rows(), 0u) << par;
+    // Same through the fused narrowing pass.
+    auto conj = QueryBuilder(t)
+                    .Select({Predicate::RangeU32("k", 0, 63),
+                             Predicate::RangeF64("x", 0.0, 1000.0)})
+                    .Build();
+    ASSERT_TRUE(conj.ok());
+    EXPECT_EQ(RunPlan(*conj, par).num_rows(), 48u) << par;
+  }
+}
+
+// --- join types vs oracle ----------------------------------------------------
+
+// left(k, tag) x right(id, payload, label): id values {2, 3, 3, 5} so k=3
+// matches twice, k=0 and k=7 not at all.
+struct JoinFixture {
+  Table left, right;
+
+  JoinFixture()
+      : left(MakeLeft()), right(MakeRight()) {}
+
+  static Table MakeLeft() {
+    auto rs = RowStore::Make(
+        {{"k", FieldType::kU32}, {"tag", FieldType::kU32}}, 8);
+    CCDB_CHECK(rs.ok());
+    const uint32_t ks[] = {0, 2, 3, 7, 3};
+    for (size_t i = 0; i < 5; ++i) {
+      size_t r = *rs->AppendRow();
+      rs->SetU32(r, 0, ks[i]);
+      rs->SetU32(r, 1, static_cast<uint32_t>(100 + i));
+    }
+    return *Table::FromRowStore(*rs);
+  }
+  static Table MakeRight() {
+    auto rs = RowStore::Make({{"id", FieldType::kU32},
+                              {"payload", FieldType::kU32},
+                              {"label", FieldType::kChar10}},
+                             8);
+    CCDB_CHECK(rs.ok());
+    const uint32_t ids[] = {2, 3, 3, 5};
+    const uint32_t pays[] = {20, 30, 31, 50};
+    const char* labels[] = {"two", "three", "three2", "five"};
+    for (size_t i = 0; i < 4; ++i) {
+      size_t r = *rs->AppendRow();
+      rs->SetU32(r, 0, ids[i]);
+      rs->SetU32(r, 1, pays[i]);
+      rs->SetBytes(r, 2, labels[i], strlen(labels[i]));
+    }
+    return *Table::FromRowStore(*rs);
+  }
+};
+
+TEST(JoinTypeTest, SemiAndAntiKeepProbeOrder) {
+  JoinFixture f;
+  for (size_t par : {1u, 2u, 8u}) {
+    auto semi = QueryBuilder(f.left)
+                    .Join(f.right, "k", "id", JoinType::kSemi)
+                    .Build();
+    ASSERT_TRUE(semi.ok());
+    QueryResult rs = RunPlan(*semi, par);
+    ASSERT_EQ(rs.num_columns(), 2u);  // left columns only
+    EXPECT_EQ(rs.columns[0].u32_values, (std::vector<uint32_t>{2, 3, 3}));
+    EXPECT_EQ(rs.columns[1].u32_values,
+              (std::vector<uint32_t>{101, 102, 104}));
+
+    auto anti = QueryBuilder(f.left)
+                    .Join(f.right, "k", "id", JoinType::kAnti)
+                    .Build();
+    ASSERT_TRUE(anti.ok());
+    QueryResult ra = RunPlan(*anti, par);
+    EXPECT_EQ(ra.columns[0].u32_values, (std::vector<uint32_t>{0, 7}));
+    EXPECT_EQ(ra.columns[1].u32_values, (std::vector<uint32_t>{100, 103}));
+  }
+}
+
+TEST(JoinTypeTest, LeftOuterInterleavesNullsInProbeOrder) {
+  JoinFixture f;
+  for (size_t par : {1u, 2u, 8u}) {
+    auto plan = QueryBuilder(f.left)
+                    .Join(f.right, "k", "id", JoinType::kLeftOuter)
+                    .Build();
+    ASSERT_TRUE(plan.ok());
+    QueryResult r = RunPlan(*plan, par);
+    ASSERT_EQ(r.num_columns(), 5u);
+    // Probe order with matches expanded in place: k=0 (null), k=2, k=3 (x2),
+    // k=7 (null), k=3 (x2).
+    EXPECT_EQ(r.columns[0].u32_values,
+              (std::vector<uint32_t>{0, 2, 3, 3, 7, 3, 3}));
+    EXPECT_EQ(r.columns[2].u32_values,  // id: null surrogate 0
+              (std::vector<uint32_t>{0, 2, 3, 3, 0, 3, 3}));
+    EXPECT_EQ(r.columns[3].u32_values,  // payload
+              (std::vector<uint32_t>{0, 20, 30, 31, 0, 30, 31}));
+    EXPECT_EQ(r.columns[4].str_values,  // label: null surrogate ""
+              (std::vector<std::string>{"", "two", "three", "three2", "",
+                                        "three", "three2"}));
+  }
+}
+
+TEST(JoinTypeTest, LeftOuterAgainstEmptyInnerNullExtendsEverything) {
+  JoinFixture f;
+  for (size_t par : {1u, 2u, 8u}) {
+    QueryBuilder inner(f.right);
+    inner.Select(Predicate::RangeU32("id", 1000, 2000));  // empty
+    auto plan = QueryBuilder(f.left)
+                    .Join(std::move(inner), "k", "id", JoinType::kLeftOuter)
+                    .Build();
+    ASSERT_TRUE(plan.ok());
+    QueryResult r = RunPlan(*plan, par);
+    ASSERT_EQ(r.num_rows(), 5u);
+    EXPECT_EQ(r.columns[3].u32_values,
+              (std::vector<uint32_t>{0, 0, 0, 0, 0}));
+    EXPECT_EQ(r.columns[4].str_values,
+              (std::vector<std::string>{"", "", "", "", ""}));
+  }
+}
+
+TEST(JoinTypeTest, InnerJoinUnchangedByTypeParameter) {
+  JoinFixture f;
+  auto implicit = QueryBuilder(f.left).Join(f.right, "k", "id").Build();
+  auto explicit_inner = QueryBuilder(f.left)
+                            .Join(f.right, "k", "id", JoinType::kInner)
+                            .Build();
+  ASSERT_TRUE(implicit.ok() && explicit_inner.ok());
+  ExpectSameResult(RunPlan(*implicit, 1), RunPlan(*explicit_inner, 1), "inner");
+  EXPECT_EQ(RunPlan(*implicit, 1).num_rows(), 5u);  // 1 + 2 + 2 matches
+}
+
+TEST(JoinTypeTest, TypedJoinsAtScaleMatchSerial) {
+  // Larger-than-chunk probes exercise per-chunk match bookkeeping and the
+  // prepared-once inner across all join types.
+  constexpr size_t kItems = 30000;
+  Table items = *Table::FromRowStore(MakeItems(kItems));
+  Table orders = MakeOrders(kItems / 6);  // order ids only half-covered
+  for (JoinType t : {JoinType::kInner, JoinType::kLeftOuter, JoinType::kSemi,
+                     JoinType::kAnti}) {
+    auto build = [&]() {
+      auto plan = QueryBuilder(items)
+                      .Select(Predicate::RangeU32("qty", 2, 5))
+                      .Join(orders, "order", "order_id", t)
+                      .Build();
+      CCDB_CHECK(plan.ok());
+      return *std::move(plan);
+    };
+    auto plan = build();
+    QueryResult expect = RunPlan(plan, 1, /*chunk_rows=*/1024);
+    ASSERT_GT(expect.num_rows(), 0u);
+    for (size_t par : {2u, 8u}) {
+      ExpectSameResult(RunPlan(plan, par, /*chunk_rows=*/1024), expect,
+                       std::string("join type ") + JoinTypeName(t) +
+                           " parallelism " + std::to_string(par));
+    }
+  }
+}
+
+// --- end-to-end: the new algebra is plannable and deterministic --------------
+
+TEST(RichAlgebraEndToEndTest, ConjunctionOuterJoinMultiKeyAggPipeline) {
+  constexpr size_t kItems = 24000;
+  Table items = *Table::FromRowStore(MakeItems(kItems));
+  Table orders = MakeOrders(kItems / 3 / 2);  // half the order ids match
+  Table banned = TableFromU32("bad_order", {1, 5, 9, 13});
+
+  auto build = [&]() {
+    auto plan =
+        QueryBuilder(items)
+            .Select({Predicate::RangeU32("qty", 1, 4),
+                     Predicate::RangeF64("price", 12.0, 95.0)})
+            .Join(banned, "order", "bad_order", JoinType::kAnti)
+            .Join(orders, "order", "order_id", JoinType::kLeftOuter)
+            .GroupByAgg({"shipmode", "prio"},
+                        {Agg::Sum("qty"), Agg::Min("qty"), Agg::Max("qty"),
+                         Agg::Avg("qty"), Agg::Count()})
+            .OrderBy("prio")
+            .OrderBy("shipmode")
+            .Build();
+    CCDB_CHECK(plan.ok());
+    return *std::move(plan);
+  };
+
+  auto plan = build();
+  // The plan renders every new node kind.
+  std::string s = plan.ToString();
+  EXPECT_NE(s.find("AND"), std::string::npos);
+  EXPECT_NE(s.find("anti"), std::string::npos);
+  EXPECT_NE(s.find("left_outer"), std::string::npos);
+  EXPECT_NE(s.find("min(qty)"), std::string::npos);
+  EXPECT_NE(s.find("shipmode, prio;"), std::string::npos);
+
+  Planner planner;
+  {
+    PlannerOptions opts;
+    opts.exec.scan_chunk_rows = 2048;
+    Planner p(opts);
+    auto physical = p.Lower(plan);
+    ASSERT_TRUE(physical.ok());
+    auto result = physical->Execute();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(physical->joins().size(), 2u);
+    std::string explain = physical->ExplainJoins();
+    EXPECT_NE(explain.find("[anti]"), std::string::npos);
+    EXPECT_NE(explain.find("[left_outer]"), std::string::npos);
+    EXPECT_NE(explain.find("inner clustered 1x"), std::string::npos);
+  }
+
+  // (shipmode, prio) is unique per output row and both are ordered, so the
+  // whole result is order-pinned: parallel runs must be byte-identical.
+  QueryResult expect = RunPlan(build(), 1, /*chunk_rows=*/2048);
+  ASSERT_GT(expect.num_rows(), 0u);
+  for (size_t par : {2u, 8u}) {
+    ExpectSameResult(RunPlan(build(), par, /*chunk_rows=*/2048), expect,
+                     "end-to-end parallelism " + std::to_string(par));
+  }
+}
+
+TEST(RichAlgebraEndToEndTest, HavingStyleSelectOnAggregateOutput) {
+  // Selects compose over owned aggregate columns (the gather fallback).
+  Table items = *Table::FromRowStore(MakeItems(6000));
+  auto plan = QueryBuilder(items)
+                  .GroupByAgg({"order"}, {Agg::Min("qty"), Agg::Max("qty")})
+                  .Select(Predicate::RangeU32("min", 2, 5))
+                  .OrderBy("order")
+                  .Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  QueryResult expect = RunPlan(*plan, 1);
+  for (size_t g = 0; g < expect.num_rows(); ++g) {
+    EXPECT_GE(expect.columns[1].u32_values[g], 2u);
+  }
+  for (size_t par : {2u, 8u}) {
+    ExpectSameResult(RunPlan(*plan, par), expect,
+                     "having parallelism " + std::to_string(par));
+  }
+}
+
+// --- empty inputs through every new operator ---------------------------------
+
+TEST(RichAlgebraEmptyInputTest, EmptyTableThroughAllNewOperators) {
+  Table empty = *Table::FromRowStore(MakeItems(0));
+  Table orders = MakeOrders(5);
+  for (size_t par : {1u, 2u, 8u}) {
+    auto plan =
+        QueryBuilder(empty)
+            .Select({Predicate::RangeU32("qty", 0, 100),
+                     Predicate::EqStr("shipmode", "MAIL"),
+                     Predicate::RangeF64("price", 0.0, 1e9)})
+            .Join(orders, "order", "order_id", JoinType::kLeftOuter)
+            .GroupByAgg({"shipmode", "prio"},
+                        {Agg::Sum("qty"), Agg::Min("qty"), Agg::Avg("qty"),
+                         Agg::Count()})
+            .OrderBy("prio")
+            .Limit(10)
+            .Build();
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    QueryResult r = RunPlan(*plan, par);
+    EXPECT_EQ(r.num_rows(), 0u) << par;
+    EXPECT_EQ(r.num_columns(), 6u) << par;
+
+    for (JoinType t : {JoinType::kSemi, JoinType::kAnti}) {
+      auto jplan = QueryBuilder(empty)
+                       .Join(orders, "order", "order_id", t)
+                       .Build();
+      ASSERT_TRUE(jplan.ok());
+      EXPECT_EQ(RunPlan(*jplan, par).num_rows(), 0u)
+          << JoinTypeName(t) << " parallelism " << par;
+    }
+
+    // Empty inner for semi/anti: semi keeps nothing, anti keeps everything.
+    Table items = *Table::FromRowStore(MakeItems(20));
+    QueryBuilder empty_inner_semi(orders);
+    empty_inner_semi.Select(Predicate::RangeU32("order_id", 900, 999));
+    auto semi = QueryBuilder(items)
+                    .Join(std::move(empty_inner_semi), "order", "order_id",
+                          JoinType::kSemi)
+                    .Build();
+    ASSERT_TRUE(semi.ok());
+    EXPECT_EQ(RunPlan(*semi, par).num_rows(), 0u) << par;
+    QueryBuilder empty_inner_anti(orders);
+    empty_inner_anti.Select(Predicate::RangeU32("order_id", 900, 999));
+    auto anti = QueryBuilder(items)
+                    .Join(std::move(empty_inner_anti), "order", "order_id",
+                          JoinType::kAnti)
+                    .Build();
+    ASSERT_TRUE(anti.ok());
+    EXPECT_EQ(RunPlan(*anti, par).num_rows(), 20u) << par;
+  }
+}
+
+}  // namespace
+}  // namespace ccdb
