@@ -140,14 +140,42 @@ int main(int argc, char** argv) {
     CCDB_CHECK(p.ok());
     return *std::move(p);
   };
+  // Disjunction-select path: a three-branch OR (with a negated leaf) lowered
+  // to candidate-list passes and sorted-position-list unions — the
+  // per-commit number tracking expression-filter speedup.
+  auto or_select_query = [&]() {
+    auto p = QueryBuilder(fact)
+                 .Filter(Col("v") <= 99u ||
+                         (Between(Col("gg"), 50000u, 59999u) &&
+                          !(Col("g") == 3u)) ||
+                         InU32(Col("g"), {7, 11, 13}))
+                 .GroupBySum("g", "v")
+                 .Build();
+    CCDB_CHECK(p.ok());
+    return *std::move(p);
+  };
+  // HAVING path: filter the 100k-group aggregate output in place on its
+  // owned i64 sum column.
+  auto having_query = [&]() {
+    auto p = QueryBuilder(fact)
+                 .GroupByAgg({"gg"}, {Agg::Sum("v"), Agg::Count()})
+                 .Having(Col("sum") >= 4000u && Col("count") >= 8u)
+                 .Build();
+    CCDB_CHECK(p.ok());
+    return *std::move(p);
+  };
 
   PathTiming paths[] = {{"partitioned_join"},
                         {"group_by"},
                         {"select"},
-                        {"group_by_min_max_avg"}};
+                        {"group_by_min_max_avg"},
+                        {"or_select"},
+                        {"having"}};
   const std::function<LogicalPlan()> queries[] = {join_query, groupby_query,
                                                   select_query,
-                                                  minmaxavg_query};
+                                                  minmaxavg_query,
+                                                  or_select_query,
+                                                  having_query};
   constexpr size_t kPaths = sizeof(paths) / sizeof(paths[0]);
   for (size_t i = 0; i < kPaths; ++i) {
     paths[i].serial_ms = run_at(queries[i], 1);

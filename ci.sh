@@ -44,12 +44,12 @@ if [ "$MODE" = "tsan" ]; then
   echo "== build =="
   cmake --build "$BUILD_DIR" -j "$JOBS"
   echo "== parallel executor tests under TSan =="
-  # plan_test and rich_algebra_test run the operators (including the
-  # parallel multi-key aggregate and outer/anti/semi join paths) at
-  # parallelism {1,2,8}; thread_pool_test hammers the pool itself. TSan is
-  # the real reviewer for all of them.
+  # plan_test, rich_algebra_test and expr_test run the operators (including
+  # the parallel multi-key aggregate, outer/anti/semi join, and
+  # OR-expression union paths) at parallelism {1,2,8}; thread_pool_test
+  # hammers the pool itself. TSan is the real reviewer for all of them.
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
-    -R 'plan_test|rich_algebra_test|exec_test|thread_pool_test'
+    -R 'plan_test|rich_algebra_test|expr_test|exec_test|thread_pool_test'
   echo "OK (tsan)"
   exit 0
 fi

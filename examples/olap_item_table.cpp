@@ -205,5 +205,42 @@ int main() {
                 g_mode[i].c_str(), g_min[i], g_max[i], g_avg[i],
                 (long long)g_cnt[i]);
   }
+
+  // ---- query 4: the typed expression API ----------------------------------
+  //   SELECT supp, SUM(qty), COUNT(*) FROM item
+  //   WHERE shipmode IN ('MAIL', 'RAIL') OR (qty >= 45 AND NOT status = 'F')
+  //   GROUP BY supp HAVING SUM(qty) >= 1000
+  //   ORDER BY sum DESC LIMIT 5
+  // Disjunctions, negation and HAVING — inexpressible with the flat
+  // Predicate conjunction — lower to the same candidate-list discipline:
+  // each OR branch narrows its own sorted position list and the branches
+  // merge-union, never materializing an intermediate BAT; Having filters
+  // the aggregate output in place on its owned columns.
+  std::printf("\nQ4: SUM(qty) BY supp WHERE shipmode IN {MAIL, RAIL} OR "
+              "(qty >= 45 AND status != 'F') HAVING sum >= 1000\n");
+  WallTimer t_q4;
+  auto q4 = QueryBuilder(table)
+                .Filter(InStr(Col("shipmode"), {"MAIL", "RAIL"}) ||
+                        (Col("qty") >= 45u && !(Col("status") == "F")))
+                .GroupBySum("supp", "qty")
+                .Having(Col("sum") >= 1000u)
+                .OrderBy("sum", /*descending=*/true)
+                .Limit(5)
+                .Build();
+  CCDB_CHECK(q4.ok());
+  Planner q4_planner;
+  auto q4_physical = q4_planner.Lower(*q4);
+  CCDB_CHECK(q4_physical.ok());
+  auto q4_res = q4_physical->Execute();
+  CCDB_CHECK(q4_res.ok());
+  double q4_ms = t_q4.ElapsedMillis();
+  std::printf("%s", q4_physical->ExplainFilters().c_str());
+  const auto& q4_supp = q4_res->columns[*q4_res->ColumnIndex("supp")].u32_values;
+  const auto& q4_sum = q4_res->columns[*q4_res->ColumnIndex("sum")].i64_values;
+  std::printf("  %.2f ms; top suppliers:\n", q4_ms);
+  for (size_t i = 0; i < q4_res->num_rows(); ++i) {
+    std::printf("  supp %3u  sum(qty) = %lld\n", q4_supp[i],
+                (long long)q4_sum[i]);
+  }
   return 0;
 }

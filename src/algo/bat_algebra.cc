@@ -1,5 +1,7 @@
 #include "algo/bat_algebra.h"
 
+#include <algorithm>
+#include <iterator>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -289,6 +291,123 @@ StatusOr<Bat> BatProject(const Bat& b, std::span<const oid_t> cands) {
       b, cands, [&](size_t i, uint32_t v) { tails[i] = v; }));
   return Bat::Make(Column::Void(0, cands.size()),
                    Column::U32(std::move(tails)));
+}
+
+namespace {
+
+/// Membership in a disjoint, ascending range set. Small sets scan linearly;
+/// larger ones (IN-lists) binary-search on lo.
+inline bool InRanges(std::span<const U32Range> ranges, uint32_t v) {
+  if (ranges.size() <= 4) {
+    for (const U32Range& r : ranges) {
+      if (v < r.lo) return false;  // ascending: no later range can match
+      if (v <= r.hi) return true;
+    }
+    return false;
+  }
+  // Last range with lo <= v, if any.
+  size_t lo = 0, hi = ranges.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (ranges[mid].lo <= v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo > 0 && v <= ranges[lo - 1].hi;
+}
+
+}  // namespace
+
+StatusOr<std::vector<uint32_t>> BatSelectPositionsUnion(
+    const Bat& b, std::span<const U32Range> ranges,
+    std::span<const oid_t> cands) {
+  if (ranges.size() == 1) {
+    return BatSelectPositions(b, ranges[0].lo, ranges[0].hi, cands);
+  }
+  std::vector<uint32_t> out;
+  CCDB_RETURN_IF_ERROR(ForEachCandidate(b, cands, [&](size_t i, uint32_t v) {
+    if (InRanges(ranges, v)) out.push_back(static_cast<uint32_t>(i));
+  }));
+  return out;
+}
+
+StatusOr<std::vector<uint32_t>> BatSelectPositionsUnionDense(
+    const Bat& b, std::span<const U32Range> ranges, oid_t base, size_t count) {
+  if (ranges.size() == 1) {
+    return BatSelectPositionsDense(b, ranges[0].lo, ranges[0].hi, base, count);
+  }
+  CCDB_RETURN_IF_ERROR(RequireIntegralTail(b, "select"));
+  if (base + count > b.size()) {
+    return Status::OutOfRange("dense candidate range beyond BAT");
+  }
+  std::vector<uint32_t> out;
+  const Column& tail = b.tail();
+  auto scan = [&](auto values) {
+    for (size_t i = 0; i < count; ++i) {
+      if (InRanges(ranges, values[base + i])) {
+        out.push_back(static_cast<uint32_t>(i));
+      }
+    }
+  };
+  switch (tail.type()) {
+    case PhysType::kU8:
+      scan(tail.Span<uint8_t>());
+      break;
+    case PhysType::kU16:
+      scan(tail.Span<uint16_t>());
+      break;
+    case PhysType::kU32:
+      scan(tail.Span<uint32_t>());
+      break;
+    default:
+      for (size_t i = 0; i < count; ++i) {
+        uint32_t x = static_cast<uint32_t>(tail.GetIntegral(base + i));
+        if (InRanges(ranges, x)) out.push_back(static_cast<uint32_t>(i));
+      }
+      break;
+  }
+  return out;
+}
+
+std::vector<U32Range> ComplementRanges(std::span<const U32Range> ranges) {
+  std::vector<U32Range> out;
+  uint32_t cur = 0;
+  bool open = true;  // [cur, ...] still uncovered
+  for (const U32Range& r : ranges) {
+    if (r.lo > cur) out.push_back({cur, r.lo - 1});
+    if (r.hi == UINT32_MAX) {
+      open = false;
+      break;
+    }
+    cur = r.hi + 1;
+  }
+  if (open) out.push_back({cur, UINT32_MAX});
+  return out;
+}
+
+std::vector<uint32_t> UnionSortedPositions(
+    std::vector<std::vector<uint32_t>> lists) {
+  // Fold pairwise set_union: each input is ascending and duplicate-free, so
+  // the union is too, and a position shared by branches survives once.
+  std::vector<uint32_t> acc;
+  bool first = true;
+  std::vector<uint32_t> merged;
+  for (std::vector<uint32_t>& l : lists) {
+    if (first) {
+      acc = std::move(l);
+      first = false;
+      continue;
+    }
+    if (l.empty()) continue;
+    merged.clear();
+    merged.reserve(acc.size() + l.size());
+    std::set_union(acc.begin(), acc.end(), l.begin(), l.end(),
+                   std::back_inserter(merged));
+    acc.swap(merged);
+  }
+  return acc;
 }
 
 }  // namespace ccdb

@@ -85,6 +85,42 @@ StatusOr<std::vector<uint32_t>> BatSelectPositionsDense(const Bat& b,
 /// void-headed BATs.
 StatusOr<Bat> BatProject(const Bat& b, std::span<const oid_t> cands);
 
+// --- disjunction kernels (expression lowering) -------------------------------
+// An Expr leaf (exec/expr.h) lowers to a *set* of disjoint value ranges on
+// the (possibly code-mapped) u32 domain: `x != 7` is [0,6] u [8,max], a
+// NOT IN {2,5} is three ranges, a negated Between is two. These kernels
+// evaluate such a range set through a candidate list in one pass, and merge
+// the sorted position lists that OR branches produce — still never
+// materializing an intermediate BAT.
+
+/// One inclusive value range on the u32 domain.
+struct U32Range {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+};
+
+/// select(b, ranges | cands): positions i into `cands` whose value
+/// b.tail[cands[i]] falls in any of `ranges` (disjoint, ascending by lo).
+/// Requires integral tail; OIDs beyond the BAT are kOutOfRange. An empty
+/// range set selects nothing.
+StatusOr<std::vector<uint32_t>> BatSelectPositionsUnion(
+    const Bat& b, std::span<const U32Range> ranges,
+    std::span<const oid_t> cands);
+
+/// Dense-candidate variant over the virtual sequence [base, base+count).
+StatusOr<std::vector<uint32_t>> BatSelectPositionsUnionDense(
+    const Bat& b, std::span<const U32Range> ranges, oid_t base, size_t count);
+
+/// The complement of a disjoint, ascending range set over the full u32
+/// domain — how NormalizeExpr's negated leaves become range sets.
+std::vector<U32Range> ComplementRanges(std::span<const U32Range> ranges);
+
+/// Merge-union of ascending, duplicate-free position lists: the OR
+/// combiner. Positions appearing in several branches are emitted exactly
+/// once, and the result is ascending again.
+std::vector<uint32_t> UnionSortedPositions(
+    std::vector<std::vector<uint32_t>> lists);
+
 }  // namespace ccdb
 
 #endif  // CCDB_ALGO_BAT_ALGEBRA_H_

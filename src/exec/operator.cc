@@ -1,6 +1,8 @@
 #include "exec/operator.h"
 
 #include <algorithm>
+#include <functional>
+#include <string_view>
 
 #include "algo/bat_algebra.h"
 #include "algo/partitioned_hash_join.h"
@@ -418,9 +420,29 @@ StatusOr<bool> ScanOp::Next(Chunk* out) {
 
 // --- SelectOp ----------------------------------------------------------------
 
+SelectOp::SelectOp(std::unique_ptr<Operator> child, Expr expr,
+                   const ExecContext* ctx)
+    : child_(std::move(child)), ctx_(ctx) {
+  // An empty conjunction (a childless And, e.g. a default-constructed
+  // Expr) is logically true: leave expr_ empty so Next() passes chunks
+  // through, exactly like the empty legacy Predicate conjunction (plan
+  // validation rejects both, but SelectOp is also composed directly).
+  Expr lowered = OrderConjunctsBySelectivity(NormalizeExpr(std::move(expr)));
+  if (lowered.kind != Expr::Kind::kAnd || !lowered.children.empty()) {
+    expr_ = std::move(lowered);
+  }
+}
+
 SelectOp::SelectOp(std::unique_ptr<Operator> child,
                    std::vector<Predicate> preds, const ExecContext* ctx)
-    : child_(std::move(child)), preds_(std::move(preds)), ctx_(ctx) {}
+    : child_(std::move(child)), ctx_(ctx) {
+  if (!preds.empty()) {
+    Expr e;
+    e.kind = Expr::Kind::kAnd;
+    for (const Predicate& p : preds) e.children.push_back(p.ToExpr());
+    expr_ = OrderConjunctsBySelectivity(NormalizeExpr(std::move(e)));
+  }
+}
 
 SelectOp::SelectOp(std::unique_ptr<Operator> child, Predicate pred,
                    const ExecContext* ctx)
@@ -432,134 +454,399 @@ void SelectOp::Close() { child_->Close(); }
 
 namespace {
 
-/// True when `pred` on column `ci` can be evaluated over an arbitrary
+// --- leaf matchers (span / gather fallback paths) ---------------------------
+// Direct evaluation of one normalized expression leaf against a typed
+// value. f64 comparisons are IEEE: NaN fails every ordering and range test
+// (including "not in [lo, hi]", which is v < lo || v > hi) while != is
+// true for NaN.
+
+bool MatchU32(const Expr& leaf, uint32_t v) {
+  switch (leaf.kind) {
+    case Expr::Kind::kCmp: {
+      uint32_t x = leaf.value.u32;
+      switch (leaf.cmp) {
+        case CmpOp::kEq: return v == x;
+        case CmpOp::kNe: return v != x;
+        case CmpOp::kLt: return v < x;
+        case CmpOp::kLe: return v <= x;
+        case CmpOp::kGt: return v > x;
+        case CmpOp::kGe: return v >= x;
+      }
+      return false;
+    }
+    case Expr::Kind::kBetween:
+      return (leaf.lo.u32 <= v && v <= leaf.hi.u32) != leaf.negated;
+    case Expr::Kind::kIn:
+      return std::binary_search(leaf.in_u32.begin(), leaf.in_u32.end(), v) !=
+             leaf.negated;
+    default:
+      return false;
+  }
+}
+
+bool MatchI64(const Expr& leaf, int64_t v) {
+  switch (leaf.kind) {
+    case Expr::Kind::kCmp: {
+      int64_t x = static_cast<int64_t>(leaf.value.u32);
+      switch (leaf.cmp) {
+        case CmpOp::kEq: return v == x;
+        case CmpOp::kNe: return v != x;
+        case CmpOp::kLt: return v < x;
+        case CmpOp::kLe: return v <= x;
+        case CmpOp::kGt: return v > x;
+        case CmpOp::kGe: return v >= x;
+      }
+      return false;
+    }
+    case Expr::Kind::kBetween:
+      return (static_cast<int64_t>(leaf.lo.u32) <= v &&
+              v <= static_cast<int64_t>(leaf.hi.u32)) != leaf.negated;
+    case Expr::Kind::kIn: {
+      bool found = v >= 0 && v <= static_cast<int64_t>(UINT32_MAX) &&
+                   std::binary_search(leaf.in_u32.begin(), leaf.in_u32.end(),
+                                      static_cast<uint32_t>(v));
+      return found != leaf.negated;
+    }
+    default:
+      return false;
+  }
+}
+
+bool MatchF64(const Expr& leaf, double v) {
+  switch (leaf.kind) {
+    case Expr::Kind::kCmp: {
+      double x = leaf.value.f64;
+      switch (leaf.cmp) {
+        case CmpOp::kEq: return v == x;
+        case CmpOp::kNe: return v != x;
+        case CmpOp::kLt: return v < x;
+        case CmpOp::kLe: return v <= x;
+        case CmpOp::kGt: return v > x;
+        case CmpOp::kGe: return v >= x;
+      }
+      return false;
+    }
+    case Expr::Kind::kBetween:
+      if (!leaf.negated) return leaf.lo.f64 <= v && v <= leaf.hi.f64;
+      return v < leaf.lo.f64 || v > leaf.hi.f64;
+    default:
+      return false;  // f64 In-lists are rejected at Build() time
+  }
+}
+
+bool MatchStr(const Expr& leaf, std::string_view v) {
+  switch (leaf.kind) {
+    case Expr::Kind::kCmp:
+      return leaf.cmp == CmpOp::kEq ? v == leaf.value.str
+                                    : v != leaf.value.str;
+    case Expr::Kind::kIn:
+      return std::binary_search(leaf.in_str.begin(), leaf.in_str.end(), v,
+                                std::less<>{}) != leaf.negated;
+    default:
+      return false;
+  }
+}
+
+// --- leaf lowering to u32 range sets (kernel path) --------------------------
+
+/// Literal domain a leaf compares on: kU32 (including dictionary codes for
+/// string literals on encoded columns), kF64, or kStr.
+Literal::Type LeafLiteralType(const Expr& leaf) {
+  switch (leaf.kind) {
+    case Expr::Kind::kCmp: return leaf.value.type;
+    case Expr::Kind::kBetween: return leaf.lo.type;
+    case Expr::Kind::kIn:
+      return leaf.in_str.empty() ? Literal::Type::kU32 : Literal::Type::kStr;
+    default: return Literal::Type::kU32;
+  }
+}
+
+std::vector<U32Range> RangesForCmpU32(CmpOp op, uint32_t x) {
+  switch (op) {
+    case CmpOp::kEq:
+      return {{x, x}};
+    case CmpOp::kNe:
+      return ComplementRanges(std::vector<U32Range>{{x, x}});
+    case CmpOp::kLt:
+      if (x == 0) return {};
+      return {{0, x - 1}};
+    case CmpOp::kLe:
+      return {{0, x}};
+    case CmpOp::kGt:
+      if (x == UINT32_MAX) return {};
+      return {{x + 1, UINT32_MAX}};
+    case CmpOp::kGe:
+      return {{x, UINT32_MAX}};
+  }
+  return {};
+}
+
+/// Coalesces sorted, duplicate-free values into maximal contiguous ranges.
+std::vector<U32Range> CoalesceSortedValues(std::span<const uint32_t> vals) {
+  std::vector<U32Range> out;
+  for (uint32_t v : vals) {
+    if (!out.empty() && out.back().hi != UINT32_MAX &&
+        v == out.back().hi + 1) {
+      out.back().hi = v;
+    } else {
+      out.push_back({v, v});
+    }
+  }
+  return out;
+}
+
+/// The disjoint, ascending range set `leaf` selects on the u32 value (or
+/// dictionary-code) domain. String literals are remapped onto the encoded
+/// column's codes (§3.1 predicate remap): an unknown string selects
+/// nothing — or, negated, everything.
+StatusOr<std::vector<U32Range>> LeafU32Ranges(const ChunkColumn& col,
+                                              const Expr& leaf) {
+  switch (leaf.kind) {
+    case Expr::Kind::kCmp: {
+      if (leaf.value.type == Literal::Type::kStr) {
+        auto code = col.base->dict(col.base_col).Lookup(leaf.value.str);
+        if (leaf.cmp == CmpOp::kEq) {
+          if (!code.ok()) return std::vector<U32Range>{};
+          return std::vector<U32Range>{{*code, *code}};
+        }
+        // kNe (validation admits = and != only on strings).
+        if (!code.ok()) return std::vector<U32Range>{{0, UINT32_MAX}};
+        return ComplementRanges(std::vector<U32Range>{{*code, *code}});
+      }
+      return RangesForCmpU32(leaf.cmp, leaf.value.u32);
+    }
+    case Expr::Kind::kBetween: {
+      std::vector<U32Range> base{{leaf.lo.u32, leaf.hi.u32}};
+      return leaf.negated ? ComplementRanges(base) : base;
+    }
+    case Expr::Kind::kIn: {
+      std::vector<U32Range> base;
+      if (!leaf.in_str.empty()) {
+        std::vector<uint32_t> codes;
+        for (const std::string& s : leaf.in_str) {
+          auto code = col.base->dict(col.base_col).Lookup(s);
+          if (code.ok()) codes.push_back(*code);
+        }
+        std::sort(codes.begin(), codes.end());
+        codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+        base = CoalesceSortedValues(codes);
+      } else {
+        // NormalizeExpr sorted and deduplicated the list.
+        base = CoalesceSortedValues(leaf.in_u32);
+      }
+      return leaf.negated ? ComplementRanges(base) : base;
+    }
+    default:
+      return Status::Internal("LeafU32Ranges on a non-leaf expression");
+  }
+}
+
+/// True when `leaf` on column `ci` can be evaluated over an arbitrary
 /// candidate sub-range without first gathering the whole chunk — the lazy
 /// base-column paths that morsel-parallel evaluation splits up.
-bool RangedEvalSupported(const Chunk& in, size_t ci, const Predicate& pred) {
+bool LeafRangedEvalSupported(const Chunk& in, size_t ci, const Expr& leaf) {
   const ChunkColumn& col = in.cols[ci];
   if (!col.lazy()) return false;
-  switch (pred.kind) {
-    case Predicate::Kind::kRangeU32:
-      return true;  // integral check happens inside the select kernel
-    case Predicate::Kind::kRangeF64:
+  switch (LeafLiteralType(leaf)) {
+    case Literal::Type::kU32:
+      switch (col.base->column_bat(col.base_col).tail().type()) {
+        case PhysType::kVoid:
+        case PhysType::kU8:
+        case PhysType::kU16:
+        case PhysType::kU32:
+          return true;
+        default:
+          return false;  // e.g. an i64 base column: gather fallback
+      }
+    case Literal::Type::kF64:
       return col.base->column_bat(col.base_col).tail().type() ==
              PhysType::kF64;
-    case Predicate::Kind::kEqStr:
+    case Literal::Type::kStr:
       return col.base->is_encoded(col.base_col);
   }
   return false;
 }
 
-/// Evaluates `pred` over candidate rows [row_lo, row_hi) of lazy column
+/// Evaluates `leaf` over candidate rows [row_lo, row_hi) of lazy column
 /// `ci`, returning qualifying chunk-relative positions (ascending). Only
-/// valid when RangedEvalSupported; morsel results concatenated in range
+/// valid when LeafRangedEvalSupported; morsel results concatenated in range
 /// order equal a full-range evaluation.
-StatusOr<std::vector<uint32_t>> EvalPredicateLazyRange(const Chunk& in,
-                                                       const Predicate& pred,
-                                                       size_t ci,
-                                                       size_t row_lo,
-                                                       size_t row_hi) {
+StatusOr<std::vector<uint32_t>> EvalLeafLazyRange(const Chunk& in,
+                                                  const Expr& leaf, size_t ci,
+                                                  size_t row_lo,
+                                                  size_t row_hi) {
   const ChunkColumn& col = in.cols[ci];
   const Bat& bat = col.base->column_bat(col.base_col);
   const Candidates& cd = in.cands[col.cand_slot];
   size_t n = row_hi - row_lo;
-  auto to_chunk_positions = [&](std::vector<uint32_t> pos) {
-    if (row_lo != 0) {
-      for (uint32_t& p : pos) p += static_cast<uint32_t>(row_lo);
+  if (LeafLiteralType(leaf) == Literal::Type::kF64) {
+    auto v = bat.tail().Span<double>();
+    std::vector<uint32_t> out;
+    for (size_t i = row_lo; i < row_hi; ++i) {
+      oid_t o = cd.Get(i);
+      if (o >= v.size()) return Status::OutOfRange("candidate beyond column");
+      if (MatchF64(leaf, v[o])) out.push_back(static_cast<uint32_t>(i));
     }
-    return pos;
-  };
-  // Integral range through the candidate list: the select kernel.
-  auto range_on_bat = [&](uint32_t lo, uint32_t hi)
-      -> StatusOr<std::vector<uint32_t>> {
-    if (cd.dense()) {
-      CCDB_ASSIGN_OR_RETURN(
-          std::vector<uint32_t> pos,
-          BatSelectPositionsDense(bat, lo, hi, cd.base + row_lo, n));
-      return to_chunk_positions(std::move(pos));
-    }
+    return out;
+  }
+  // Integral shapes (and string literals remapped onto codes) lower to a
+  // disjoint range set evaluated by the candidate-list union kernels.
+  CCDB_ASSIGN_OR_RETURN(std::vector<U32Range> ranges,
+                        LeafU32Ranges(col, leaf));
+  if (ranges.empty()) return std::vector<uint32_t>{};
+  std::vector<uint32_t> pos;
+  if (cd.dense()) {
     CCDB_ASSIGN_OR_RETURN(
-        std::vector<uint32_t> pos,
-        BatSelectPositions(bat, lo, hi, OidSpan(cd).subspan(row_lo, n)));
-    return to_chunk_positions(std::move(pos));
-  };
-  switch (pred.kind) {
-    case Predicate::Kind::kRangeU32:
-      return range_on_bat(pred.lo_u32, pred.hi_u32);
-    case Predicate::Kind::kEqStr: {
-      // Predicate remap (§3.1): the string equality becomes an integral
-      // range [code, code] on the 1-2 byte code column, evaluated through
-      // the candidate list.
-      auto code = col.base->dict(col.base_col).Lookup(pred.str_value);
-      if (!code.ok()) return std::vector<uint32_t>{};  // unknown: empty
-      return range_on_bat(*code, *code);
+        pos, BatSelectPositionsUnionDense(bat, ranges, cd.base + row_lo, n));
+  } else {
+    CCDB_ASSIGN_OR_RETURN(
+        pos,
+        BatSelectPositionsUnion(bat, ranges, OidSpan(cd).subspan(row_lo, n)));
+  }
+  if (row_lo != 0) {
+    for (uint32_t& p : pos) p += static_cast<uint32_t>(row_lo);
+  }
+  return pos;
+}
+
+/// Evaluates `leaf` over an owned column in place (no gather): rows
+/// row_at(0..n), emitting the matching row_at values in order.
+template <class RowAt>
+StatusOr<std::vector<uint32_t>> EvalLeafOwnedRows(const Column& col,
+                                                  const Expr& leaf, size_t n,
+                                                  RowAt row_at) {
+  std::vector<uint32_t> out;
+  switch (col.type()) {
+    case PhysType::kU32: {
+      auto s = col.Span<uint32_t>();
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t r = row_at(i);
+        if (MatchU32(leaf, s[r])) out.push_back(r);
+      }
+      return out;
     }
-    case Predicate::Kind::kRangeF64: {
-      auto v = bat.tail().Span<double>();
-      std::vector<uint32_t> out;
-      for (size_t i = row_lo; i < row_hi; ++i) {
-        oid_t o = cd.Get(i);
-        if (o >= v.size()) return Status::OutOfRange("candidate beyond column");
-        if (pred.lo_f64 <= v[o] && v[o] <= pred.hi_f64) {
-          out.push_back(static_cast<uint32_t>(i));
+    case PhysType::kI64: {
+      auto s = col.Span<int64_t>();
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t r = row_at(i);
+        if (MatchI64(leaf, s[r])) out.push_back(r);
+      }
+      return out;
+    }
+    case PhysType::kF64: {
+      auto s = col.Span<double>();
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t r = row_at(i);
+        if (MatchF64(leaf, s[r])) out.push_back(r);
+      }
+      return out;
+    }
+    case PhysType::kStr: {
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t r = row_at(i);
+        if (MatchStr(leaf, col.GetStr(r))) out.push_back(r);
+      }
+      return out;
+    }
+    default: {
+      // Narrow integral representations: go through GetIntegral.
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t r = row_at(i);
+        if (MatchU32(leaf, static_cast<uint32_t>(col.GetIntegral(r)))) {
+          out.push_back(r);
         }
       }
       return out;
     }
   }
-  return Status::Internal("unreachable predicate kind");
 }
 
-/// Evaluates `pred` over one chunk, returning the qualifying row positions.
-StatusOr<std::vector<uint32_t>> EvalPredicate(const Chunk& in,
-                                              const Predicate& pred) {
-  CCDB_ASSIGN_OR_RETURN(size_t ci, in.Find(pred.column));
-  if (RangedEvalSupported(in, ci, pred)) {
-    return EvalPredicateLazyRange(in, pred, ci, 0, in.rows);
+/// Directly-composed SelectOps bypass Build() validation, so the fallback
+/// paths re-check that the leaf's literal domain matches the column before
+/// dispatching a matcher — a mismatch must stay a loud error, never a
+/// comparison against the wrong Literal member.
+Status CheckLeafDomain(PhysType col_type, const Expr& leaf) {
+  Literal::Type lt = LeafLiteralType(leaf);
+  bool ok = false;
+  switch (col_type) {
+    case PhysType::kU32:
+    case PhysType::kI64:
+      ok = lt == Literal::Type::kU32;
+      break;
+    case PhysType::kF64:
+      ok = lt == Literal::Type::kF64;
+      break;
+    case PhysType::kStr:
+      ok = lt == Literal::Type::kStr;
+      break;
+    default:
+      break;
   }
-  // Gather-based fallback for owned or unencoded columns.
-  switch (pred.kind) {
-    case Predicate::Kind::kRangeU32: {
+  if (!ok) {
+    return Status::InvalidArgument(
+        "filter: literal type does not match column '" + leaf.column + "' (" +
+        PhysTypeName(col_type) + ")");
+  }
+  return Status::Ok();
+}
+
+/// Whole-chunk fallback for shapes without a ranged kernel path: owned
+/// columns (aggregate output) evaluate on their spans in place; lazy
+/// columns gather once and match per row.
+StatusOr<std::vector<uint32_t>> EvalLeafFallback(const Chunk& in,
+                                                 const Expr& leaf, size_t ci) {
+  CCDB_RETURN_IF_ERROR(CheckLeafDomain(in.TypeOf(ci), leaf));
+  const ChunkColumn& col = in.cols[ci];
+  if (!col.lazy()) {
+    return EvalLeafOwnedRows(*col.owned, leaf, in.rows,
+                             [](size_t i) { return static_cast<uint32_t>(i); });
+  }
+  std::vector<uint32_t> out;
+  switch (in.TypeOf(ci)) {
+    case PhysType::kU32: {
       CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> v, in.GatherU32(ci));
-      std::vector<uint32_t> out;
       for (size_t i = 0; i < v.size(); ++i) {
-        if (pred.lo_u32 <= v[i] && v[i] <= pred.hi_u32) {
-          out.push_back(static_cast<uint32_t>(i));
-        }
+        if (MatchU32(leaf, v[i])) out.push_back(static_cast<uint32_t>(i));
       }
       return out;
     }
-    case Predicate::Kind::kRangeF64: {
+    case PhysType::kI64: {
+      CCDB_ASSIGN_OR_RETURN(std::vector<int64_t> v, in.GatherI64(ci));
+      for (size_t i = 0; i < v.size(); ++i) {
+        if (MatchI64(leaf, v[i])) out.push_back(static_cast<uint32_t>(i));
+      }
+      return out;
+    }
+    case PhysType::kF64: {
       CCDB_ASSIGN_OR_RETURN(std::vector<double> v, in.GatherF64(ci));
-      std::vector<uint32_t> out;
       for (size_t i = 0; i < v.size(); ++i) {
-        if (pred.lo_f64 <= v[i] && v[i] <= pred.hi_f64) {
-          out.push_back(static_cast<uint32_t>(i));
-        }
+        if (MatchF64(leaf, v[i])) out.push_back(static_cast<uint32_t>(i));
       }
       return out;
     }
-    case Predicate::Kind::kEqStr: {
+    case PhysType::kStr: {
       CCDB_ASSIGN_OR_RETURN(std::vector<std::string> v, in.GatherStr(ci));
-      std::vector<uint32_t> out;
       for (size_t i = 0; i < v.size(); ++i) {
-        if (v[i] == pred.str_value) out.push_back(static_cast<uint32_t>(i));
+        if (MatchStr(leaf, v[i])) out.push_back(static_cast<uint32_t>(i));
       }
       return out;
     }
+    default:
+      return Status::Internal("unexpected chunk column type");
   }
-  return Status::Internal("unreachable predicate kind");
 }
 
-/// First pass of a conjunction: evaluates `pred` over the whole chunk,
-/// morsel-parallel when the column supports ranged evaluation.
-StatusOr<std::vector<uint32_t>> EvalFirstPredicate(const Chunk& in,
-                                                   const Predicate& pred,
-                                                   const ExecContext* ctx) {
-  CCDB_ASSIGN_OR_RETURN(size_t ci, in.Find(pred.column));
-  size_t shards =
-      RangedEvalSupported(in, ci, pred) ? CtxShards(ctx, in.rows) : 1;
-  if (shards <= 1) return EvalPredicate(in, pred);
+/// First pass of a leaf: evaluates it over the whole chunk, morsel-parallel
+/// when the column supports ranged evaluation.
+StatusOr<std::vector<uint32_t>> EvalLeafFull(const Chunk& in, const Expr& leaf,
+                                             const ExecContext* ctx) {
+  CCDB_ASSIGN_OR_RETURN(size_t ci, in.Find(leaf.column));
+  bool ranged = LeafRangedEvalSupported(in, ci, leaf);
+  size_t shards = ranged ? CtxShards(ctx, in.rows) : 1;
+  if (shards <= 1) {
+    if (ranged) return EvalLeafLazyRange(in, leaf, ci, 0, in.rows);
+    return EvalLeafFallback(in, leaf, ci);
+  }
   // Morsel-parallel candidate evaluation: shard s fills slot s, and the
   // ordered concatenation equals the serial result exactly.
   std::vector<std::vector<uint32_t>> parts(shards);
@@ -568,7 +855,7 @@ StatusOr<std::vector<uint32_t>> EvalFirstPredicate(const Chunk& in,
         size_t lo = in.rows * s / shards;
         size_t hi = in.rows * (s + 1) / shards;
         CCDB_ASSIGN_OR_RETURN(parts[s],
-                              EvalPredicateLazyRange(in, pred, ci, lo, hi));
+                              EvalLeafLazyRange(in, leaf, ci, lo, hi));
         return Status::Ok();
       }));
   size_t total = 0;
@@ -581,70 +868,65 @@ StatusOr<std::vector<uint32_t>> EvalFirstPredicate(const Chunk& in,
   return positions;
 }
 
-/// Evaluates `pred` over the surviving chunk positions [lo, hi) of
+/// Evaluates `leaf` over the surviving chunk positions [lo, hi) of
 /// `positions`, touching only those candidates (never the full chunk).
-/// Returns the qualifying subset, in order. Requires RangedEvalSupported.
-StatusOr<std::vector<uint32_t>> NarrowSlice(const Chunk& in,
-                                            const Predicate& pred, size_t ci,
-                                            std::span<const uint32_t> positions,
-                                            size_t lo, size_t hi) {
+/// Returns the qualifying subset, in order. Requires
+/// LeafRangedEvalSupported.
+StatusOr<std::vector<uint32_t>> NarrowLeafSlice(
+    const Chunk& in, const Expr& leaf, size_t ci,
+    std::span<const uint32_t> positions, size_t lo, size_t hi) {
   const ChunkColumn& col = in.cols[ci];
   const Bat& bat = col.base->column_bat(col.base_col);
   const Candidates& cd = in.cands[col.cand_slot];
-  auto range_on_survivors = [&](uint32_t vlo, uint32_t vhi)
-      -> StatusOr<std::vector<uint32_t>> {
-    std::vector<oid_t> oids(hi - lo);
-    for (size_t i = lo; i < hi; ++i) oids[i - lo] = cd.Get(positions[i]);
-    CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> idx,
-                          BatSelectPositions(bat, vlo, vhi, oids));
-    std::vector<uint32_t> out(idx.size());
-    for (size_t i = 0; i < idx.size(); ++i) out[i] = positions[lo + idx[i]];
+  if (LeafLiteralType(leaf) == Literal::Type::kF64) {
+    auto v = bat.tail().Span<double>();
+    std::vector<uint32_t> out;
+    for (size_t i = lo; i < hi; ++i) {
+      oid_t o = cd.Get(positions[i]);
+      if (o >= v.size()) return Status::OutOfRange("candidate beyond column");
+      if (MatchF64(leaf, v[o])) out.push_back(positions[i]);
+    }
     return out;
-  };
-  switch (pred.kind) {
-    case Predicate::Kind::kRangeU32:
-      return range_on_survivors(pred.lo_u32, pred.hi_u32);
-    case Predicate::Kind::kEqStr: {
-      auto code = col.base->dict(col.base_col).Lookup(pred.str_value);
-      if (!code.ok()) return std::vector<uint32_t>{};  // unknown: empty
-      return range_on_survivors(*code, *code);
-    }
-    case Predicate::Kind::kRangeF64: {
-      auto v = bat.tail().Span<double>();
-      std::vector<uint32_t> out;
-      for (size_t i = lo; i < hi; ++i) {
-        oid_t o = cd.Get(positions[i]);
-        if (o >= v.size()) return Status::OutOfRange("candidate beyond column");
-        if (pred.lo_f64 <= v[o] && v[o] <= pred.hi_f64) {
-          out.push_back(positions[i]);
-        }
-      }
-      return out;
-    }
   }
-  return Status::Internal("unreachable predicate kind");
+  CCDB_ASSIGN_OR_RETURN(std::vector<U32Range> ranges,
+                        LeafU32Ranges(col, leaf));
+  if (ranges.empty()) return std::vector<uint32_t>{};
+  std::vector<oid_t> oids(hi - lo);
+  for (size_t i = lo; i < hi; ++i) oids[i - lo] = cd.Get(positions[i]);
+  CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> idx,
+                        BatSelectPositionsUnion(bat, ranges, oids));
+  std::vector<uint32_t> out(idx.size());
+  for (size_t i = 0; i < idx.size(); ++i) out[i] = positions[lo + idx[i]];
+  return out;
 }
 
-/// Subsequent pass of a conjunction: narrows the surviving candidate
-/// positions by `pred` without re-scanning the chunk. Lazy columns go
-/// through the candidate-list select kernels; owned/unencoded columns fall
-/// back to evaluating on the survivor sub-chunk (still candidate-bounded).
-StatusOr<std::vector<uint32_t>> NarrowPositions(
-    const Chunk& in, const Predicate& pred,
-    std::vector<uint32_t> positions, const ExecContext* ctx) {
-  if (positions.empty()) return positions;
-  CCDB_ASSIGN_OR_RETURN(size_t ci, in.Find(pred.column));
-  if (!RangedEvalSupported(in, ci, pred)) {
+/// Narrows the surviving positions by `leaf` without re-scanning the chunk.
+/// Lazy columns go through the candidate-list kernels; owned columns
+/// evaluate in place on their spans; other shapes fall back to a
+/// candidate-bounded take + gather.
+StatusOr<std::vector<uint32_t>> NarrowLeaf(const Chunk& in, const Expr& leaf,
+                                           std::vector<uint32_t> positions,
+                                           const ExecContext* ctx) {
+  CCDB_ASSIGN_OR_RETURN(size_t ci, in.Find(leaf.column));
+  if (!LeafRangedEvalSupported(in, ci, leaf)) {
+    const ChunkColumn& col = in.cols[ci];
+    if (!col.lazy()) {
+      // Aggregate output and other owned columns: match through the
+      // survivor list in place — no take, no gather.
+      CCDB_RETURN_IF_ERROR(CheckLeafDomain(in.TypeOf(ci), leaf));
+      return EvalLeafOwnedRows(*col.owned, leaf, positions.size(),
+                               [&](size_t i) { return positions[i]; });
+    }
     CCDB_ASSIGN_OR_RETURN(Chunk sub, in.Take(positions));
     CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> subpos,
-                          EvalPredicate(sub, pred));
+                          EvalLeafFallback(sub, leaf, ci));
     std::vector<uint32_t> out(subpos.size());
     for (size_t i = 0; i < subpos.size(); ++i) out[i] = positions[subpos[i]];
     return out;
   }
   size_t shards = CtxShards(ctx, positions.size());
   if (shards <= 1) {
-    return NarrowSlice(in, pred, ci, positions, 0, positions.size());
+    return NarrowLeafSlice(in, leaf, ci, positions, 0, positions.size());
   }
   std::vector<std::vector<uint32_t>> parts(shards);
   CCDB_RETURN_IF_ERROR(ParallelFor(
@@ -652,7 +934,8 @@ StatusOr<std::vector<uint32_t>> NarrowPositions(
         size_t lo = positions.size() * s / shards;
         size_t hi = positions.size() * (s + 1) / shards;
         CCDB_ASSIGN_OR_RETURN(parts[s],
-                              NarrowSlice(in, pred, ci, positions, lo, hi));
+                              NarrowLeafSlice(in, leaf, ci, positions, lo,
+                                              hi));
         return Status::Ok();
       }));
   size_t total = 0;
@@ -663,31 +946,95 @@ StatusOr<std::vector<uint32_t>> NarrowPositions(
   return out;
 }
 
+// --- recursive expression evaluation ----------------------------------------
+// Both walks produce ascending, duplicate-free chunk positions, so And can
+// narrow pass by pass and Or can merge-union branch results — candidate
+// lists all the way down, never an intermediate BAT.
+
+StatusOr<std::vector<uint32_t>> EvalExprNarrow(const Chunk& in, const Expr& e,
+                                               std::vector<uint32_t> positions,
+                                               const ExecContext* ctx);
+
+/// Evaluates a normalized expression over the whole chunk.
+StatusOr<std::vector<uint32_t>> EvalExprFull(const Chunk& in, const Expr& e,
+                                             const ExecContext* ctx) {
+  switch (e.kind) {
+    case Expr::Kind::kAnd: {
+      // Fused conjunction pass: the first conjunct scans the chunk's
+      // candidate range; each later conjunct narrows the survivors only.
+      std::vector<uint32_t> positions;
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i == 0) {
+          CCDB_ASSIGN_OR_RETURN(positions,
+                                EvalExprFull(in, e.children[i], ctx));
+        } else {
+          if (positions.empty()) break;
+          CCDB_ASSIGN_OR_RETURN(
+              positions,
+              EvalExprNarrow(in, e.children[i], std::move(positions), ctx));
+        }
+      }
+      return positions;
+    }
+    case Expr::Kind::kOr: {
+      std::vector<std::vector<uint32_t>> parts(e.children.size());
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        CCDB_ASSIGN_OR_RETURN(parts[i], EvalExprFull(in, e.children[i], ctx));
+      }
+      return UnionSortedPositions(std::move(parts));
+    }
+    case Expr::Kind::kNot:
+      return Status::Internal("filter expression not normalized (NOT node)");
+    default:
+      return EvalLeafFull(in, e, ctx);
+  }
+}
+
+/// Narrows surviving positions by a normalized expression.
+StatusOr<std::vector<uint32_t>> EvalExprNarrow(const Chunk& in, const Expr& e,
+                                               std::vector<uint32_t> positions,
+                                               const ExecContext* ctx) {
+  if (positions.empty()) return positions;
+  switch (e.kind) {
+    case Expr::Kind::kAnd: {
+      for (const Expr& c : e.children) {
+        CCDB_ASSIGN_OR_RETURN(positions,
+                              EvalExprNarrow(in, c, std::move(positions),
+                                             ctx));
+        if (positions.empty()) break;
+      }
+      return positions;
+    }
+    case Expr::Kind::kOr: {
+      // Every branch narrows the same survivor list; the union keeps each
+      // surviving position exactly once, in order.
+      std::vector<std::vector<uint32_t>> parts(e.children.size());
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        CCDB_ASSIGN_OR_RETURN(parts[i],
+                              EvalExprNarrow(in, e.children[i], positions,
+                                             ctx));
+      }
+      return UnionSortedPositions(std::move(parts));
+    }
+    case Expr::Kind::kNot:
+      return Status::Internal("filter expression not normalized (NOT node)");
+    default:
+      return NarrowLeaf(in, e, std::move(positions), ctx);
+  }
+}
+
 }  // namespace
 
 StatusOr<bool> SelectOp::Next(Chunk* out) {
   Chunk in;
   CCDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
   if (!more) return false;
-  // An empty conjunction is logically true: pass the chunk through (plan
-  // validation rejects it, but SelectOp is also composed directly).
-  if (preds_.empty()) {
+  if (!expr_.has_value()) {
     *out = std::move(in);
     return true;
   }
-  // Fused conjunction pass: the first predicate scans the chunk's candidate
-  // range; each later predicate narrows the survivors only.
-  std::vector<uint32_t> positions;
-  for (size_t p = 0; p < preds_.size(); ++p) {
-    if (p == 0) {
-      CCDB_ASSIGN_OR_RETURN(positions,
-                            EvalFirstPredicate(in, preds_[p], ctx_));
-    } else {
-      CCDB_ASSIGN_OR_RETURN(
-          positions, NarrowPositions(in, preds_[p], std::move(positions),
-                                     ctx_));
-    }
-  }
+  CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> positions,
+                        EvalExprFull(in, *expr_, ctx_));
   CCDB_ASSIGN_OR_RETURN(*out, in.Take(positions));
   return true;
 }

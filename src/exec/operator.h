@@ -159,16 +159,33 @@ class ScanOp : public Operator {
   bool emitted_ = false;
 };
 
-/// Filter: evaluates a conjunction of predicates through the candidate list
-/// (predicate remap for encoded columns) and narrows the chunk — no values
-/// are materialized. The conjunction runs as one fused candidate pass: the
-/// first predicate scans the chunk's candidate range, every subsequent
-/// predicate narrows the surviving candidate list without re-scanning the
-/// chunk. With a parallel ExecContext each pass splits into cache-sized
-/// morsels evaluated on the pool; morsel results concatenate in morsel
-/// order, so output is byte-identical at any parallelism.
+/// Filter: evaluates a typed expression tree (exec/expr.h) through the
+/// candidate list (predicate remap for encoded columns) and narrows the
+/// chunk — no values are materialized and no intermediate BAT exists at any
+/// point. Conjunctions run as one fused candidate pass: the first conjunct
+/// scans the chunk's candidate range, every subsequent conjunct narrows the
+/// surviving position list without re-scanning the chunk. Disjunctions
+/// evaluate every branch over the same input candidates and merge-union the
+/// sorted position lists (UnionSortedPositions), so a position matching
+/// several branches survives exactly once. Leaves lower to disjoint u32
+/// range sets on the value (or dictionary-code) domain where possible —
+/// `x != 7` is two ranges, a negated Between or an IN-list a few more —
+/// evaluated by the candidate-list union kernels; owned columns (aggregate
+/// output) evaluate on their spans in place, and other shapes fall back to
+/// a candidate-bounded gather. With a parallel ExecContext each leaf pass
+/// splits into cache-sized morsels evaluated on the pool; morsel results
+/// concatenate in morsel order, so output is byte-identical at any
+/// parallelism.
+///
+/// The expression is normalized (NNF) and its conjuncts
+/// selectivity-ordered on construction; SelectOp also serves Having nodes,
+/// whose owned aggregate columns take the in-place span path.
 class SelectOp : public Operator {
  public:
+  SelectOp(std::unique_ptr<Operator> child, Expr expr,
+           const ExecContext* ctx = nullptr);
+  /// Legacy wrappers: a conjunction of Predicates filters exactly like the
+  /// equivalent And expression. An empty conjunction passes chunks through.
   SelectOp(std::unique_ptr<Operator> child, std::vector<Predicate> preds,
            const ExecContext* ctx = nullptr);
   SelectOp(std::unique_ptr<Operator> child, Predicate pred,
@@ -177,9 +194,15 @@ class SelectOp : public Operator {
   StatusOr<bool> Next(Chunk* out) override;
   void Close() override;
 
+  /// The normalized, selectivity-ordered expression this operator actually
+  /// executes (nullopt: pass-through). The planner's ExplainFilters()
+  /// report is derived from this, so the diagnostics cannot diverge from
+  /// execution.
+  const std::optional<Expr>& expr() const { return expr_; }
+
  private:
   std::unique_ptr<Operator> child_;
-  std::vector<Predicate> preds_;
+  std::optional<Expr> expr_;  // nullopt: pass-through (empty conjunction)
   const ExecContext* ctx_;
 };
 

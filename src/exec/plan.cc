@@ -32,10 +32,23 @@ const char* LogicalOpName(LogicalOp op) {
     case LogicalOp::kJoin: return "Join";
     case LogicalOp::kProject: return "Project";
     case LogicalOp::kGroupByAgg: return "GroupByAgg";
+    case LogicalOp::kHaving: return "Having";
     case LogicalOp::kOrderBy: return "OrderBy";
     case LogicalOp::kLimit: return "Limit";
   }
   return "?";
+}
+
+Expr Predicate::ToExpr() const {
+  switch (kind) {
+    case Kind::kRangeU32:
+      return Between(Col(column), lo_u32, hi_u32);
+    case Kind::kRangeF64:
+      return Between(Col(column), lo_f64, hi_f64);
+    case Kind::kEqStr:
+      return Col(column) == str_value;
+  }
+  return Expr{};
 }
 
 namespace {
@@ -100,31 +113,106 @@ StatusOr<const LogicalNode*> ChildOf(const LogicalNode& n, size_t i) {
   return n.children[i].get();
 }
 
-Status ValidatePredicate(const Schema& in, const Predicate& pred) {
-  CCDB_ASSIGN_OR_RETURN(const PlanColumn* c,
-                        FindColumn(in, pred.column, "Select"));
-  switch (pred.kind) {
-    case Predicate::Kind::kRangeU32:
-      if (c->type != PhysType::kU32) {
-        return Status::InvalidArgument("Select: RangeU32 predicate on "
-                                       "non-integral column '" +
+/// Type-checks one expression leaf against the visible column it names.
+/// u32 literals compare against integral columns — including the i64
+/// sums/counts of an aggregate, which is what lets Having reuse the same
+/// machinery; f64 literals require an f64 column; string literals require a
+/// string column and support equality only.
+Status ValidateLeaf(const Schema& in, const Expr& e, const char* op) {
+  CCDB_ASSIGN_OR_RETURN(const PlanColumn* c, FindColumn(in, e.column, op));
+  Literal::Type lt = Literal::Type::kU32;
+  switch (e.kind) {
+    case Expr::Kind::kCmp:
+      lt = e.value.type;
+      break;
+    case Expr::Kind::kBetween:
+      if (e.lo.type != e.hi.type) {
+        return Status::InvalidArgument(std::string(op) +
+                                       ": Between bounds of mixed types on '" +
+                                       e.column + "'");
+      }
+      lt = e.lo.type;
+      break;
+    case Expr::Kind::kIn:
+      if (e.in_u32.empty() && e.in_str.empty()) {
+        return Status::InvalidArgument(std::string(op) +
+                                       ": empty In-list on '" + e.column +
+                                       "'");
+      }
+      lt = e.in_str.empty() ? Literal::Type::kU32 : Literal::Type::kStr;
+      break;
+    default:
+      return Status::Internal("ValidateLeaf on a non-leaf expression");
+  }
+  switch (lt) {
+    case Literal::Type::kU32:
+      if (c->type != PhysType::kU32 && c->type != PhysType::kI64) {
+        return Status::InvalidArgument(
+            std::string(op) + ": integer comparison on non-integral column '" +
+            c->name + "'");
+      }
+      break;
+    case Literal::Type::kF64:
+      if (c->type != PhysType::kF64) {
+        return Status::InvalidArgument(std::string(op) +
+                                       ": float comparison on non-f64 "
+                                       "column '" +
                                        c->name + "'");
       }
       break;
-    case Predicate::Kind::kRangeF64:
-      if (c->type != PhysType::kF64) {
-        return Status::InvalidArgument(
-            "Select: RangeF64 predicate on non-f64 column '" + c->name + "'");
-      }
-      break;
-    case Predicate::Kind::kEqStr:
+    case Literal::Type::kStr:
       if (c->type != PhysType::kStr) {
+        return Status::InvalidArgument(std::string(op) +
+                                       ": string comparison on non-string "
+                                       "column '" +
+                                       c->name + "'");
+      }
+      if (e.kind == Expr::Kind::kCmp && e.cmp != CmpOp::kEq &&
+          e.cmp != CmpOp::kNe) {
         return Status::InvalidArgument(
-            "Select: EqStr predicate on non-string column '" + c->name + "'");
+            std::string(op) + ": string columns support = and != only ('" +
+            c->name + "')");
       }
       break;
   }
+  // Inverted ranges select nothing and are always a caller bug; reject them
+  // here instead of silently returning the empty set. (NaN bounds are not
+  // `lo > hi` and keep their never-match semantics.)
+  if (e.kind == Expr::Kind::kBetween) {
+    if (lt == Literal::Type::kU32 && e.lo.u32 > e.hi.u32) {
+      return Status::InvalidArgument(
+          std::string(op) + ": range with lo > hi on '" + e.column + "' [" +
+          std::to_string(e.lo.u32) + ", " + std::to_string(e.hi.u32) + "]");
+    }
+    if (lt == Literal::Type::kF64 && e.lo.f64 > e.hi.f64) {
+      return Status::InvalidArgument(
+          std::string(op) + ": range with lo > hi on '" + e.column + "'");
+    }
+  }
   return Status::Ok();
+}
+
+Status ValidateExpr(const Schema& in, const Expr& e, const char* op) {
+  switch (e.kind) {
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr:
+      if (e.children.empty()) {
+        return Status::InvalidArgument(std::string(op) +
+                                       ": empty predicate conjunction");
+      }
+      for (const Expr& c : e.children) {
+        CCDB_RETURN_IF_ERROR(ValidateExpr(in, c, op));
+      }
+      return Status::Ok();
+    case Expr::Kind::kNot:
+      if (e.children.size() != 1) {
+        return Status::InvalidArgument(std::string(op) +
+                                       ": NOT takes exactly one operand");
+      }
+      return ValidateExpr(in, e.children[0], op);
+    default:
+      return ValidateLeaf(in, e, op);
+  }
 }
 
 StatusOr<Schema> ValidateNode(const LogicalNode& n) {
@@ -142,12 +230,19 @@ StatusOr<Schema> ValidateNode(const LogicalNode& n) {
     case LogicalOp::kSelect: {
       CCDB_ASSIGN_OR_RETURN(const LogicalNode* child, ChildOf(n, 0));
       CCDB_ASSIGN_OR_RETURN(Schema in, ValidateNode(*child));
-      if (n.preds.empty()) {
-        return Status::InvalidArgument("Select: empty predicate conjunction");
+      CCDB_RETURN_IF_ERROR(ValidateExpr(in, n.filter, "Select"));
+      return in;
+    }
+    case LogicalOp::kHaving: {
+      CCDB_ASSIGN_OR_RETURN(const LogicalNode* child, ChildOf(n, 0));
+      if (child->op != LogicalOp::kGroupByAgg &&
+          child->op != LogicalOp::kHaving) {
+        return Status::InvalidArgument(
+            std::string("Having: requires a GroupByAgg input, got ") +
+            LogicalOpName(child->op));
       }
-      for (const Predicate& pred : n.preds) {
-        CCDB_RETURN_IF_ERROR(ValidatePredicate(in, pred));
-      }
+      CCDB_ASSIGN_OR_RETURN(Schema in, ValidateNode(*child));
+      CCDB_RETURN_IF_ERROR(ValidateExpr(in, n.filter, "Having"));
       return in;
     }
     case LogicalOp::kJoin: {
@@ -279,21 +374,6 @@ StatusOr<Schema> ValidateNode(const LogicalNode& n) {
   return Status::Internal("unreachable logical op");
 }
 
-/// One predicate, EXPLAIN-style: `qty in [2, 4]`, `shipmode = "MAIL"`.
-std::string RenderPredicate(const Predicate& p) {
-  switch (p.kind) {
-    case Predicate::Kind::kRangeU32:
-      return p.column + " in [" + std::to_string(p.lo_u32) + ", " +
-             std::to_string(p.hi_u32) + "]";
-    case Predicate::Kind::kRangeF64:
-      return p.column + " in [" + std::to_string(p.lo_f64) + ", " +
-             std::to_string(p.hi_f64) + "]";
-    case Predicate::Kind::kEqStr:
-      return p.column + " = \"" + p.str_value + "\"";
-  }
-  return "?";
-}
-
 /// One aggregate: `sum(qty)`, `min(qty) as lo`, `count()`.
 std::string RenderAgg(const AggSpec& a) {
   std::string s;
@@ -313,15 +393,10 @@ void RenderNode(const LogicalNode& n, int depth, std::string* out) {
       out->append("(").append(std::to_string(n.table->num_rows()))
           .append(" rows)");
       break;
-    case LogicalOp::kSelect: {
-      out->append("(");
-      for (size_t i = 0; i < n.preds.size(); ++i) {
-        if (i) out->append(" AND ");
-        out->append(RenderPredicate(n.preds[i]));
-      }
-      out->append(")");
+    case LogicalOp::kSelect:
+    case LogicalOp::kHaving:
+      out->append("(").append(n.filter.ToString()).append(")");
       break;
-    }
     case LogicalOp::kJoin:
       out->append("(" + n.left_key + " = " + n.right_key + ", " +
                   JoinTypeName(n.join_type) + ", " +
@@ -393,16 +468,34 @@ std::unique_ptr<LogicalNode> Wrap(std::unique_ptr<LogicalNode> child,
 // root_ stays null and the next Build() reports InvalidArgument instead of
 // dereferencing it.
 
+QueryBuilder& QueryBuilder::Filter(Expr expr) {
+  if (root_ == nullptr) return *this;
+  root_ = Wrap(std::move(root_), LogicalOp::kSelect);
+  root_->filter = std::move(expr);
+  return *this;
+}
+
 QueryBuilder& QueryBuilder::Select(Predicate pred) {
-  std::vector<Predicate> preds;
-  preds.push_back(std::move(pred));
-  return Select(std::move(preds));
+  return Filter(pred.ToExpr());
 }
 
 QueryBuilder& QueryBuilder::Select(std::vector<Predicate> conjunction) {
+  // An empty conjunction stays an empty And, which Build() rejects with the
+  // historical "empty predicate conjunction" error.
+  Expr e;
+  e.kind = Expr::Kind::kAnd;
+  for (const Predicate& p : conjunction) e.children.push_back(p.ToExpr());
+  if (e.children.size() == 1) {
+    Expr only = std::move(e.children[0]);
+    return Filter(std::move(only));
+  }
+  return Filter(std::move(e));
+}
+
+QueryBuilder& QueryBuilder::Having(Expr expr) {
   if (root_ == nullptr) return *this;
-  root_ = Wrap(std::move(root_), LogicalOp::kSelect);
-  root_->preds = std::move(conjunction);
+  root_ = Wrap(std::move(root_), LogicalOp::kHaving);
+  root_->filter = std::move(expr);
   return *this;
 }
 

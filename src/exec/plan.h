@@ -6,12 +6,14 @@
 // join instead of only at call sites.
 //
 //   auto plan = QueryBuilder(items)
-//                   .Select({Predicate::EqStr("shipmode", "MAIL"),
-//                            Predicate::RangeU32("qty", 2, 4)})
+//                   .Filter(Col("shipmode") == "MAIL" &&
+//                           (Between(Col("qty"), 2u, 4u) ||
+//                            !(Col("supp") == 7u)))
 //                   .Join(orders, "order", "order_id", JoinType::kLeftOuter)
 //                   .GroupByAgg({"supp", "prio"},
 //                               {Agg::Sum("qty"), Agg::Min("qty"),
 //                                Agg::Avg("qty")})
+//                   .Having(Col("sum") >= 100u)
 //                   .OrderBy("sum", /*descending=*/true)
 //                   .Limit(5)
 //                   .Build();
@@ -27,14 +29,18 @@
 #include <string>
 #include <vector>
 
+#include "exec/expr.h"
 #include "exec/table.h"
 #include "model/strategy.h"
 #include "util/status.h"
 
 namespace ccdb {
 
-/// A single-column predicate, remappable onto encoded columns (§3.1): an
-/// EqStr on a dictionary-encoded column becomes a 1-2 byte code scan.
+/// A single-column predicate — the legacy filter surface, kept as a thin
+/// compatibility wrapper that constructs the equivalent typed Expr
+/// (exec/expr.h): RangeU32/RangeF64 become Between, EqStr becomes an
+/// equality comparison (remapped onto encoded columns' 1-2 byte codes,
+/// §3.1). New code should build Exprs with Filter(Col("qty") >= 2u && ...).
 struct Predicate {
   enum class Kind { kRangeU32, kRangeF64, kEqStr };
 
@@ -67,6 +73,9 @@ struct Predicate {
     p.str_value = std::move(value);
     return p;
   }
+
+  /// The equivalent expression-tree leaf.
+  Expr ToExpr() const;
 };
 
 /// An aggregate function over one u32 value column (kCount takes none).
@@ -121,6 +130,7 @@ enum class LogicalOp {
   kJoin,
   kProject,
   kGroupByAgg,
+  kHaving,
   kOrderBy,
   kLimit,
 };
@@ -134,7 +144,7 @@ struct LogicalNode {
   std::vector<std::unique_ptr<LogicalNode>> children;
 
   const Table* table = nullptr;     // kScan
-  std::vector<Predicate> preds;     // kSelect: conjunction (ANDed)
+  Expr filter;                      // kSelect / kHaving
   std::string left_key, right_key;  // kJoin
   JoinType join_type = JoinType::kInner;             // kJoin
   JoinStrategy join_strategy = JoinStrategy::kBest;  // kJoin hint
@@ -186,11 +196,20 @@ class QueryBuilder {
   QueryBuilder(QueryBuilder&&) = default;
   QueryBuilder& operator=(QueryBuilder&&) = default;
 
+  /// Filters by a typed expression tree (exec/expr.h): arbitrary And/Or/Not
+  /// over comparisons, Between and In-lists. Build() type-checks the
+  /// expression against the input schema; execution lowers it to fused
+  /// candidate-list passes (conjunctions narrow one surviving position
+  /// list; disjunctions union sorted position lists) — no intermediate BAT.
+  QueryBuilder& Filter(Expr expr);
+
+  /// Legacy single-predicate select: wrapper over Filter(pred.ToExpr()).
   QueryBuilder& Select(Predicate pred);
 
   /// Conjunctive select: all predicates must hold (one logical node,
   /// evaluated in a single fused candidate pass — each predicate narrows
-  /// the surviving candidate list without re-scanning the chunk).
+  /// the surviving candidate list without re-scanning the chunk). Wrapper
+  /// over Filter(And(preds...)).
   QueryBuilder& Select(std::vector<Predicate> conjunction);
 
   /// Equi-join against `right` (u32 keys): this.left_key == right.right_key.
@@ -226,6 +245,14 @@ class QueryBuilder {
   /// `value_col`. Output columns: `group_col` (decoded), "sum", "count".
   /// Wrapper over GroupByAgg({group_col}, {Agg::Sum, Agg::Count}).
   QueryBuilder& GroupBySum(std::string group_col, std::string value_col);
+
+  /// Filters aggregate output (the HAVING shorthand): must directly follow
+  /// GroupByAgg/GroupBySum (or another Having). The expression is evaluated
+  /// over the aggregate's owned output columns in place — typed against the
+  /// aggregate schema (u32 literals compare against i64 sums/counts) and
+  /// compacted with a single positional take, never re-gathering the owned
+  /// columns per conjunct.
+  QueryBuilder& Having(Expr expr);
 
   QueryBuilder& OrderBy(std::string column, bool descending = false);
 

@@ -62,6 +62,15 @@ size_t SysconfOr(int name, size_t fallback) {
 
 }  // namespace
 
+size_t MeasuredL2CacheBytes() {
+#ifdef _SC_LEVEL2_CACHE_SIZE
+  static const size_t bytes = SysconfOr(_SC_LEVEL2_CACHE_SIZE, 0);
+  return bytes;
+#else
+  return 0;
+#endif
+}
+
 CalibrationReport Calibrate() {
   CalibrationReport rep;
 #ifdef _SC_LEVEL1_DCACHE_SIZE

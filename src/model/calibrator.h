@@ -36,6 +36,15 @@ struct CalibrationReport {
 double MeasureChaseNs(size_t ws_bytes, size_t stride_bytes,
                       size_t iterations = 1 << 20);
 
+/// The host's L2 capacity as the calibration layer measures it (OS-reported
+/// geometry, the same source CalibrationReport::l2_bytes uses). Cached
+/// after the first call — cheap enough to consult per plan — and 0 when the
+/// platform doesn't report cache sizes, in which case callers fall back to
+/// their static MachineProfile. Consumed by DefaultScanChunkRows
+/// (model/planner.h) to size cache-resident scan chunks for the actual
+/// host instead of the generic profile.
+size_t MeasuredL2CacheBytes();
+
 /// Runs the full calibration (sub-second with default settings).
 CalibrationReport Calibrate();
 

@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "model/calibrator.h"
 #include "util/thread_pool.h"
 
 namespace ccdb {
 
 size_t DefaultScanChunkRows(const MachineProfile& profile) {
-  size_t rows = profile.l2.capacity_bytes / 2 / 16;
+  // Prefer the host L2 the Calibrator measures (ROADMAP: tune the default
+  // against measured geometry, not the static profile); fall back to the
+  // profile when the platform doesn't report cache sizes.
+  size_t l2_bytes = MeasuredL2CacheBytes();
+  if (l2_bytes == 0) l2_bytes = profile.l2.capacity_bytes;
+  size_t rows = l2_bytes / 2 / 16;
   if (rows < 4096) return 4096;
   if (rows > (size_t{1} << 20)) return size_t{1} << 20;
   return rows;
@@ -26,20 +32,44 @@ std::unique_ptr<Operator> LowerNode(const LogicalNode& n,
                                     const PlannerOptions& options,
                                     size_t chunk_rows, const ExecContext* ctx,
                                     std::vector<JoinNodeInfo>* joins,
-                                    size_t* next_join) {
+                                    size_t* next_join,
+                                    std::vector<FilterNodeInfo>* filters) {
   switch (n.op) {
     case LogicalOp::kScan:
       return std::make_unique<ScanOp>(n.table, chunk_rows);
     case LogicalOp::kSelect:
-      return std::make_unique<SelectOp>(
-          LowerNode(*n.children[0], options, chunk_rows, ctx, joins,
-                    next_join),
-          n.preds, ctx);
+    case LogicalOp::kHaving: {
+      auto child = LowerNode(*n.children[0], options, chunk_rows, ctx, joins,
+                             next_join, filters);
+      // SelectOp's constructor normalizes to NNF (Not pushed into the
+      // leaves) and orders conjuncts by the selectivity heuristic; read the
+      // result back so ExplainFilters() reports exactly what executes.
+      auto op = std::make_unique<SelectOp>(std::move(child), n.filter, ctx);
+      FilterNodeInfo info;
+      info.node = n.op == LogicalOp::kHaving ? "having" : "select";
+      if (op->expr().has_value()) {
+        const Expr& lowered = *op->expr();
+        info.normalized = lowered.ToString();
+        if (lowered.kind == Expr::Kind::kAnd) {
+          for (const Expr& c : lowered.children) {
+            info.conjuncts.push_back(c.ToString());
+            info.ranks.push_back(ConjunctRank(c));
+          }
+        } else {
+          info.conjuncts.push_back(info.normalized);
+          info.ranks.push_back(ConjunctRank(lowered));
+        }
+      } else {
+        info.normalized = "true (pass-through)";
+      }
+      filters->push_back(std::move(info));
+      return op;
+    }
     case LogicalOp::kJoin: {
       auto left = LowerNode(*n.children[0], options, chunk_rows, ctx, joins,
-                            next_join);
+                            next_join, filters);
       auto right = LowerNode(*n.children[1], options, chunk_rows, ctx, joins,
-                             next_join);
+                             next_join, filters);
       JoinNodeInfo* info = &(*joins)[(*next_join)++];
       // Every join type shares the same cost-model consultation: outer,
       // anti, and semi joins probe the same prepared-once inner structures
@@ -52,22 +82,22 @@ std::unique_ptr<Operator> LowerNode(const LogicalNode& n,
     case LogicalOp::kProject:
       return std::make_unique<ProjectOp>(
           LowerNode(*n.children[0], options, chunk_rows, ctx, joins,
-                    next_join),
+                    next_join, filters),
           n.columns);
     case LogicalOp::kGroupByAgg:
       return std::make_unique<GroupByAggOp>(
           LowerNode(*n.children[0], options, chunk_rows, ctx, joins,
-                    next_join),
+                    next_join, filters),
           n.group_cols, n.aggs, ctx);
     case LogicalOp::kOrderBy:
       return std::make_unique<OrderByOp>(
           LowerNode(*n.children[0], options, chunk_rows, ctx, joins,
-                    next_join),
+                    next_join, filters),
           n.order_col, n.descending, ctx);
     case LogicalOp::kLimit:
       return std::make_unique<LimitOp>(
           LowerNode(*n.children[0], options, chunk_rows, ctx, joins,
-                    next_join),
+                    next_join, filters),
           n.limit, n.offset);
   }
   return nullptr;
@@ -100,14 +130,15 @@ StatusOr<PhysicalPlan> Planner::Lower(const LogicalPlan& plan) const {
     }
   }
   size_t next_join = 0;
+  std::vector<FilterNodeInfo> filters;
   std::unique_ptr<Operator> root = LowerNode(plan.root(), options_, chunk_rows,
                                              ctx.get(), joins.get(),
-                                             &next_join);
+                                             &next_join, &filters);
   if (root == nullptr) {
     return Status::Internal("planner produced no operator tree");
   }
   return PhysicalPlan(std::move(root), plan.output_schema(), std::move(joins),
-                      std::move(ctx));
+                      std::move(filters), std::move(ctx));
 }
 
 StatusOr<QueryResult> PhysicalPlan::Execute() {
@@ -162,6 +193,23 @@ std::string PhysicalPlan::ExplainJoins() const {
                   (unsigned long long)j.partition_tasks, j.parallelism,
                   j.inner_cluster_runs);
     out += line;
+  }
+  return out;
+}
+
+std::string PhysicalPlan::ExplainFilters() const {
+  std::string out;
+  for (const FilterNodeInfo& f : filters_) {
+    out.append("filter [").append(f.node).append("] ").append(f.normalized);
+    out.push_back('\n');
+    if (f.conjuncts.empty()) continue;
+    out.append("  eval order: ");
+    for (size_t i = 0; i < f.conjuncts.size(); ++i) {
+      if (i) out.append("; ");
+      out.append(f.conjuncts[i]);
+      out.append(" [").append(ConjunctRankName(f.ranks[i])).append("]");
+    }
+    out.push_back('\n');
   }
   return out;
 }

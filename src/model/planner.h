@@ -27,12 +27,27 @@ struct PlannerOptions {
 
 /// The cache-sized scan chunk used when ExecOptions::scan_chunk_rows is 0:
 /// sized so a morsel's working set (candidate list + a few gathered
-/// columns, ~16 bytes/row) fills about half of the profile's L2, keeping
-/// chunk state cache-resident while it pipelines through select and join —
-/// which is what lets chunked mode beat full materialization. This is the
-/// *per-worker* morsel size; the planner multiplies it by the resolved
-/// parallelism so each chunk carries one such morsel per worker.
+/// columns, ~16 bytes/row) fills about half of the L2, keeping chunk state
+/// cache-resident while it pipelines through select and join — which is
+/// what lets chunked mode beat full materialization. The L2 capacity comes
+/// from the Calibrator's measured host geometry when the platform reports
+/// one (MeasuredL2CacheBytes, model/calibrator.h), falling back to the
+/// static machine profile. This is the *per-worker* morsel size; the
+/// planner multiplies it by the resolved parallelism so each chunk carries
+/// one such morsel per worker.
 size_t DefaultScanChunkRows(const MachineProfile& profile);
+
+/// Per-filter diagnostics the planner records while lowering a Select or
+/// Having node: the normalized (NNF) expression and the
+/// selectivity-ordered conjunct evaluation order (exec/expr.h,
+/// ConjunctRank). Ordered left-to-right, bottom-up over the logical tree,
+/// like PhysicalPlan::joins().
+struct FilterNodeInfo {
+  const char* node = "select";  // "select" | "having"
+  std::string normalized;       // NNF rendering, conjuncts in eval order
+  std::vector<std::string> conjuncts;  // one entry per fused pass, in order
+  std::vector<int> ranks;              // ConjunctRank per conjunct
+};
 
 /// An executable physical plan. Move-only; run with Execute(). The logical
 /// plan's tables must outlive it.
@@ -53,6 +68,16 @@ class PhysicalPlan {
   /// Human-readable summary of the join decisions (after Execute()).
   std::string ExplainJoins() const;
 
+  /// Per-filter diagnostics: how each Select/Having expression was
+  /// normalized and which conjunct order the lowering chose. Resolved at
+  /// Lower() time (filters need no runtime cardinality).
+  const std::vector<FilterNodeInfo>& filters() const { return filters_; }
+
+  /// Human-readable summary of the filter lowering: one block per
+  /// Select/Having node with the normalized tree and the
+  /// selectivity-ordered evaluation order.
+  std::string ExplainFilters() const;
+
   /// The resolved execution context the operators run with.
   const ExecContext& context() const { return *ctx_; }
 
@@ -61,15 +86,18 @@ class PhysicalPlan {
   PhysicalPlan(std::unique_ptr<Operator> root,
                std::vector<PlanColumn> output_schema,
                std::unique_ptr<std::vector<JoinNodeInfo>> joins,
+               std::vector<FilterNodeInfo> filters,
                std::unique_ptr<ExecContext> ctx)
       : root_(std::move(root)),
         output_schema_(std::move(output_schema)),
         joins_(std::move(joins)),
+        filters_(std::move(filters)),
         ctx_(std::move(ctx)) {}
 
   std::unique_ptr<Operator> root_;
   std::vector<PlanColumn> output_schema_;
   std::unique_ptr<std::vector<JoinNodeInfo>> joins_;  // stable addresses
+  std::vector<FilterNodeInfo> filters_;
   std::unique_ptr<ExecContext> ctx_;                  // borrowed by operators
 };
 
