@@ -8,6 +8,7 @@
 //
 //   --full        4M-row fact table (default 1M)
 //   --json=PATH   write the machine-readable results to PATH
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <functional>
@@ -186,6 +187,78 @@ int main(int argc, char** argv) {
                 paths[i].parallel_ms, paths[i].speedup());
   }
 
+  // Planner accuracy: a 3-table join chain written in the suboptimal order
+  // (big non-selective inner first, selective small inner last). The
+  // statistics-driven planner must reorder it (visible in ExplainJoins)
+  // and the reordered plan must run measurably faster; we also record how
+  // far the predicted join-order benefit was from the measured one.
+  std::printf("\nplanner accuracy (join-chain reordering):\n");
+  const size_t kSmallDim = 16;  // selective: only g in [0, 16) of 64 survive
+  auto gsmall_rs = RowStore::Make({{"gid", FieldType::kU32}}, kSmallDim);
+  CCDB_CHECK(gsmall_rs.ok());
+  for (size_t i = 0; i < kSmallDim; ++i) {
+    size_t r = *gsmall_rs->AppendRow();
+    gsmall_rs->SetU32(r, 0, static_cast<uint32_t>(i));
+  }
+  Table gsmall = *Table::FromRowStore(*gsmall_rs);
+  auto chain_query = [&]() {
+    auto p = QueryBuilder(fact)
+                 .Join(dim, "fk", "id")          // big inner, 1:1, keeps all
+                 .Join(gsmall, "g", "gid")       // small inner, keeps 1/4
+                 .GroupBySum("g", "v")
+                 .Build();
+    CCDB_CHECK(p.ok());
+    return *std::move(p);
+  };
+  auto time_chain = [&](bool reorder) {
+    PlannerOptions opts;
+    opts.exec.parallelism = 1;
+    opts.reorder_joins = reorder;
+    Planner planner(opts);
+    return MinOfRunsMs(kReps, [&] {
+      auto physical = planner.Lower(chain_query());
+      CCDB_CHECK(physical.ok());
+      CCDB_CHECK(physical->Execute().ok());
+    });
+  };
+  // Predicted join cost totals from the pre-execution cost report.
+  auto predicted_join_ms = [&](bool reorder) {
+    PlannerOptions opts;
+    opts.reorder_joins = reorder;
+    Planner planner(opts);
+    auto physical = planner.Lower(chain_query());
+    CCDB_CHECK(physical.ok());
+    double total = 0;
+    for (const OpCostInfo& op : physical->costs()) {
+      if (op.label.rfind("Join", 0) == 0) total += op.predicted_ns * 1e-6;
+    }
+    return total;
+  };
+  double unreordered_ms = time_chain(false);
+  double reordered_ms = time_chain(true);
+  double pred_unreordered_ms = predicted_join_ms(false);
+  double pred_reordered_ms = predicted_join_ms(true);
+  double measured_speedup =
+      reordered_ms > 0 ? unreordered_ms / reordered_ms : 0;
+  double predicted_speedup =
+      pred_reordered_ms > 0 ? pred_unreordered_ms / pred_reordered_ms : 0;
+  double speedup_error =
+      measured_speedup > 0
+          ? std::abs(predicted_speedup - measured_speedup) / measured_speedup
+          : 0;
+  {
+    PlannerOptions opts;
+    Planner planner(opts);
+    auto physical = planner.Lower(chain_query());
+    CCDB_CHECK(physical.ok());
+    CCDB_CHECK(physical->Execute().ok());
+    std::printf("%s", physical->ExplainJoins().c_str());
+  }
+  std::printf("  written order %8.2f ms   reordered %8.2f ms   "
+              "speedup %.2fx (predicted %.2fx, error %.0f%%)\n",
+              unreordered_ms, reordered_ms, measured_speedup,
+              predicted_speedup, speedup_error * 100);
+
   // fig9-style radix-cluster smoke: a few (B, P) points, measured vs model.
   std::printf("\nradix-cluster smoke (C=%zu):\n", kFact);
   MachineProfile profile = MachineProfile::GenericX86();
@@ -232,7 +305,18 @@ int main(int argc, char** argv) {
                    paths[i].name, paths[i].serial_ms, paths[i].parallel_ms,
                    paths[i].speedup(), i + 1 < kPaths ? "," : "");
     }
-    std::fprintf(f, "  },\n  \"radix_cluster_smoke\": [\n");
+    std::fprintf(
+        f,
+        "  },\n  \"planner_accuracy\": {\n"
+        "    \"unreordered_ms\": %.3f,\n    \"reordered_ms\": %.3f,\n"
+        "    \"measured_speedup\": %.3f,\n"
+        "    \"predicted_join_ms_unreordered\": %.3f,\n"
+        "    \"predicted_join_ms_reordered\": %.3f,\n"
+        "    \"predicted_speedup\": %.3f,\n"
+        "    \"speedup_error\": %.3f\n  },\n",
+        unreordered_ms, reordered_ms, measured_speedup, pred_unreordered_ms,
+        pred_reordered_ms, predicted_speedup, speedup_error);
+    std::fprintf(f, "  \"radix_cluster_smoke\": [\n");
     for (size_t i = 0; i < cluster_points.size(); ++i) {
       const ClusterPoint& c = cluster_points[i];
       std::fprintf(f,

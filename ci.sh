@@ -46,10 +46,12 @@ if [ "$MODE" = "tsan" ]; then
   echo "== parallel executor tests under TSan =="
   # plan_test, rich_algebra_test and expr_test run the operators (including
   # the parallel multi-key aggregate, outer/anti/semi join, and
-  # OR-expression union paths) at parallelism {1,2,8}; thread_pool_test
-  # hammers the pool itself. TSan is the real reviewer for all of them.
+  # OR-expression union paths) at parallelism {1,2,8}; stats_test runs the
+  # reordered join chains at parallelism {1,2,8} and the shared lazy stats
+  # cache; thread_pool_test hammers the pool itself. TSan is the real
+  # reviewer for all of them.
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
-    -R 'plan_test|rich_algebra_test|expr_test|exec_test|thread_pool_test'
+    -R 'plan_test|rich_algebra_test|expr_test|exec_test|thread_pool_test|stats_test'
   echo "OK (tsan)"
   exit 0
 fi

@@ -18,12 +18,23 @@ uint32_t HashKey(const uint32_t* key, size_t width) {
 
 }  // namespace
 
-GroupAggTable::GroupAggTable(size_t key_width, size_t num_values)
-    : key_width_(key_width),
-      num_values_(num_values),
-      heads_(1024, kEmpty),
-      mask_(1023) {
+GroupAggTable::GroupAggTable(size_t key_width, size_t num_values,
+                             size_t expected_groups)
+    : key_width_(key_width), num_values_(num_values) {
   CCDB_CHECK(key_width_ > 0);
+  // Buckets at half the expected group count keep average chains around 2
+  // while leaving 8x headroom before the 4x-load rehash threshold — an
+  // estimate that is right (or merely not 8x low) never pays a rehash.
+  size_t buckets = 1024;
+  if (expected_groups > 0) {
+    buckets = NextPowerOfTwo(std::max<size_t>(expected_groups / 2, 16));
+    keys_.reserve(expected_groups * key_width_);
+    rows_.reserve(expected_groups);
+    states_.reserve(expected_groups * num_values_);
+    next_.reserve(expected_groups);
+  }
+  heads_.assign(buckets, kEmpty);
+  mask_ = static_cast<uint32_t>(buckets - 1);
 }
 
 uint32_t GroupAggTable::FindOrInsert(const uint32_t* key) {
@@ -42,6 +53,7 @@ uint32_t GroupAggTable::FindOrInsert(const uint32_t* key) {
   heads_[b] = g;
   // Keep average chain length bounded: rehash at 4x load.
   if (rows_.size() > heads_.size() * 4) {
+    ++rehashes_;
     heads_.assign(heads_.size() * 4, kEmpty);
     mask_ = static_cast<uint32_t>(heads_.size() - 1);
     for (uint32_t j = 0; j < rows_.size(); ++j) {

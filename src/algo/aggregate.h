@@ -92,7 +92,12 @@ class GroupAggTable {
  public:
   /// `key_width` group-key words per row, `num_values` aggregated columns
   /// (0 is valid: a pure COUNT keeps only per-group row counts).
-  GroupAggTable(size_t key_width, size_t num_values);
+  /// `expected_groups` pre-sizes the bucket array and group storage so the
+  /// grow path stays rehash-free whenever the hint covers the final group
+  /// count — the planner passes its grouped-cardinality estimate here. 0
+  /// keeps the historical default (1024 buckets).
+  GroupAggTable(size_t key_width, size_t num_values,
+                size_t expected_groups = 0);
 
   /// Folds one input row: key[0..key_width), values[0..num_values).
   void Add(const uint32_t* key, const uint32_t* values);
@@ -110,6 +115,11 @@ class GroupAggTable {
   size_t num_groups() const { return rows_.size(); }
   size_t key_width() const { return key_width_; }
   size_t num_values() const { return num_values_; }
+
+  /// Times the bucket array was rebuilt because the group count outgrew the
+  /// (hinted) capacity. 0 whenever the constructor hint was >= the final
+  /// group count — the planner-presizing contract, regression-tested.
+  size_t rehash_count() const { return rehashes_; }
 
   /// Key word `k` of group `g`.
   uint32_t key(size_t g, size_t k) const { return keys_[g * key_width_ + k]; }
@@ -131,6 +141,7 @@ class GroupAggTable {
   std::vector<GroupAggState> states_;   // flat, stride num_values_
   std::vector<uint32_t> heads_, next_;  // bucket chains over groups
   uint32_t mask_;
+  size_t rehashes_ = 0;
 };
 
 /// Sort/merge grouping: sorts [key,value] pairs, then aggregates runs.

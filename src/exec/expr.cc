@@ -31,6 +31,7 @@ CmpOp ComplementCmpOp(CmpOp op) {
 std::string Literal::ToString() const {
   switch (type) {
     case Type::kU32: return std::to_string(u32);
+    case Type::kI64: return std::to_string(i64);
     case Type::kF64: return std::to_string(f64);
     case Type::kStr: return "\"" + str + "\"";
   }
@@ -113,6 +114,22 @@ Expr Between(Col c, uint32_t lo, uint32_t hi) {
   e.column = std::move(c.name);
   e.lo = Literal::U32(lo);
   e.hi = Literal::U32(hi);
+  return e;
+}
+
+Expr Between(Col c, long long lo, long long hi) {
+  // Bounds inside the u32 domain build the kernel-eligible u32 range —
+  // Between(c, 0LL, 50LL) must execute exactly like Between(c, 0u, 50u).
+  if (lo >= 0 && hi >= 0 && lo <= (long long)UINT32_MAX &&
+      hi <= (long long)UINT32_MAX) {
+    return Between(std::move(c), static_cast<uint32_t>(lo),
+                   static_cast<uint32_t>(hi));
+  }
+  Expr e;
+  e.kind = Expr::Kind::kBetween;
+  e.column = std::move(c.name);
+  e.lo = Literal::I64(static_cast<int64_t>(lo));
+  e.hi = Literal::I64(static_cast<int64_t>(hi));
   return e;
 }
 

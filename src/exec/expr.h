@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -43,9 +44,10 @@ CmpOp ComplementCmpOp(CmpOp op);
 
 /// A typed scalar literal. Which member is valid follows `type`.
 struct Literal {
-  enum class Type { kU32, kF64, kStr };
+  enum class Type { kU32, kI64, kF64, kStr };
   Type type = Type::kU32;
   uint32_t u32 = 0;
+  int64_t i64 = 0;
   double f64 = 0;
   std::string str;
 
@@ -53,6 +55,15 @@ struct Literal {
     Literal l;
     l.type = Type::kU32;
     l.u32 = v;
+    return l;
+  }
+  /// Wide integer literal — the only way to compare an i64 aggregate output
+  /// (sum/count) against a constant above 2^32: Having(Col("sum") >
+  /// 5'000'000'000LL). Valid on u32 columns too (evaluated widened).
+  static Literal I64(int64_t v) {
+    Literal l;
+    l.type = Type::kI64;
+    l.i64 = v;
     return l;
   }
   static Literal F64(double v) {
@@ -129,9 +140,41 @@ inline uint32_t NonNegative(int v) {
   return static_cast<uint32_t>(v);
 }
 
+/// Any integral type that is not one of the exact-match overloads below —
+/// int64_t/long/uint64_t/size_t variables and the like, which would
+/// otherwise be ambiguous among the uint32_t / int / long long / double
+/// candidates.
+template <typename T>
+inline constexpr bool kOtherIntegral =
+    std::is_integral_v<T> && !std::is_same_v<T, bool> &&
+    !std::is_same_v<T, uint32_t> && !std::is_same_v<T, int> &&
+    !std::is_same_v<T, long long>;
+
+/// Maps any integral to the literal domain: values inside [0, UINT32_MAX]
+/// become u32 literals (eligible for the ranged select kernels — a
+/// `Col("v") < int64_t{100}` must run exactly like `Col("v") < 100`),
+/// anything wider an i64 literal (compared widened). Unsigned values past
+/// INT64_MAX saturate to INT64_MAX — exact for every comparison unless the
+/// column actually holds INT64_MAX (aggregates reject sums beyond it
+/// anyway).
+template <typename T>
+inline Literal IntegralLiteral(T v) {
+  if constexpr (std::is_unsigned_v<T>) {
+    if (static_cast<uint64_t>(v) > static_cast<uint64_t>(INT64_MAX)) {
+      return Literal::I64(INT64_MAX);
+    }
+  }
+  int64_t w = static_cast<int64_t>(v);
+  if (w >= 0 && w <= static_cast<int64_t>(UINT32_MAX)) {
+    return Literal::U32(static_cast<uint32_t>(w));
+  }
+  return Literal::I64(w);
+}
+
 }  // namespace expr_internal
 
-// Col <op> literal for u32, int (convenience; must be non-negative), f64
+// Col <op> literal for u32, int (convenience; must be non-negative), i64
+// (long long — constants above 2^32, e.g. for Having on an i64 sum), f64
 // and string literals. String columns support = and != only (enforced at
 // Build() time).
 #define CCDB_EXPR_DEFINE_CMP(op, cmpop)                                       \
@@ -141,6 +184,16 @@ inline uint32_t NonNegative(int v) {
   inline Expr operator op(Col c, int v) {                                     \
     return expr_internal::MakeCmp(std::move(c), cmpop,                        \
                                   Literal::U32(expr_internal::NonNegative(v))); \
+  }                                                                           \
+  inline Expr operator op(Col c, long long v) {                               \
+    return expr_internal::MakeCmp(std::move(c), cmpop,                        \
+                                  expr_internal::IntegralLiteral(v));         \
+  }                                                                           \
+  template <typename T,                                                       \
+            typename = std::enable_if_t<expr_internal::kOtherIntegral<T>>>    \
+  inline Expr operator op(Col c, T v) {                                       \
+    return expr_internal::MakeCmp(std::move(c), cmpop,                        \
+                                  expr_internal::IntegralLiteral(v));         \
   }                                                                           \
   inline Expr operator op(Col c, double v) {                                  \
     return expr_internal::MakeCmp(std::move(c), cmpop, Literal::F64(v));      \
@@ -168,7 +221,27 @@ inline Expr Between(Col c, int lo, int hi) {
   return Between(std::move(c), expr_internal::NonNegative(lo),
                  expr_internal::NonNegative(hi));
 }
+Expr Between(Col c, long long lo, long long hi);
 Expr Between(Col c, double lo, double hi);
+
+/// Any other integral bound combination (int64_t variables, mixed
+/// int/long long, size_t, ...): bounds within the u32 domain build the
+/// kernel-eligible u32 range, anything wider the i64 range.
+template <typename A, typename B,
+          typename = std::enable_if_t<
+              std::is_integral_v<A> && std::is_integral_v<B> &&
+              !std::is_same_v<A, bool> && !std::is_same_v<B, bool>>>
+inline Expr Between(Col c, A lo, B hi) {
+  int64_t l = expr_internal::IntegralLiteral(lo).i64;
+  int64_t h = expr_internal::IntegralLiteral(hi).i64;
+  if (l >= 0 && h >= 0 && l <= int64_t{UINT32_MAX} &&
+      h <= int64_t{UINT32_MAX}) {
+    return Between(std::move(c), static_cast<uint32_t>(l),
+                   static_cast<uint32_t>(h));
+  }
+  return Between(std::move(c), static_cast<long long>(l),
+                 static_cast<long long>(h));
+}
 
 /// column in {values}. Build() rejects an empty list.
 Expr InU32(Col c, std::vector<uint32_t> values);

@@ -460,7 +460,17 @@ namespace {
 // (including "not in [lo, hi]", which is v < lo || v > hi) while != is
 // true for NaN.
 
+bool MatchI64(const Expr& leaf, int64_t v);
+
 bool MatchU32(const Expr& leaf, uint32_t v) {
+  // Wide (i64) literals on a u32 column evaluate widened: `v < 2^40` must
+  // be true for every u32 value, not wrap.
+  if ((leaf.kind == Expr::Kind::kCmp &&
+       leaf.value.type == Literal::Type::kI64) ||
+      (leaf.kind == Expr::Kind::kBetween &&
+       leaf.lo.type == Literal::Type::kI64)) {
+    return MatchI64(leaf, static_cast<int64_t>(v));
+  }
   switch (leaf.kind) {
     case Expr::Kind::kCmp: {
       uint32_t x = leaf.value.u32;
@@ -487,7 +497,9 @@ bool MatchU32(const Expr& leaf, uint32_t v) {
 bool MatchI64(const Expr& leaf, int64_t v) {
   switch (leaf.kind) {
     case Expr::Kind::kCmp: {
-      int64_t x = static_cast<int64_t>(leaf.value.u32);
+      int64_t x = leaf.value.type == Literal::Type::kI64
+                      ? leaf.value.i64
+                      : static_cast<int64_t>(leaf.value.u32);
       switch (leaf.cmp) {
         case CmpOp::kEq: return v == x;
         case CmpOp::kNe: return v != x;
@@ -498,9 +510,15 @@ bool MatchI64(const Expr& leaf, int64_t v) {
       }
       return false;
     }
-    case Expr::Kind::kBetween:
-      return (static_cast<int64_t>(leaf.lo.u32) <= v &&
-              v <= static_cast<int64_t>(leaf.hi.u32)) != leaf.negated;
+    case Expr::Kind::kBetween: {
+      int64_t lo = leaf.lo.type == Literal::Type::kI64
+                       ? leaf.lo.i64
+                       : static_cast<int64_t>(leaf.lo.u32);
+      int64_t hi = leaf.hi.type == Literal::Type::kI64
+                       ? leaf.hi.i64
+                       : static_cast<int64_t>(leaf.hi.u32);
+      return (lo <= v && v <= hi) != leaf.negated;
+    }
     case Expr::Kind::kIn: {
       bool found = v >= 0 && v <= static_cast<int64_t>(UINT32_MAX) &&
                    std::binary_search(leaf.in_u32.begin(), leaf.in_u32.end(),
@@ -648,6 +666,9 @@ bool LeafRangedEvalSupported(const Chunk& in, size_t ci, const Expr& leaf) {
   const ChunkColumn& col = in.cols[ci];
   if (!col.lazy()) return false;
   switch (LeafLiteralType(leaf)) {
+    case Literal::Type::kI64:
+      // Wide literals cannot lower to u32 range sets; gather fallback.
+      return false;
     case Literal::Type::kU32:
       switch (col.base->column_bat(col.base_col).tail().type()) {
         case PhysType::kVoid:
@@ -771,7 +792,7 @@ Status CheckLeafDomain(PhysType col_type, const Expr& leaf) {
   switch (col_type) {
     case PhysType::kU32:
     case PhysType::kI64:
-      ok = lt == Literal::Type::kU32;
+      ok = lt == Literal::Type::kU32 || lt == Literal::Type::kI64;
       break;
     case PhysType::kF64:
       ok = lt == Literal::Type::kF64;
@@ -1044,7 +1065,8 @@ StatusOr<bool> SelectOp::Next(Chunk* out) {
 JoinOp::JoinOp(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
                std::string left_key, std::string right_key, JoinType join_type,
                JoinStrategy strategy, const MachineProfile& profile,
-               JoinNodeInfo* info, const ExecContext* ctx)
+               JoinNodeInfo* info, const ExecContext* ctx,
+               uint64_t est_result_rows, uint64_t est_probe_rows)
     : left_(std::move(left)),
       right_(std::move(right)),
       left_key_(std::move(left_key)),
@@ -1053,7 +1075,9 @@ JoinOp::JoinOp(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
       strategy_(strategy),
       profile_(profile),
       info_(info),
-      ctx_(ctx) {}
+      ctx_(ctx),
+      est_result_rows_(est_result_rows),
+      est_probe_rows_(est_probe_rows) {}
 
 Status JoinOp::Open() {
   CCDB_RETURN_IF_ERROR(left_->Open());
@@ -1176,12 +1200,33 @@ std::vector<Bun> ConcatBuns(std::vector<std::vector<Bun>> parts) {
 
 }  // namespace
 
+namespace {
+
+/// Per-chunk match reserve: scale the planner's whole-join output estimate
+/// down to this chunk's share of the probe side (clamped to 4x the chunk so
+/// a bad overestimate cannot balloon the allocation); without an estimate,
+/// the historical min(probe, inner) default.
+size_t MatchReserveRows(size_t probe_rows, size_t inner_rows,
+                        uint64_t est_result, uint64_t est_probe) {
+  if (est_result > 0 && est_probe > 0) {
+    double share = static_cast<double>(probe_rows) /
+                   static_cast<double>(est_probe);
+    double est = static_cast<double>(est_result) * share;
+    double cap = static_cast<double>(probe_rows) * 4.0;
+    return static_cast<size_t>(std::min(est, cap));
+  }
+  return std::min(probe_rows, inner_rows);
+}
+
+}  // namespace
+
 StatusOr<std::vector<Bun>> JoinOp::ProbeSimpleHash(
     std::span<const Bun> probe) const {
   size_t shards = CtxShards(ctx_, probe.size());
   if (shards <= 1) {
     std::vector<Bun> out;
-    out.reserve(std::min(probe.size(), inner_buns_.size()));
+    out.reserve(MatchReserveRows(probe.size(), inner_buns_.size(),
+                                 est_result_rows_, est_probe_rows_));
     DirectMemory mem;
     for (const Bun& lt : probe) {
       inner_table_->Probe(lt, mem, [&](Bun rt) {
@@ -1289,7 +1334,8 @@ StatusOr<bool> JoinOp::Next(Chunk* out) {
       QuickSortByTail(std::span<Bun>(probe_buns), mem);
       stats.cluster_left_ms = t_sort.ElapsedMillis();
       WallTimer t_join;
-      matches.reserve(std::min(probe_buns.size(), inner_sorted_.size()));
+      matches.reserve(MatchReserveRows(probe_buns.size(), inner_sorted_.size(),
+                                       est_result_rows_, est_probe_rows_));
       MergeSortedByTail<DirectMemory>(probe_buns, inner_sorted_, mem, matches);
       stats.join_ms = t_join.ElapsedMillis();
       break;
@@ -1521,11 +1567,13 @@ StatusOr<bool> ProjectOp::Next(Chunk* out) {
 
 GroupByAggOp::GroupByAggOp(std::unique_ptr<Operator> child,
                            std::vector<std::string> group_cols,
-                           std::vector<AggSpec> aggs, const ExecContext* ctx)
+                           std::vector<AggSpec> aggs, const ExecContext* ctx,
+                           size_t expected_groups)
     : child_(std::move(child)),
       group_cols_(std::move(group_cols)),
       aggs_(std::move(aggs)),
-      ctx_(ctx) {}
+      ctx_(ctx),
+      expected_groups_(expected_groups) {}
 
 Status GroupByAggOp::Open() {
   done_ = false;
@@ -1557,7 +1605,20 @@ StatusOr<bool> GroupByAggOp::Next(Chunk* out) {
   // emit groups in a different (still deterministic) order.
   size_t nshards =
       (ctx_ != nullptr && ctx_->parallel()) ? ctx_->parallelism : 1;
-  std::vector<GroupAggTable> partials(nshards, GroupAggTable(kw, nv));
+  // Every shard may see every group, so each partial gets the full
+  // planner-estimated capacity (rehash-free growth when the estimate
+  // holds), bounded so a wild overestimate (the estimator's all-distinct
+  // fallback on a stats-less key) cannot allocate nshards x estimate
+  // upfront — past the cap, demand-grown rehashing costs one rebuild per
+  // 4x anyway. Shards are emplaced individually: copying a prototype
+  // through the vector fill-constructor would drop its reservations.
+  constexpr size_t kMaxGroupHint = size_t{1} << 20;
+  const size_t hint = std::min(expected_groups_, kMaxGroupHint);
+  std::vector<GroupAggTable> partials;
+  partials.reserve(nshards);
+  for (size_t s = 0; s < nshards; ++s) {
+    partials.emplace_back(kw, nv, hint);
+  }
 
   // Dictionaries for decoding encoded group columns on emission.
   std::vector<const Table*> dict_tables(kw, nullptr);

@@ -129,6 +129,16 @@ struct JoinNodeInfo {
   JoinPlan plan;
   JoinStats stats;  // accumulated over probe chunks
 
+  /// The planner's pre-execution estimates for this node (model/estimator.h)
+  /// — what the join order and the sizing hints were decided from. The
+  /// actuals above verify them after the fact.
+  uint64_t estimated_inner_cardinality = 0;
+  uint64_t estimated_probe_cardinality = 0;
+  uint64_t estimated_result_rows = 0;
+  /// True when join-chain reordering moved this join away from the position
+  /// the query was written in.
+  bool reordered = false;
+
   /// Times the inner (build) side was reorganized — clustered, sorted, or
   /// hash-table-built. Always 1 after Open(): the inner is prepared once
   /// and reused across every probe chunk.
@@ -226,10 +236,14 @@ class SelectOp : public Operator {
 ///    type defaults (0 / 0.0 / "") standing in for nulls.
 class JoinOp : public Operator {
  public:
+  /// `est_result_rows` is the planner's estimated join output (0 = no
+  /// estimate): per-chunk match buffers are pre-sized from it instead of
+  /// the inner-cardinality default.
   JoinOp(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
          std::string left_key, std::string right_key, JoinType join_type,
          JoinStrategy strategy, const MachineProfile& profile,
-         JoinNodeInfo* info, const ExecContext* ctx = nullptr);
+         JoinNodeInfo* info, const ExecContext* ctx = nullptr,
+         uint64_t est_result_rows = 0, uint64_t est_probe_rows = 0);
   Status Open() override;
   StatusOr<bool> Next(Chunk* out) override;
   void Close() override;
@@ -258,6 +272,7 @@ class JoinOp : public Operator {
   MachineProfile profile_;
   JoinNodeInfo* info_;  // owned by the PhysicalPlan; may be null
   const ExecContext* ctx_;
+  uint64_t est_result_rows_ = 0, est_probe_rows_ = 0;  // planner sizing hints
   JoinPlan plan_;
   Chunk inner_;
   std::vector<Bun> inner_buns_;
@@ -297,9 +312,12 @@ class ProjectOp : public Operator {
 /// than negative values.
 class GroupByAggOp : public Operator {
  public:
+  /// `expected_groups` (0 = unknown) pre-sizes every worker shard's
+  /// GroupAggTable from the planner's grouped-cardinality estimate, making
+  /// table growth rehash-free when the estimate covers the actual count.
   GroupByAggOp(std::unique_ptr<Operator> child,
                std::vector<std::string> group_cols, std::vector<AggSpec> aggs,
-               const ExecContext* ctx = nullptr);
+               const ExecContext* ctx = nullptr, size_t expected_groups = 0);
   Status Open() override;
   StatusOr<bool> Next(Chunk* out) override;
   void Close() override;
@@ -309,6 +327,7 @@ class GroupByAggOp : public Operator {
   std::vector<std::string> group_cols_;
   std::vector<AggSpec> aggs_;
   const ExecContext* ctx_;
+  size_t expected_groups_;
   bool done_ = false;
 };
 

@@ -146,6 +146,7 @@ Status ValidateLeaf(const Schema& in, const Expr& e, const char* op) {
   }
   switch (lt) {
     case Literal::Type::kU32:
+    case Literal::Type::kI64:
       if (c->type != PhysType::kU32 && c->type != PhysType::kI64) {
         return Status::InvalidArgument(
             std::string(op) + ": integer comparison on non-integral column '" +
@@ -183,6 +184,11 @@ Status ValidateLeaf(const Schema& in, const Expr& e, const char* op) {
       return Status::InvalidArgument(
           std::string(op) + ": range with lo > hi on '" + e.column + "' [" +
           std::to_string(e.lo.u32) + ", " + std::to_string(e.hi.u32) + "]");
+    }
+    if (lt == Literal::Type::kI64 && e.lo.i64 > e.hi.i64) {
+      return Status::InvalidArgument(
+          std::string(op) + ": range with lo > hi on '" + e.column + "' [" +
+          std::to_string(e.lo.i64) + ", " + std::to_string(e.hi.i64) + "]");
     }
     if (lt == Literal::Type::kF64 && e.lo.f64 > e.hi.f64) {
       return Status::InvalidArgument(
@@ -438,6 +444,10 @@ void RenderNode(const LogicalNode& n, int depth, std::string* out) {
 }
 
 }  // namespace
+
+StatusOr<std::vector<PlanColumn>> ComputeNodeSchema(const LogicalNode& n) {
+  return ValidateNode(n);
+}
 
 std::string LogicalPlan::ToString() const {
   std::string out;

@@ -166,6 +166,12 @@ struct PlanColumn {
                           // as type defaults (0 / 0.0 / "") when gathered
 };
 
+/// Re-derives (and re-validates) the visible schema of a logical subtree —
+/// what Build() computes for the root. The planner uses this to prove a
+/// join-chain reorder keeps every join key resolvable and unambiguous
+/// before committing to the new order.
+StatusOr<std::vector<PlanColumn>> ComputeNodeSchema(const LogicalNode& n);
+
 /// A validated logical plan: the node tree plus the output schema that
 /// Build() derived for it.
 class LogicalPlan {

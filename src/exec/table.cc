@@ -1,5 +1,7 @@
 #include "exec/table.h"
 
+#include <cstring>
+
 #include "algo/select.h"
 
 namespace ccdb {
@@ -46,6 +48,88 @@ size_t Table::MemoryBytes() const {
   size_t total = 0;
   for (const auto& b : bats_) total += b.MemoryBytes();
   return total;
+}
+
+StatusOr<ColumnStats> Table::stats(size_t i) const {
+  if (i >= num_columns()) {
+    return Status::InvalidArgument("stats: column index out of range");
+  }
+  std::lock_guard<std::mutex> lock(stats_->mu);
+  if (stats_->cols.size() != num_columns()) {
+    stats_->cols.assign(num_columns(), std::nullopt);
+  }
+  if (!stats_->cols[i].has_value()) {
+    CCDB_ASSIGN_OR_RETURN(ColumnStats s, ComputeColumnStats(*this, i));
+    stats_->cols[i] = s;
+  }
+  return *stats_->cols[i];
+}
+
+StatusOr<ColumnStats> Table::stats(const std::string& col) const {
+  CCDB_ASSIGN_OR_RETURN(size_t i, Col(col));
+  return stats(i);
+}
+
+Status Table::AppendRows(const RowStore& extra) {
+  if (extra.fields().size() != schema_.num_fields()) {
+    return Status::InvalidArgument("AppendRows: field count mismatch");
+  }
+  for (size_t f = 0; f < extra.fields().size(); ++f) {
+    if (extra.fields()[f].name != schema_.field(f).name ||
+        extra.fields()[f].type != schema_.field(f).type) {
+      return Status::InvalidArgument("AppendRows: schema mismatch on field '" +
+                                     extra.fields()[f].name + "'");
+    }
+  }
+  // Materialize old + new rows and re-decompose: string domains may need
+  // re-encoding (a new value can overflow a u8 code column), so rebuilding
+  // through the one ingest path keeps every encoding invariant.
+  CCDB_ASSIGN_OR_RETURN(RowStore combined,
+                        RowStore::Make(schema_.fields(),
+                                       rows_ + extra.size()));
+  for (size_t r = 0; r < rows_; ++r) {
+    CCDB_ASSIGN_OR_RETURN(size_t row, combined.AppendRow());
+    for (size_t f = 0; f < schema_.num_fields(); ++f) {
+      const Column& tail = bats_[f].tail();
+      switch (schema_.field(f).type) {
+        case FieldType::kU8:
+          combined.SetU8(row, f, static_cast<uint8_t>(tail.GetIntegral(r)));
+          break;
+        case FieldType::kU16: {
+          uint32_t v = static_cast<uint32_t>(tail.GetIntegral(r));
+          combined.SetBytes(row, f, &v, 2);
+          break;
+        }
+        case FieldType::kU32:
+          combined.SetU32(row, f, static_cast<uint32_t>(tail.GetIntegral(r)));
+          break;
+        case FieldType::kI64:
+          combined.SetI64(row, f, static_cast<int64_t>(tail.GetIntegral(r)));
+          break;
+        case FieldType::kF64:
+          combined.SetF64(row, f, tail.Span<double>()[r]);
+          break;
+        case FieldType::kChar1:
+        case FieldType::kChar10:
+        case FieldType::kChar27: {
+          std::string_view s = is_encoded(f)
+                                   ? dicts_[f]->Get(static_cast<uint32_t>(
+                                         tail.GetIntegral(r)))
+                                   : tail.GetStr(r);
+          combined.SetBytes(row, f, s.data(), s.size());
+          break;
+        }
+      }
+    }
+  }
+  for (size_t r = 0; r < extra.size(); ++r) {
+    CCDB_ASSIGN_OR_RETURN(size_t row, combined.AppendRow());
+    std::memcpy(combined.RowPtr(row), extra.RowPtr(r),
+                extra.record_width());
+  }
+  CCDB_ASSIGN_OR_RETURN(Table rebuilt, FromRowStore(combined));
+  *this = std::move(rebuilt);  // fresh (empty) stats cache: the invalidation
+  return Status::Ok();
 }
 
 StatusOr<std::vector<oid_t>> Table::SelectEqStr(const std::string& col,

@@ -7,6 +7,8 @@
 #ifndef CCDB_EXEC_TABLE_H_
 #define CCDB_EXEC_TABLE_H_
 
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "bat/dsm.h"
 #include "bat/encoding.h"
 #include "exec/schema.h"
+#include "model/stats.h"
 #include "util/status.h"
 
 namespace ccdb {
@@ -43,6 +46,21 @@ class Table {
   /// Total heap bytes across all columns; contrast with
   /// schema().record_width() * num_rows() for the NSM footprint.
   size_t MemoryBytes() const;
+
+  // --- statistics (model/stats.h) ------------------------------------------
+
+  /// Per-column statistics, computed lazily on first use (one scan of the
+  /// column) and cached; AppendRows invalidates the cache. Thread-safe:
+  /// concurrent planners may ask for stats on a shared table.
+  StatusOr<ColumnStats> stats(size_t i) const;
+  StatusOr<ColumnStats> stats(const std::string& col) const;
+
+  /// Appends `extra` rows (same schema, by name and type) and invalidates
+  /// the cached statistics. This is the correctness-oriented ingest hook the
+  /// stats cache invalidation contract is written against: it rebuilds the
+  /// decomposed columns (re-encoding string domains), so plans holding lazy
+  /// references into the old BATs must not be executing concurrently.
+  Status AppendRows(const RowStore& extra);
 
   // --- operators (positional OIDs, void-head convention) -------------------
 
@@ -77,11 +95,41 @@ class Table {
   StatusOr<std::vector<uint32_t>> GatherU32(
       const std::string& col, std::span<const oid_t> oids) const;
 
+  // Copies get a fresh (empty) stats cache — a copied-then-appended table
+  // must never publish its stats through the original's cache. Moves
+  // transfer the cache.
+  Table() = default;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+  Table(const Table& o)
+      : schema_(o.schema_),
+        rows_(o.rows_),
+        bats_(o.bats_),
+        dicts_(o.dicts_) {}
+  Table& operator=(const Table& o) {
+    if (this != &o) {
+      schema_ = o.schema_;
+      rows_ = o.rows_;
+      bats_ = o.bats_;
+      dicts_ = o.dicts_;
+      stats_ = std::make_shared<StatsCache>();
+    }
+    return *this;
+  }
+
  private:
+  /// Lazily filled per-column stats, shared_ptr so the table stays movable;
+  /// all access goes through the mutex.
+  struct StatsCache {
+    std::mutex mu;
+    std::vector<std::optional<ColumnStats>> cols;
+  };
+
   TableSchema schema_;
   size_t rows_ = 0;
   std::vector<Bat> bats_;
   std::vector<std::optional<StrDictionary>> dicts_;
+  std::shared_ptr<StatsCache> stats_ = std::make_shared<StatsCache>();
 
   StatusOr<size_t> Col(const std::string& name) const {
     return schema_.FieldIndex(name);

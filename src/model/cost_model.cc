@@ -144,6 +144,77 @@ ModelPrediction CostModel::PhashJoinPhase(int bits, uint64_t c) const {
   return p;
 }
 
+ModelPrediction CostModel::RadixJoinPhaseAsym(int bits, uint64_t c_inner,
+                                              uint64_t c_probe) const {
+  ModelPrediction p;
+  double h = std::exp2(bits);
+  double ci = static_cast<double>(c_inner);
+  double cp = static_cast<double>(c_probe);
+  // Inner clusters set the working-set geometry; every probe tuple walks
+  // one of them.
+  double tuples_per_cluster = ci / h;
+  double cluster_bytes = tuples_per_cluster * kTupleBytes;
+
+  p.cpu_ns = cp * tuples_per_cluster * m_.cost.wr_ns + cp * m_.cost.wrp_ns;
+
+  for (int level = 1; level <= 2; ++level) {
+    const CacheGeometry& g = level == 1 ? m_.l1 : m_.l2;
+    double cl_lines = cluster_bytes / static_cast<double>(g.line_bytes);
+    double li_lines = static_cast<double>(g.lines());
+    double extra = cl_lines <= li_lines ? cp * (cl_lines / li_lines)
+                                        : cp * cl_lines;
+    // Sequential: read each relation once at its own size, write a result
+    // proportional to the probe side.
+    double misses = RelLines(c_inner, level) + 2.0 * RelLines(c_probe, level) +
+                    extra;
+    if (level == 1) {
+      p.l1_misses = misses;
+    } else {
+      p.l2_misses = misses;
+    }
+  }
+  p.tlb_misses = RelPages(c_inner) + 2.0 * RelPages(c_probe) +
+                 cp * cluster_bytes / static_cast<double>(m_.tlb.span_bytes());
+  return p;
+}
+
+ModelPrediction CostModel::PhashJoinPhaseAsym(int bits, uint64_t c_inner,
+                                              uint64_t c_probe) const {
+  ModelPrediction p;
+  double h = std::exp2(bits);
+  double ci = static_cast<double>(c_inner);
+  double cp = static_cast<double>(c_probe);
+  // Hash tables are built over inner clusters; build + lookup touches
+  // happen once per tuple pair — max(|L|, |R|) of them (= C when
+  // symmetric, probe-dominated for FK joins).
+  double pairs = std::max(ci, cp);
+  double cluster_bytes = ci / h * kPhashTupleBytes;
+
+  p.cpu_ns = pairs * m_.cost.wh_ns + h * m_.cost.whp_ns;
+
+  for (int level = 1; level <= 2; ++level) {
+    const CacheGeometry& g = level == 1 ? m_.l1 : m_.l2;
+    double cache_bytes = static_cast<double>(g.capacity_bytes);
+    double extra =
+        cluster_bytes <= cache_bytes
+            ? pairs * cluster_bytes / cache_bytes
+            : pairs * 10.0 * (1.0 - cache_bytes / cluster_bytes);
+    double misses = RelLines(c_inner, level) + 2.0 * RelLines(c_probe, level) +
+                    extra;
+    if (level == 1) {
+      p.l1_misses = misses;
+    } else {
+      p.l2_misses = misses;
+    }
+  }
+  double tlb_bytes = static_cast<double>(m_.tlb.span_bytes());
+  double tlb_extra = cluster_bytes <= tlb_bytes
+                         ? pairs * cluster_bytes / tlb_bytes
+                         : pairs * 10.0 * (1.0 - tlb_bytes / cluster_bytes);
+  p.tlb_misses = RelPages(c_inner) + 2.0 * RelPages(c_probe) + tlb_extra;
+  return p;
+}
+
 int CostModel::OptimalPasses(int bits) const {
   if (bits <= 0) return 1;
   int per_pass = Log2Floor(m_.tlb.entries);

@@ -83,6 +83,22 @@ class CostModel {
   /// Partitioned hash-join phase Th(B,C).
   ModelPrediction PhashJoinPhase(int bits, uint64_t c) const;
 
+  // -- asymmetric-cardinality extension ---------------------------------------
+  // The paper evaluates its join phases at |L| = |R| = C; the planner's
+  // cardinality estimator routinely predicts joins with very different
+  // probe and inner sizes (a filtered dimension against a fact table).
+  // These variants keep the paper's structure but separate the roles: the
+  // cluster/hash-table *geometry* comes from the inner relation (its
+  // clusters are what must fit a cache level), per-pair work and random
+  // re-access counts scale with max(|L|, |R|), and the sequential terms
+  // read each relation at its own size. Both degrade exactly to
+  // RadixJoinPhase / PhashJoinPhase when c_inner == c_probe.
+
+  ModelPrediction RadixJoinPhaseAsym(int bits, uint64_t c_inner,
+                                     uint64_t c_probe) const;
+  ModelPrediction PhashJoinPhaseAsym(int bits, uint64_t c_inner,
+                                     uint64_t c_probe) const;
+
   // -- §3.4.4: combined cluster + join --------------------------------------
 
   /// Number of clustering passes the paper's analysis prescribes for B bits:

@@ -1,0 +1,340 @@
+#include "model/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exec/table.h"
+
+namespace ccdb {
+
+namespace {
+
+double Clamp01(double x) {
+  if (!(x > 0.0)) return 0.0;  // also catches NaN
+  return x > 1.0 ? 1.0 : x;
+}
+
+void MergeSources(ColumnSourceMap* into, const ColumnSourceMap& from) {
+  for (const auto& [name, src] : from) {
+    auto [it, inserted] = into->emplace(name, src);
+    if (!inserted) it->second = ColumnSource{};  // ambiguous: no stats
+  }
+}
+
+}  // namespace
+
+ColumnSourceMap CollectColumnSources(const LogicalNode& n) {
+  switch (n.op) {
+    case LogicalOp::kScan: {
+      ColumnSourceMap out;
+      if (n.table == nullptr) return out;
+      for (size_t i = 0; i < n.table->num_columns(); ++i) {
+        out.emplace(n.table->schema().field(i).name,
+                    ColumnSource{n.table, i});
+      }
+      return out;
+    }
+    case LogicalOp::kJoin: {
+      if (n.children.size() < 2 || n.children[0] == nullptr ||
+          n.children[1] == nullptr) {
+        return {};
+      }
+      ColumnSourceMap out = CollectColumnSources(*n.children[0]);
+      if (n.join_type == JoinType::kSemi || n.join_type == JoinType::kAnti) {
+        return out;  // right side does not surface
+      }
+      MergeSources(&out, CollectColumnSources(*n.children[1]));
+      return out;
+    }
+    case LogicalOp::kProject: {
+      if (n.children.empty() || n.children[0] == nullptr) return {};
+      ColumnSourceMap in = CollectColumnSources(*n.children[0]);
+      ColumnSourceMap out;
+      for (const std::string& name : n.columns) {
+        auto it = in.find(name);
+        if (it != in.end()) out.emplace(name, it->second);
+      }
+      return out;
+    }
+    case LogicalOp::kGroupByAgg: {
+      if (n.children.empty() || n.children[0] == nullptr) return {};
+      ColumnSourceMap in = CollectColumnSources(*n.children[0]);
+      ColumnSourceMap out;
+      for (const std::string& name : n.group_cols) {
+        auto it = in.find(name);
+        if (it != in.end()) out.emplace(name, it->second);
+      }
+      // Aggregate outputs are derived: deliberately absent (no stats).
+      return out;
+    }
+    default: {
+      if (n.children.empty() || n.children[0] == nullptr) return {};
+      return CollectColumnSources(*n.children[0]);
+    }
+  }
+}
+
+std::optional<ColumnStats> ResolveStats(const ColumnSourceMap& src,
+                                        const std::string& name) {
+  auto it = src.find(name);
+  if (it == src.end() || it->second.table == nullptr) return std::nullopt;
+  auto s = it->second.table->stats(it->second.col);
+  if (!s.ok()) return std::nullopt;
+  return *s;
+}
+
+namespace {
+
+/// The literal a leaf compares against, as a double on the column's value
+/// (or dictionary-code) domain. String literals resolve through the encoded
+/// column's dictionary when possible; an unknown string yields nullopt (the
+/// caller falls back to 1/distinct-style arithmetic).
+std::optional<double> LeafValue(const Literal& lit, const ColumnSourceMap& src,
+                                const std::string& column) {
+  switch (lit.type) {
+    case Literal::Type::kU32:
+      return static_cast<double>(lit.u32);
+    case Literal::Type::kI64:
+      return static_cast<double>(lit.i64);
+    case Literal::Type::kF64:
+      return lit.f64;
+    case Literal::Type::kStr: {
+      auto it = src.find(column);
+      if (it == src.end() || it->second.table == nullptr) return std::nullopt;
+      const Table* t = it->second.table;
+      if (!t->is_encoded(it->second.col)) return std::nullopt;
+      auto code = t->dict(it->second.col).Lookup(lit.str);
+      if (!code.ok()) return std::nullopt;
+      return static_cast<double>(*code);
+    }
+  }
+  return std::nullopt;
+}
+
+double EqSelectivity(const std::optional<ColumnStats>& s,
+                     std::optional<double> v, bool integral) {
+  if (!s.has_value() || s->distinct == 0) return kDefaultEqSelectivity;
+  if (v.has_value() && s->has_range && (*v < s->min || *v > s->max)) {
+    return 0.0;
+  }
+  (void)integral;
+  return Clamp01(1.0 / static_cast<double>(s->distinct));
+}
+
+double LeafSelectivity(const Expr& e, const ColumnSourceMap& src) {
+  std::optional<ColumnStats> s = ResolveStats(src, e.column);
+  switch (e.kind) {
+    case Expr::Kind::kCmp: {
+      bool integral = e.value.type != Literal::Type::kF64;
+      std::optional<double> v = LeafValue(e.value, src, e.column);
+      switch (e.cmp) {
+        case CmpOp::kEq:
+          return EqSelectivity(s, v, integral);
+        case CmpOp::kNe:
+          if (!s.has_value()) return kDefaultNeSelectivity;
+          return Clamp01(1.0 - EqSelectivity(s, v, integral));
+        case CmpOp::kLt:
+        case CmpOp::kLe: {
+          if (!s.has_value() || !v.has_value()) {
+            return kDefaultRangeSelectivity;
+          }
+          double hi = e.cmp == CmpOp::kLt && integral ? *v - 1 : *v;
+          return s->RangeFraction(s->has_range ? s->min : 0, hi, integral,
+                                  kDefaultRangeSelectivity);
+        }
+        case CmpOp::kGt:
+        case CmpOp::kGe: {
+          if (!s.has_value() || !v.has_value()) {
+            return kDefaultRangeSelectivity;
+          }
+          double lo = e.cmp == CmpOp::kGt && integral ? *v + 1 : *v;
+          return s->RangeFraction(lo, s->has_range ? s->max : 0, integral,
+                                  kDefaultRangeSelectivity);
+        }
+      }
+      return kDefaultRangeSelectivity;
+    }
+    case Expr::Kind::kBetween: {
+      bool integral = e.lo.type != Literal::Type::kF64;
+      std::optional<double> lo = LeafValue(e.lo, src, e.column);
+      std::optional<double> hi = LeafValue(e.hi, src, e.column);
+      double sel = kDefaultRangeSelectivity;
+      if (s.has_value() && lo.has_value() && hi.has_value()) {
+        sel = s->RangeFraction(*lo, *hi, integral, kDefaultRangeSelectivity);
+      }
+      return Clamp01(e.negated ? 1.0 - sel : sel);
+    }
+    case Expr::Kind::kIn: {
+      size_t k = e.in_u32.empty() ? e.in_str.size() : e.in_u32.size();
+      double per_value =
+          s.has_value() && s->distinct > 0
+              ? 1.0 / static_cast<double>(s->distinct)
+              : kDefaultEqSelectivity;
+      double sel = Clamp01(static_cast<double>(k) * per_value);
+      return Clamp01(e.negated ? 1.0 - sel : sel);
+    }
+    default:
+      return 1.0;
+  }
+}
+
+}  // namespace
+
+double EstimateExprSelectivity(const Expr& e, const ColumnSourceMap& src) {
+  switch (e.kind) {
+    case Expr::Kind::kAnd: {
+      double sel = 1.0;
+      for (const Expr& c : e.children) {
+        sel *= EstimateExprSelectivity(c, src);
+      }
+      return Clamp01(sel);
+    }
+    case Expr::Kind::kOr: {
+      double none = 1.0;
+      for (const Expr& c : e.children) {
+        none *= 1.0 - EstimateExprSelectivity(c, src);
+      }
+      return Clamp01(1.0 - none);
+    }
+    case Expr::Kind::kNot: {
+      if (e.children.size() != 1) return 1.0;
+      return Clamp01(1.0 - EstimateExprSelectivity(e.children[0], src));
+    }
+    default:
+      return Clamp01(LeafSelectivity(e, src));
+  }
+}
+
+uint64_t EstimateJoinRows(uint64_t left_rows,
+                          const std::optional<ColumnStats>& left_key,
+                          uint64_t right_rows,
+                          const std::optional<ColumnStats>& right_key,
+                          JoinType type) {
+  double l = static_cast<double>(left_rows);
+  double r = static_cast<double>(right_rows);
+  double matches = 0;
+  double match_prob = 0;  // per probe row: P(>= 1 inner match)
+  if (left_rows > 0 && right_rows > 0) {
+    double dl = left_key.has_value() && left_key->distinct > 0
+                    ? std::min<double>(static_cast<double>(left_key->distinct),
+                                       l)
+                    : l;
+    double dr = right_key.has_value() && right_key->distinct > 0
+                    ? std::min<double>(
+                          static_cast<double>(right_key->distinct), r)
+                    : r;
+    // Distinct-key overlap: restrict each side to the intersection of the
+    // two min-max ranges; disjoint key ranges join to nothing.
+    double fl = 1.0, fr = 1.0;
+    if (left_key.has_value() && right_key.has_value() &&
+        left_key->has_range && right_key->has_range) {
+      double ilo = std::max(left_key->min, right_key->min);
+      double ihi = std::min(left_key->max, right_key->max);
+      fl = left_key->RangeFraction(ilo, ihi, /*integral=*/true, 1.0);
+      fr = right_key->RangeFraction(ilo, ihi, /*integral=*/true, 1.0);
+    }
+    double dli = std::max(dl * fl, 1e-9);
+    double dri = std::max(dr * fr, 1e-9);
+    matches = (l * fl) * (r * fr) / std::max(dli, dri);
+    matches = std::min(matches, l * r);
+    // A probe row in the overlap matches iff its key occurs on the build
+    // side: with containment, min(1, d_R / d_L) of the overlapping keys.
+    match_prob = Clamp01(fl * std::min(1.0, dri / dli));
+  }
+  double out = 0;
+  switch (type) {
+    case JoinType::kInner:
+      out = matches;
+      break;
+    case JoinType::kSemi:
+      out = l * match_prob;
+      break;
+    case JoinType::kAnti:
+      out = l * (1.0 - match_prob);
+      break;
+    case JoinType::kLeftOuter:
+      out = matches + l * (1.0 - match_prob);
+      break;
+  }
+  if (out < 0) out = 0;
+  return static_cast<uint64_t>(out + 0.5);
+}
+
+uint64_t EstimateGroupCount(
+    uint64_t rows, std::span<const std::optional<ColumnStats>> keys) {
+  if (rows == 0) return 0;
+  std::vector<double> d;
+  d.reserve(keys.size());
+  for (const auto& k : keys) {
+    double di = k.has_value() && k->distinct > 0
+                    ? static_cast<double>(k->distinct)
+                    : static_cast<double>(rows);
+    d.push_back(std::min(di, static_cast<double>(rows)));
+  }
+  // Exponential backoff (correlation cap): the most selective key counts
+  // fully, every further key contributes a damped factor — perfectly
+  // correlated keys then cost nothing extra, independent ones still grow
+  // the estimate, and the row count bounds it either way.
+  std::sort(d.begin(), d.end(), std::greater<double>());
+  double est = 1.0;
+  double exponent = 1.0;
+  for (double di : d) {
+    est *= std::pow(di, exponent);
+    exponent *= 0.5;
+    if (est >= static_cast<double>(rows)) break;
+  }
+  est = std::min(est, static_cast<double>(rows));
+  if (est < 1.0) est = 1.0;
+  return static_cast<uint64_t>(est + 0.5);
+}
+
+uint64_t EstimateNodeRows(const LogicalNode& n) {
+  switch (n.op) {
+    case LogicalOp::kScan:
+      return n.table == nullptr ? 0 : n.table->num_rows();
+    case LogicalOp::kSelect:
+    case LogicalOp::kHaving: {
+      if (n.children.empty() || n.children[0] == nullptr) return 0;
+      uint64_t in = EstimateNodeRows(*n.children[0]);
+      ColumnSourceMap src = CollectColumnSources(*n.children[0]);
+      double sel = EstimateExprSelectivity(n.filter, src);
+      return static_cast<uint64_t>(static_cast<double>(in) * sel + 0.5);
+    }
+    case LogicalOp::kJoin: {
+      if (n.children.size() < 2 || n.children[0] == nullptr ||
+          n.children[1] == nullptr) {
+        return 0;
+      }
+      uint64_t l = EstimateNodeRows(*n.children[0]);
+      uint64_t r = EstimateNodeRows(*n.children[1]);
+      ColumnSourceMap lsrc = CollectColumnSources(*n.children[0]);
+      ColumnSourceMap rsrc = CollectColumnSources(*n.children[1]);
+      return EstimateJoinRows(l, ResolveStats(lsrc, n.left_key), r,
+                              ResolveStats(rsrc, n.right_key), n.join_type);
+    }
+    case LogicalOp::kGroupByAgg: {
+      if (n.children.empty() || n.children[0] == nullptr) return 0;
+      uint64_t in = EstimateNodeRows(*n.children[0]);
+      ColumnSourceMap src = CollectColumnSources(*n.children[0]);
+      std::vector<std::optional<ColumnStats>> keys;
+      keys.reserve(n.group_cols.size());
+      for (const std::string& g : n.group_cols) {
+        keys.push_back(ResolveStats(src, g));
+      }
+      return EstimateGroupCount(in, keys);
+    }
+    case LogicalOp::kProject:
+    case LogicalOp::kOrderBy:
+      if (n.children.empty() || n.children[0] == nullptr) return 0;
+      return EstimateNodeRows(*n.children[0]);
+    case LogicalOp::kLimit: {
+      if (n.children.empty() || n.children[0] == nullptr) return 0;
+      uint64_t in = EstimateNodeRows(*n.children[0]);
+      uint64_t avail = in > n.offset ? in - n.offset : 0;
+      return std::min(avail, n.limit);
+    }
+  }
+  return 0;
+}
+
+}  // namespace ccdb

@@ -1,0 +1,77 @@
+// Cardinality estimation — turns the column statistics of model/stats.h
+// into the numbers the planner decides with *before* executing anything:
+// selectivities for every Expr shape (min-max range fractions and distinct
+// counts), join output sizes from distinct-key overlap, and grouped
+// cardinalities for multi-key aggregates (per-column distinct counts under
+// a correlation cap). Everything degrades gracefully: a column without
+// stats (aggregate outputs, raw strings) falls back to the textbook default
+// selectivities, and every estimate is clamped to its feasible range.
+#ifndef CCDB_MODEL_ESTIMATOR_H_
+#define CCDB_MODEL_ESTIMATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "exec/plan.h"
+#include "model/stats.h"
+
+namespace ccdb {
+
+/// Where a visible plan column's values physically live. A name that is
+/// ambiguous (both sides of a join) or derived (aggregate output) resolves
+/// to a null table — "no stats available", never a guess at the wrong side.
+struct ColumnSource {
+  const Table* table = nullptr;
+  size_t col = 0;
+};
+
+using ColumnSourceMap = std::map<std::string, ColumnSource>;
+
+/// Maps every column name visible at `n` to its base-table storage.
+/// Aggregate outputs and ambiguous join columns map to a null source.
+ColumnSourceMap CollectColumnSources(const LogicalNode& n);
+
+/// Stats of the column `name` at node scope `src`, or nullopt when the
+/// column is derived/ambiguous/unknown.
+std::optional<ColumnStats> ResolveStats(const ColumnSourceMap& src,
+                                        const std::string& name);
+
+// Fallback selectivities when no statistics apply (the System-R defaults).
+inline constexpr double kDefaultEqSelectivity = 0.1;
+inline constexpr double kDefaultRangeSelectivity = 0.3;
+inline constexpr double kDefaultNeSelectivity = 0.9;
+
+/// Selectivity in [0, 1] of a filter expression (any shape — normalization
+/// not required; Not is handled as complement). Conjunctions multiply,
+/// disjunctions combine by inclusion-exclusion under independence.
+double EstimateExprSelectivity(const Expr& e, const ColumnSourceMap& src);
+
+/// Output rows of an equi-join: |L|*|R| / max(d_L, d_R) restricted to the
+/// overlap of the two keys' min-max ranges (disjoint ranges estimate zero
+/// matches), with the distinct counts capped at each side's row estimate.
+/// Semi/anti/left-outer derive from the per-probe-row match probability.
+uint64_t EstimateJoinRows(uint64_t left_rows,
+                          const std::optional<ColumnStats>& left_key,
+                          uint64_t right_rows,
+                          const std::optional<ColumnStats>& right_key,
+                          JoinType type);
+
+/// Distinct combinations of the key columns over `rows` input rows: the
+/// per-column distinct counts multiplied under exponential backoff
+/// (d1 * d2^1/2 * d3^1/4 * ...) — the correlation cap that keeps
+/// GroupByAgg({a, b}) from estimating |a| x |b| for correlated keys — and
+/// clamped to [1, rows].
+uint64_t EstimateGroupCount(uint64_t rows,
+                            std::span<const std::optional<ColumnStats>> keys);
+
+/// Estimated output rows of a whole logical subtree (recursive; join nodes
+/// use EstimateJoinRows at each side's estimated cardinality, aggregates
+/// use EstimateGroupCount). This is what the planner ranks join orders by.
+uint64_t EstimateNodeRows(const LogicalNode& n);
+
+}  // namespace ccdb
+
+#endif  // CCDB_MODEL_ESTIMATOR_H_

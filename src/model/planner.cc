@@ -1,10 +1,14 @@
 #include "model/planner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "model/calibrator.h"
+#include "model/cost_model.h"
+#include "model/estimator.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace ccdb {
 
@@ -28,86 +32,642 @@ size_t CountJoins(const LogicalNode& n) {
   return c;
 }
 
-std::unique_ptr<Operator> LowerNode(const LogicalNode& n,
-                                    const PlannerOptions& options,
-                                    size_t chunk_rows, const ExecContext* ctx,
-                                    std::vector<JoinNodeInfo>* joins,
-                                    size_t* next_join,
-                                    std::vector<FilterNodeInfo>* filters) {
+size_t CountNodes(const LogicalNode& n) {
+  size_t c = 1;
+  for (const auto& child : n.children) c += CountNodes(*child);
+  return c;
+}
+
+// --- measured actuals --------------------------------------------------------
+
+/// Decorator recording an operator's inclusive wall time (Open + every
+/// Next + Close) and emitted rows into its OpCostInfo — the "verify" side
+/// of every prediction. Children are wrapped too, so exclusive time is
+/// recovered by subtracting child records (ExplainCosts).
+class TimedOperator : public Operator {
+ public:
+  TimedOperator(std::unique_ptr<Operator> inner, OpCostInfo* info)
+      : inner_(std::move(inner)), info_(info) {}
+
+  Status Open() override {
+    WallTimer t;
+    Status st = inner_->Open();
+    info_->measured_inclusive_ns += static_cast<double>(t.ElapsedNanos());
+    return st;
+  }
+  StatusOr<bool> Next(Chunk* out) override {
+    WallTimer t;
+    StatusOr<bool> more = inner_->Next(out);
+    info_->measured_inclusive_ns += static_cast<double>(t.ElapsedNanos());
+    if (more.ok() && *more) info_->actual_rows += out->rows;
+    return more;
+  }
+  void Close() override {
+    WallTimer t;
+    inner_->Close();
+    info_->measured_inclusive_ns += static_cast<double>(t.ElapsedNanos());
+  }
+
+ private:
+  std::unique_ptr<Operator> inner_;
+  OpCostInfo* info_;
+};
+
+// --- predictions (§2 scan model generalized per operator) -------------------
+
+/// §2 applied to `rows` touches of a column stored at `stride` bytes per
+/// tuple: per iteration ML1 = min(s/LS_L1, 1), ML2 = min(s/LS_L2, 1), plus
+/// the TLB analogue, and wscan of pure CPU work.
+ModelPrediction ScanRowsPrediction(const MachineProfile& m, double rows,
+                                   size_t stride) {
+  ModelPrediction p;
+  double s = static_cast<double>(stride);
+  p.cpu_ns = rows * m.cost.wscan_ns;
+  p.l1_misses =
+      rows * std::min(s / static_cast<double>(m.l1.line_bytes), 1.0);
+  p.l2_misses =
+      rows * std::min(s / static_cast<double>(m.l2.line_bytes), 1.0);
+  p.tlb_misses =
+      rows * std::min(s / static_cast<double>(m.tlb.page_bytes), 1.0);
+  return p;
+}
+
+/// Scan stride of a visible column, from its base-table storage (encoded
+/// string columns scan their 1-2 byte codes). Derived columns (aggregate
+/// output) default to 8 bytes — their owned i64/f64 spans.
+size_t ColumnStride(const ColumnSourceMap& src, const std::string& name) {
+  auto it = src.find(name);
+  if (it == src.end() || it->second.table == nullptr) return 8;
+  return std::max<size_t>(it->second.table->column_value_bytes(it->second.col),
+                          1);
+}
+
+/// Predicted cost of one filter pass: the first leaf of a conjunction scans
+/// all `rows` candidates of its column, every later conjunct touches only
+/// the estimated survivors; disjunction branches each scan the full input.
+/// Mirrors exactly how SelectOp executes (fused narrowing / branch union).
+ModelPrediction PredictExprCost(const Expr& e, double rows,
+                                const ColumnSourceMap& src,
+                                const MachineProfile& m) {
+  ModelPrediction p;
+  switch (e.kind) {
+    case Expr::Kind::kAnd: {
+      double surviving = rows;
+      for (const Expr& c : e.children) {
+        p += PredictExprCost(c, surviving, src, m);
+        surviving *= EstimateExprSelectivity(c, src);
+      }
+      return p;
+    }
+    case Expr::Kind::kOr: {
+      for (const Expr& c : e.children) {
+        p += PredictExprCost(c, rows, src, m);
+      }
+      return p;
+    }
+    case Expr::Kind::kNot: {
+      for (const Expr& c : e.children) {
+        p += PredictExprCost(c, rows, src, m);
+      }
+      return p;
+    }
+    default:
+      return ScanRowsPrediction(m, rows, ColumnStride(src, e.column));
+  }
+}
+
+/// §3.4 prediction of a whole join for a resolved plan, composed for the
+/// asymmetric cardinalities the estimator supplies (the paper's Total*
+/// formulas assume |L| = |R| = C): each relation is clustered at its own
+/// cardinality and the join phase runs at the probe cardinality (the
+/// per-probe-tuple term dominates it). Sort-merge, which the paper does
+/// not model, gets an n-log-n CPU estimate.
+ModelPrediction JoinModelPrediction(const CostModel& cm, const JoinPlan& plan,
+                                    uint64_t c_inner, uint64_t c_probe) {
+  switch (plan.strategy) {
+    case JoinStrategy::kSortMerge: {
+      ModelPrediction p;
+      for (double n : {static_cast<double>(c_inner),
+                       static_cast<double>(c_probe)}) {
+        if (n > 0) {
+          p.cpu_ns +=
+              n * std::log2(std::max(n, 2.0)) * cm.profile().cost.wscan_ns;
+          p.l2_misses += n;  // the sort's random access over the relation
+        }
+      }
+      return p;
+    }
+    case JoinStrategy::kSimpleHash:
+      // One table over the whole inner (B = 0 — one cluster), no
+      // clustering cost.
+      return cm.PhashJoinPhaseAsym(0, c_inner, c_probe);
+    default: {
+      ModelPrediction p = cm.Cluster(plan.passes, plan.bits, c_inner);
+      p += cm.Cluster(plan.passes, plan.bits, c_probe);
+      p += plan.use_radix_join
+               ? cm.RadixJoinPhaseAsym(plan.bits, c_inner, c_probe)
+               : cm.PhashJoinPhaseAsym(plan.bits, c_inner, c_probe);
+      return p;
+    }
+  }
+}
+
+/// Group-table probe cost per input row, by where the table lives in the
+/// hierarchy (§3.2: hash-grouping wins because the group table usually
+/// stays cache-resident): an L1-resident table costs CPU only, an
+/// L2-resident one an L1 miss per row, a memory-resident one an L2 miss
+/// (plus a TLB miss once it outgrows the TLB span).
+ModelPrediction GroupProbePrediction(const MachineProfile& m, double rows,
+                                     double table_bytes) {
+  ModelPrediction p;
+  p.cpu_ns = rows * 4.0 * m.cost.wscan_ns;  // hash + chain walk + fold
+  if (table_bytes <= static_cast<double>(m.l1.capacity_bytes)) {
+    return p;
+  }
+  if (table_bytes <= static_cast<double>(m.l2.capacity_bytes)) {
+    p.l1_misses = rows;
+    return p;
+  }
+  p.l1_misses = rows;
+  p.l2_misses = rows;
+  if (table_bytes > static_cast<double>(m.tlb.span_bytes())) {
+    p.tlb_misses = rows;
+  }
+  return p;
+}
+
+void FillPrediction(OpCostInfo* info, const ModelPrediction& p,
+                    const Latencies& lat) {
+  info->predicted_cpu_ns = p.cpu_ns;
+  info->predicted_l1_misses = p.l1_misses;
+  info->predicted_l2_misses = p.l2_misses;
+  info->predicted_tlb_misses = p.tlb_misses;
+  info->predicted_ns = p.total_ns(lat);
+}
+
+// --- lowering ----------------------------------------------------------------
+
+struct Lowered {
+  std::unique_ptr<Operator> op;
+  /// Chunk column names in physical order — what the root operator emits.
+  /// Join reordering permutes this relative to the Build() schema; the
+  /// planner derives the output map from it.
+  std::vector<std::string> layout;
+  uint64_t est_rows = 0;
+  /// Index of this subtree's root cost record in LowerCtx::costs — what a
+  /// parent links its children through (join chains re-parent spine
+  /// records after deciding the order).
+  int root_cost = -1;
+};
+
+struct LowerCtx {
+  const PlannerOptions* options = nullptr;
+  const CostModel* model = nullptr;
+  size_t chunk_rows = 0;
+  const ExecContext* ctx = nullptr;
+  std::vector<JoinNodeInfo>* joins = nullptr;
+  size_t next_join = 0;
+  std::vector<FilterNodeInfo>* filters = nullptr;
+  std::vector<OpCostInfo>* costs = nullptr;
+  size_t next_cost = 0;
+
+  OpCostInfo* NewCost(std::string label, int depth, int parent) {
+    OpCostInfo* info = &(*costs)[next_cost++];
+    info->label = std::move(label);
+    info->depth = depth;
+    info->parent = parent;
+    return info;
+  }
+  int CostIndex(const OpCostInfo* info) const {
+    return static_cast<int>(info - costs->data());
+  }
+};
+
+std::string Truncate(std::string s, size_t n) {
+  if (s.size() > n) {
+    s.resize(n - 3);
+    s += "...";
+  }
+  return s;
+}
+
+StatusOr<Lowered> LowerNode(const LogicalNode& n, int depth, int parent,
+                            LowerCtx& c);
+
+/// One entry of a commutative inner-join chain: the inner (build) subtree
+/// with the keys and hint that travel with it wherever it moves.
+struct ChainEntry {
+  const LogicalNode* inner = nullptr;
+  std::string left_key, right_key;
+  JoinStrategy strategy = JoinStrategy::kBest;
+};
+
+/// True when any permutation of `entries` over `base` validates: every
+/// probe key must resolve in the base relation (so it exists no matter
+/// which joins ran before), and no inner relation may surface a column
+/// named like a probe key or like a column of another inner (which would
+/// change how names — and the final output map — resolve).
+bool ChainReorderSafe(const LogicalNode& base,
+                      const std::vector<ChainEntry>& entries) {
+  auto base_schema = ComputeNodeSchema(base);
+  if (!base_schema.ok()) return false;
+  for (const ChainEntry& e : entries) {
+    bool found = false;
+    for (const PlanColumn& col : *base_schema) {
+      if (col.name == e.left_key) {
+        if (col.ambiguous) return false;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  std::vector<std::string> inner_names;
+  for (const ChainEntry& e : entries) {
+    auto schema = ComputeNodeSchema(*e.inner);
+    if (!schema.ok()) return false;
+    for (const PlanColumn& col : *schema) {
+      for (const ChainEntry& o : entries) {
+        if (col.name == o.left_key) return false;
+      }
+      for (const std::string& seen : inner_names) {
+        if (seen == col.name) return false;  // two inners share a name
+      }
+      inner_names.push_back(col.name);
+    }
+  }
+  return true;
+}
+
+/// Lowers one join of a chain (or a lone join): lowers the inner subtree,
+/// allocates the JoinNodeInfo, records estimates, and wraps everything in
+/// a timed JoinOp.
+StatusOr<Lowered> LowerOneJoin(Lowered left, uint64_t est_probe,
+                               const ColumnSourceMap& probe_src,
+                               const LogicalNode& join_node,
+                               const ChainEntry& e, bool reordered, int depth,
+                               int parent, LowerCtx& c) {
+  const MachineProfile& profile = c.options->profile;
+  OpCostInfo* cost = c.NewCost(
+      std::string("Join(") + e.left_key + " = " + e.right_key + ", " +
+          JoinTypeName(join_node.join_type) + ")",
+      depth, parent);
+  int self = c.CostIndex(cost);
+
+  CCDB_ASSIGN_OR_RETURN(Lowered right,
+                        LowerNode(*e.inner, depth + 1, self, c));
+
+  uint64_t est_inner = right.est_rows;
+  ColumnSourceMap inner_src = CollectColumnSources(*e.inner);
+  uint64_t est_out = EstimateJoinRows(
+      est_probe, ResolveStats(probe_src, e.left_key), est_inner,
+      ResolveStats(inner_src, e.right_key), join_node.join_type);
+
+  JoinNodeInfo* info = &(*c.joins)[c.next_join++];
+  info->left_key = e.left_key;
+  info->right_key = e.right_key;
+  info->join_type = join_node.join_type;
+  info->estimated_inner_cardinality = est_inner;
+  info->estimated_probe_cardinality = est_probe;
+  info->estimated_result_rows = est_out;
+  info->reordered = reordered;
+
+  // Predict the join at its *estimated* inner cardinality with the same
+  // model that will re-plan it at the actual cardinality at Open() time —
+  // ExplainCosts() then shows how far the estimate-driven prediction was
+  // from reality.
+  JoinPlan est_plan = est_inner == 0
+                          ? PlanJoin(JoinStrategy::kSimpleHash, 0, profile)
+                          : PlanJoin(e.strategy, est_inner, profile);
+  ModelPrediction pred =
+      JoinModelPrediction(*c.model, est_plan, est_inner, est_probe);
+  pred += ScanRowsPrediction(profile, static_cast<double>(est_probe),
+                             ColumnStride(probe_src, e.left_key));
+  cost->estimated_rows = est_out;
+  FillPrediction(cost, pred, profile.lat);
+
+  Lowered out;
+  auto join_op = std::make_unique<JoinOp>(
+      std::move(left.op), std::move(right.op), e.left_key, e.right_key,
+      join_node.join_type, e.strategy, profile, info, c.ctx, est_out,
+      est_probe);
+  out.op = std::make_unique<TimedOperator>(std::move(join_op), cost);
+  out.root_cost = self;
+  out.layout = std::move(left.layout);
+  if (join_node.join_type != JoinType::kSemi &&
+      join_node.join_type != JoinType::kAnti) {
+    for (std::string& name : right.layout) {
+      out.layout.push_back(std::move(name));
+    }
+  }
+  out.est_rows = est_out;
+  return out;
+}
+
+/// Lowers a maximal chain of consecutive inner joins rooted at `n`,
+/// reordering the inner relations greedily by estimated intermediate
+/// cardinality when that is provably safe. Non-inner joins and chains of
+/// one lower in written order.
+StatusOr<Lowered> LowerJoinChain(const LogicalNode& n, int depth, int parent,
+                                 LowerCtx& c) {
+  // Collect the spine: n = Jk(...J2(J1(base, i1), i2)..., ik). Only inner
+  // joins commute; a non-inner root contributes a single-join "chain" of
+  // itself (its left child may hold a reorderable inner run, handled when
+  // the recursion reaches it).
+  std::vector<const LogicalNode*> spine;
+  const LogicalNode* cur = &n;
+  if (n.join_type != JoinType::kInner) {
+    spine.push_back(cur);
+    cur = cur->children[0].get();
+  } else {
+    while (cur->op == LogicalOp::kJoin &&
+           cur->join_type == JoinType::kInner) {
+      spine.push_back(cur);
+      cur = cur->children[0].get();
+    }
+  }
+  const LogicalNode* base = cur;
+  std::vector<ChainEntry> entries(spine.size());
+  for (size_t i = 0; i < spine.size(); ++i) {
+    const LogicalNode* j = spine[spine.size() - 1 - i];  // bottom-up
+    entries[i] = {j->children[1].get(), j->left_key, j->right_key,
+                  j->join_strategy};
+  }
+
+  // Decide the order: greedy smallest estimated intermediate first. Strict
+  // improvement only — ties keep the written order, so equal-cost plans
+  // lower exactly as authored.
+  size_t k = entries.size();
+  std::vector<size_t> order(k);
+  for (size_t i = 0; i < k; ++i) order[i] = i;
+  uint64_t base_est = EstimateNodeRows(*base);
+  ColumnSourceMap base_src = CollectColumnSources(*base);
+  if (k >= 2 && c.options->reorder_joins && ChainReorderSafe(*base, entries)) {
+    std::vector<uint64_t> inner_est(k);
+    std::vector<ColumnSourceMap> inner_src(k);
+    for (size_t i = 0; i < k; ++i) {
+      inner_est[i] = EstimateNodeRows(*entries[i].inner);
+      inner_src[i] = CollectColumnSources(*entries[i].inner);
+    }
+    std::vector<bool> used(k, false);
+    std::vector<size_t> greedy;
+    uint64_t running = base_est;
+    for (size_t step = 0; step < k; ++step) {
+      size_t best = SIZE_MAX;
+      uint64_t best_est = 0;
+      for (size_t i = 0; i < k; ++i) {
+        if (used[i]) continue;
+        uint64_t est = EstimateJoinRows(
+            running, ResolveStats(base_src, entries[i].left_key),
+            inner_est[i], ResolveStats(inner_src[i], entries[i].right_key),
+            JoinType::kInner);
+        if (best == SIZE_MAX || est < best_est) {
+          best = i;
+          best_est = est;
+        }
+      }
+      used[best] = true;
+      greedy.push_back(best);
+      running = best_est;
+    }
+    order = std::move(greedy);
+  }
+
+  // Lower: base, then the joins bottom-up in the chosen order. Cost-info
+  // depths mirror the lowered tree (topmost chain join nearest `depth`);
+  // spine parent links are patched as each join wraps the chain so far.
+  int base_depth = depth + static_cast<int>(k);
+  CCDB_ASSIGN_OR_RETURN(Lowered chain,
+                        LowerNode(*base, base_depth, parent, c));
+  uint64_t running = base_est;
+  for (size_t step = 0; step < k; ++step) {
+    const ChainEntry& e = entries[order[step]];
+    const LogicalNode* join_node = spine[spine.size() - 1 - order[step]];
+    int jdepth = base_depth - 1 - static_cast<int>(step);
+    int below = chain.root_cost;
+    CCDB_ASSIGN_OR_RETURN(
+        chain, LowerOneJoin(std::move(chain), running, base_src, *join_node,
+                            e, order[step] != step, jdepth, parent, c));
+    if (below >= 0) {
+      (*c.costs)[static_cast<size_t>(below)].parent = chain.root_cost;
+    }
+    running = chain.est_rows;
+  }
+  return chain;
+}
+
+StatusOr<Lowered> LowerNode(const LogicalNode& n, int depth, int parent,
+                            LowerCtx& c) {
+  const MachineProfile& profile = c.options->profile;
   switch (n.op) {
-    case LogicalOp::kScan:
-      return std::make_unique<ScanOp>(n.table, chunk_rows);
+    case LogicalOp::kScan: {
+      // Build() rejects null-table scans; keep lowering loud rather than
+      // half-guarded if one ever arrives through another path.
+      if (n.table == nullptr) {
+        return Status::Internal("planner: scan without a table");
+      }
+      Lowered out;
+      out.est_rows = n.table->num_rows();
+      OpCostInfo* cost = c.NewCost(
+          "Scan(" + std::to_string(out.est_rows) + " rows)", depth, parent);
+      cost->estimated_rows = out.est_rows;
+      // Scans emit lazy column descriptors — near-free; the §2 iteration
+      // cost lands on whichever operator touches the values. Charge only
+      // per-chunk bookkeeping.
+      ModelPrediction p;
+      size_t chunks =
+          c.chunk_rows == 0 || c.chunk_rows == SIZE_MAX
+              ? 1
+              : out.est_rows / std::max<size_t>(c.chunk_rows, 1) + 1;
+      p.cpu_ns = static_cast<double>(chunks) * 200.0;
+      FillPrediction(cost, p, profile.lat);
+      out.op = std::make_unique<TimedOperator>(
+          std::make_unique<ScanOp>(n.table, c.chunk_rows), cost);
+      out.root_cost = c.CostIndex(cost);
+      for (size_t i = 0; i < n.table->num_columns(); ++i) {
+        out.layout.push_back(n.table->schema().field(i).name);
+      }
+      return out;
+    }
     case LogicalOp::kSelect:
     case LogicalOp::kHaving: {
-      auto child = LowerNode(*n.children[0], options, chunk_rows, ctx, joins,
-                             next_join, filters);
+      const char* name = n.op == LogicalOp::kHaving ? "Having" : "Select";
+      OpCostInfo* cost = c.NewCost(
+          std::string(name) + "(" + Truncate(n.filter.ToString(), 48) + ")",
+          depth, parent);
+      int self = c.CostIndex(cost);
+      CCDB_ASSIGN_OR_RETURN(Lowered child,
+                            LowerNode(*n.children[0], depth + 1, self, c));
+      ColumnSourceMap src = CollectColumnSources(*n.children[0]);
+      double sel = EstimateExprSelectivity(n.filter, src);
+      cost->estimated_rows = static_cast<uint64_t>(
+          static_cast<double>(child.est_rows) * sel + 0.5);
       // SelectOp's constructor normalizes to NNF (Not pushed into the
       // leaves) and orders conjuncts by the selectivity heuristic; read the
       // result back so ExplainFilters() reports exactly what executes.
-      auto op = std::make_unique<SelectOp>(std::move(child), n.filter, ctx);
+      auto op = std::make_unique<SelectOp>(std::move(child.op), n.filter,
+                                           c.ctx);
       FilterNodeInfo info;
       info.node = n.op == LogicalOp::kHaving ? "having" : "select";
+      info.estimated_selectivity = sel;
       if (op->expr().has_value()) {
         const Expr& lowered = *op->expr();
         info.normalized = lowered.ToString();
         if (lowered.kind == Expr::Kind::kAnd) {
-          for (const Expr& c : lowered.children) {
-            info.conjuncts.push_back(c.ToString());
-            info.ranks.push_back(ConjunctRank(c));
+          for (const Expr& conj : lowered.children) {
+            info.conjuncts.push_back(conj.ToString());
+            info.ranks.push_back(ConjunctRank(conj));
           }
         } else {
           info.conjuncts.push_back(info.normalized);
           info.ranks.push_back(ConjunctRank(lowered));
         }
+        FillPrediction(cost,
+                       PredictExprCost(
+                           lowered, static_cast<double>(child.est_rows), src,
+                           profile),
+                       profile.lat);
       } else {
         info.normalized = "true (pass-through)";
       }
-      filters->push_back(std::move(info));
-      return op;
+      c.filters->push_back(std::move(info));
+      Lowered out;
+      out.op = std::make_unique<TimedOperator>(std::move(op), cost);
+      out.root_cost = self;
+      out.layout = std::move(child.layout);
+      out.est_rows = cost->estimated_rows;
+      return out;
     }
-    case LogicalOp::kJoin: {
-      auto left = LowerNode(*n.children[0], options, chunk_rows, ctx, joins,
-                            next_join, filters);
-      auto right = LowerNode(*n.children[1], options, chunk_rows, ctx, joins,
-                             next_join, filters);
-      JoinNodeInfo* info = &(*joins)[(*next_join)++];
-      // Every join type shares the same cost-model consultation: outer,
-      // anti, and semi joins probe the same prepared-once inner structures
-      // the model sized for the inner cardinality.
-      return std::make_unique<JoinOp>(std::move(left), std::move(right),
-                                      n.left_key, n.right_key, n.join_type,
-                                      n.join_strategy, options.profile, info,
-                                      ctx);
+    case LogicalOp::kJoin:
+      return LowerJoinChain(n, depth, parent, c);
+    case LogicalOp::kProject: {
+      OpCostInfo* cost = c.NewCost("Project", depth, parent);
+      int self = c.CostIndex(cost);
+      CCDB_ASSIGN_OR_RETURN(Lowered child,
+                            LowerNode(*n.children[0], depth + 1, self, c));
+      cost->estimated_rows = child.est_rows;
+      FillPrediction(cost, ModelPrediction{}, profile.lat);
+      Lowered out;
+      out.op = std::make_unique<TimedOperator>(
+          std::make_unique<ProjectOp>(std::move(child.op), n.columns), cost);
+      out.root_cost = self;
+      out.layout = n.columns;
+      out.est_rows = child.est_rows;
+      return out;
     }
-    case LogicalOp::kProject:
-      return std::make_unique<ProjectOp>(
-          LowerNode(*n.children[0], options, chunk_rows, ctx, joins,
-                    next_join, filters),
-          n.columns);
-    case LogicalOp::kGroupByAgg:
-      return std::make_unique<GroupByAggOp>(
-          LowerNode(*n.children[0], options, chunk_rows, ctx, joins,
-                    next_join, filters),
-          n.group_cols, n.aggs, ctx);
-    case LogicalOp::kOrderBy:
-      return std::make_unique<OrderByOp>(
-          LowerNode(*n.children[0], options, chunk_rows, ctx, joins,
-                    next_join, filters),
-          n.order_col, n.descending, ctx);
-    case LogicalOp::kLimit:
-      return std::make_unique<LimitOp>(
-          LowerNode(*n.children[0], options, chunk_rows, ctx, joins,
-                    next_join, filters),
-          n.limit, n.offset);
+    case LogicalOp::kGroupByAgg: {
+      std::string label = "GroupByAgg(";
+      for (size_t i = 0; i < n.group_cols.size(); ++i) {
+        if (i) label += ", ";
+        label += n.group_cols[i];
+      }
+      label += ")";
+      OpCostInfo* cost = c.NewCost(std::move(label), depth, parent);
+      int self = c.CostIndex(cost);
+      CCDB_ASSIGN_OR_RETURN(Lowered child,
+                            LowerNode(*n.children[0], depth + 1, self, c));
+      ColumnSourceMap src = CollectColumnSources(*n.children[0]);
+      std::vector<std::optional<ColumnStats>> key_stats;
+      for (const std::string& g : n.group_cols) {
+        key_stats.push_back(ResolveStats(src, g));
+      }
+      uint64_t est_groups = EstimateGroupCount(child.est_rows, key_stats);
+      cost->estimated_rows = est_groups;
+
+      // Distinct aggregated value columns (several aggregates over one
+      // column share an accumulator — mirror the operator).
+      std::vector<std::string> value_cols;
+      for (const AggSpec& a : n.aggs) {
+        if (a.func == AggFunc::kCount) continue;
+        if (std::find(value_cols.begin(), value_cols.end(), a.value_col) ==
+            value_cols.end()) {
+          value_cols.push_back(a.value_col);
+        }
+      }
+      double rows = static_cast<double>(child.est_rows);
+      ModelPrediction p;
+      for (const std::string& g : n.group_cols) {
+        p += ScanRowsPrediction(profile, rows, ColumnStride(src, g));
+      }
+      for (const std::string& v : value_cols) {
+        p += ScanRowsPrediction(profile, rows, ColumnStride(src, v));
+      }
+      // GroupAggTable footprint: flat keys + (sum, min, max) states + row
+      // counts + chains.
+      double group_bytes =
+          static_cast<double>(est_groups) *
+          (static_cast<double>(n.group_cols.size()) * 4.0 +
+           static_cast<double>(value_cols.size()) * sizeof(GroupAggState) +
+           16.0);
+      p += GroupProbePrediction(profile, rows, group_bytes);
+      FillPrediction(cost, p, profile.lat);
+
+      Lowered out;
+      out.op = std::make_unique<TimedOperator>(
+          std::make_unique<GroupByAggOp>(std::move(child.op), n.group_cols,
+                                         n.aggs, c.ctx,
+                                         static_cast<size_t>(est_groups)),
+          cost);
+      out.root_cost = self;
+      out.layout = n.group_cols;
+      for (const AggSpec& a : n.aggs) out.layout.push_back(a.output_name);
+      out.est_rows = est_groups;
+      return out;
+    }
+    case LogicalOp::kOrderBy: {
+      OpCostInfo* cost =
+          c.NewCost("OrderBy(" + n.order_col + ")", depth, parent);
+      int self = c.CostIndex(cost);
+      CCDB_ASSIGN_OR_RETURN(Lowered child,
+                            LowerNode(*n.children[0], depth + 1, self, c));
+      ColumnSourceMap src = CollectColumnSources(*n.children[0]);
+      cost->estimated_rows = child.est_rows;
+      double rows = static_cast<double>(child.est_rows);
+      ModelPrediction p =
+          ScanRowsPrediction(profile, rows, ColumnStride(src, n.order_col));
+      p.cpu_ns +=
+          rows * std::log2(std::max(rows, 2.0)) * profile.cost.wscan_ns;
+      FillPrediction(cost, p, profile.lat);
+      Lowered out;
+      out.op = std::make_unique<TimedOperator>(
+          std::make_unique<OrderByOp>(std::move(child.op), n.order_col,
+                                      n.descending, c.ctx),
+          cost);
+      out.root_cost = self;
+      out.layout = std::move(child.layout);
+      out.est_rows = child.est_rows;
+      return out;
+    }
+    case LogicalOp::kLimit: {
+      OpCostInfo* cost =
+          c.NewCost("Limit(" + std::to_string(n.limit) + ")", depth, parent);
+      int self = c.CostIndex(cost);
+      CCDB_ASSIGN_OR_RETURN(Lowered child,
+                            LowerNode(*n.children[0], depth + 1, self, c));
+      uint64_t avail =
+          child.est_rows > n.offset ? child.est_rows - n.offset : 0;
+      cost->estimated_rows = std::min<uint64_t>(avail, n.limit);
+      FillPrediction(cost, ModelPrediction{}, profile.lat);
+      Lowered out;
+      out.op = std::make_unique<TimedOperator>(
+          std::make_unique<LimitOp>(std::move(child.op), n.limit, n.offset),
+          cost);
+      out.root_cost = self;
+      out.layout = std::move(child.layout);
+      out.est_rows = cost->estimated_rows;
+      return out;
+    }
   }
-  return nullptr;
+  return Status::Internal("unreachable logical op");
 }
 
 }  // namespace
 
 StatusOr<PhysicalPlan> Planner::Lower(const LogicalPlan& plan) const {
-  auto joins = std::make_unique<std::vector<JoinNodeInfo>>(
-      CountJoins(plan.root()));
+  auto joins =
+      std::make_unique<std::vector<JoinNodeInfo>>(CountJoins(plan.root()));
+  auto costs =
+      std::make_unique<std::vector<OpCostInfo>>(CountNodes(plan.root()));
   // Resolve ExecOptions into the context the operators borrow: parallelism
   // 0 means every hardware thread; a null pool means the process-shared
   // one (only reached for, and lazily created at, parallelism > 1).
@@ -129,16 +689,52 @@ StatusOr<PhysicalPlan> Planner::Lower(const LogicalPlan& plan) const {
       chunk_rows = std::min(chunk_rows * ctx->parallelism, size_t{1} << 22);
     }
   }
-  size_t next_join = 0;
+  CostModel model(options_.profile);
+  LowerCtx lower_ctx;
+  lower_ctx.options = &options_;
+  lower_ctx.model = &model;
+  lower_ctx.chunk_rows = chunk_rows;
+  lower_ctx.ctx = ctx.get();
+  lower_ctx.joins = joins.get();
   std::vector<FilterNodeInfo> filters;
-  std::unique_ptr<Operator> root = LowerNode(plan.root(), options_, chunk_rows,
-                                             ctx.get(), joins.get(),
-                                             &next_join, &filters);
-  if (root == nullptr) {
+  lower_ctx.filters = &filters;
+  lower_ctx.costs = costs.get();
+
+  CCDB_ASSIGN_OR_RETURN(Lowered root,
+                        LowerNode(plan.root(), /*depth=*/0, /*parent=*/-1,
+                                  lower_ctx));
+  if (root.op == nullptr) {
     return Status::Internal("planner produced no operator tree");
   }
-  return PhysicalPlan(std::move(root), plan.output_schema(), std::move(joins),
-                      std::move(filters), std::move(ctx));
+
+  // Map the (possibly join-reordered) physical column order back onto the
+  // Build() output schema: each schema column takes the first unused
+  // physical column with its name.
+  const std::vector<PlanColumn>& schema = plan.output_schema();
+  if (root.layout.size() != schema.size()) {
+    return Status::Internal("planner layout does not match plan schema");
+  }
+  std::vector<size_t> output_map(schema.size());
+  std::vector<bool> taken(schema.size(), false);
+  for (size_t i = 0; i < schema.size(); ++i) {
+    bool found = false;
+    for (size_t j = 0; j < root.layout.size(); ++j) {
+      if (!taken[j] && root.layout[j] == schema[i].name) {
+        output_map[i] = j;
+        taken[j] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::Internal("planner layout misses output column '" +
+                              schema[i].name + "'");
+    }
+  }
+
+  return PhysicalPlan(std::move(root.op), schema, std::move(output_map),
+                      std::move(joins), std::move(filters),
+                      std::move(costs), std::move(ctx), options_.profile);
 }
 
 StatusOr<QueryResult> PhysicalPlan::Execute() {
@@ -162,7 +758,7 @@ StatusOr<QueryResult> PhysicalPlan::Execute() {
       return Status::Internal("operator output does not match plan schema");
     }
     for (size_t i = 0; i < chunk.cols.size(); ++i) {
-      Status st = chunk.AppendTo(i, &result.columns[i]);
+      Status st = chunk.AppendTo(output_map_[i], &result.columns[i]);
       if (!st.ok()) {
         root_->Close();
         return st;
@@ -175,23 +771,25 @@ StatusOr<QueryResult> PhysicalPlan::Execute() {
 
 std::string PhysicalPlan::ExplainJoins() const {
   std::string out;
-  char line[256];
+  char line[384];
   for (const JoinNodeInfo& j : *joins_) {
-    std::snprintf(line, sizeof(line),
-                  "join [%s] %s = %s: inner C=%llu -> %s%s, B=%d (%d passes), "
-                  "model %.2f ms, result %llu, %llu partition tasks on "
-                  "%zu workers, inner clustered %dx\n",
-                  JoinTypeName(j.join_type),
-                  j.left_key.c_str(), j.right_key.c_str(),
-                  (unsigned long long)j.inner_cardinality,
-                  JoinStrategyName(j.plan.strategy),
-                  j.plan.strategy == JoinStrategy::kBest
-                      ? (j.plan.use_radix_join ? " (radix)" : " (phash)")
-                      : "",
-                  j.plan.bits, j.plan.passes, j.plan.predicted_ms,
-                  (unsigned long long)j.stats.result_count,
-                  (unsigned long long)j.partition_tasks, j.parallelism,
-                  j.inner_cluster_runs);
+    std::snprintf(
+        line, sizeof(line),
+        "join [%s] %s = %s: est C=%llu, inner C=%llu -> %s%s, B=%d "
+        "(%d passes), model %.2f ms, est result %llu, result %llu, "
+        "%llu partition tasks on %zu workers, inner clustered %dx%s\n",
+        JoinTypeName(j.join_type), j.left_key.c_str(), j.right_key.c_str(),
+        (unsigned long long)j.estimated_inner_cardinality,
+        (unsigned long long)j.inner_cardinality,
+        JoinStrategyName(j.plan.strategy),
+        j.plan.strategy == JoinStrategy::kBest
+            ? (j.plan.use_radix_join ? " (radix)" : " (phash)")
+            : "",
+        j.plan.bits, j.plan.passes, j.plan.predicted_ms,
+        (unsigned long long)j.estimated_result_rows,
+        (unsigned long long)j.stats.result_count,
+        (unsigned long long)j.partition_tasks, j.parallelism,
+        j.inner_cluster_runs, j.reordered ? " (reordered)" : "");
     out += line;
   }
   return out;
@@ -199,8 +797,12 @@ std::string PhysicalPlan::ExplainJoins() const {
 
 std::string PhysicalPlan::ExplainFilters() const {
   std::string out;
+  char buf[64];
   for (const FilterNodeInfo& f : filters_) {
     out.append("filter [").append(f.node).append("] ").append(f.normalized);
+    std::snprintf(buf, sizeof(buf), " (est selectivity %.4f)",
+                  f.estimated_selectivity);
+    out.append(buf);
     out.push_back('\n');
     if (f.conjuncts.empty()) continue;
     out.append("  eval order: ");
@@ -210,6 +812,64 @@ std::string PhysicalPlan::ExplainFilters() const {
       out.append(" [").append(ConjunctRankName(f.ranks[i])).append("]");
     }
     out.push_back('\n');
+  }
+  return out;
+}
+
+std::vector<double> PhysicalPlan::MeasuredExclusiveNs() const {
+  const std::vector<OpCostInfo>& costs = *costs_;
+  std::vector<double> exclusive_ns(costs.size());
+  for (size_t i = 0; i < costs.size(); ++i) {
+    exclusive_ns[i] = costs[i].measured_inclusive_ns;
+  }
+  for (size_t i = 0; i < costs.size(); ++i) {
+    if (costs[i].parent >= 0) {
+      exclusive_ns[static_cast<size_t>(costs[i].parent)] -=
+          costs[i].measured_inclusive_ns;
+    }
+  }
+  for (double& ns : exclusive_ns) ns = std::max(ns, 0.0);
+  return exclusive_ns;
+}
+
+std::string PhysicalPlan::ExplainCosts() const {
+  const std::vector<OpCostInfo>& costs = *costs_;
+  std::vector<double> exclusive_ns = MeasuredExclusiveNs();
+  std::string out =
+      "operator costs (predicted from estimates | measured):\n"
+      "  rows est/actual, time pred/meas ms, predicted Mcycles + miss "
+      "events (L1/L2/TLB)\n";
+  char line[512];
+  double cycle_ns = profile_.cycle_ns();
+  // Print as a tree: pre-order over the parent links (join-chain lowering
+  // allocates spine records out of tree order, so derive the order).
+  std::vector<std::vector<size_t>> children(costs.size());
+  std::vector<size_t> stack;
+  for (size_t i = costs.size(); i-- > 0;) {
+    if (costs[i].parent >= 0) {
+      children[static_cast<size_t>(costs[i].parent)].push_back(i);
+    } else {
+      stack.push_back(i);
+    }
+  }
+  while (!stack.empty()) {
+    size_t i = stack.back();
+    stack.pop_back();
+    // children[i] was filled in reverse allocation order, which is exactly
+    // the push order a LIFO needs to pop them in allocation order.
+    for (size_t ch : children[i]) stack.push_back(ch);
+    const OpCostInfo& op = costs[i];
+    double meas_ms = exclusive_ns[i] * 1e-6;
+    std::snprintf(line, sizeof(line),
+                  "%*s%-40s rows %llu/%llu  pred %.3f ms  meas %.3f ms  "
+                  "%.2f Mcycles  L1 %.0f  L2 %.0f  TLB %.0f\n",
+                  op.depth * 2, "", Truncate(op.label, 40).c_str(),
+                  (unsigned long long)op.estimated_rows,
+                  (unsigned long long)op.actual_rows, op.predicted_ns * 1e-6,
+                  meas_ms, op.predicted_cpu_ns / cycle_ns * 1e-6,
+                  op.predicted_l1_misses, op.predicted_l2_misses,
+                  op.predicted_tlb_misses);
+    out += line;
   }
   return out;
 }

@@ -1,9 +1,17 @@
 // Planner: lowers a validated LogicalPlan to a tree of physical operators
-// (exec/operator.h), consulting the memory-access cost model per join node
-// — each JoinOp gets its JoinPlan from PlanJoin() at the *actual* inner
-// cardinality observed at Open() time, so a selection below a join changes
-// the strategy the model picks for that node (§3.4.4 applied per operator
-// instead of per call site).
+// (exec/operator.h) under an estimate-decide-verify discipline:
+//
+//  * estimate — column statistics (model/stats.h) feed the cardinality
+//    estimator (model/estimator.h) for every node: selectivities, join
+//    output sizes, grouped cardinalities;
+//  * decide — commutative inner-join chains are reordered greedily by
+//    estimated intermediate size, every operator gets a §2/§3.4 cost
+//    prediction at its *estimated* cardinality, and pipeline breakers are
+//    pre-sized from the estimates (group tables, join match buffers);
+//  * verify — each JoinOp still asks the cost model for its JoinPlan at
+//    the *actual* drained inner cardinality at Open() time (§3.4.4 per
+//    operator), and Execute() records measured wall time and row counts
+//    next to every prediction (ExplainCosts()).
 #ifndef CCDB_MODEL_PLANNER_H_
 #define CCDB_MODEL_PLANNER_H_
 
@@ -23,6 +31,10 @@ struct PlannerOptions {
   /// Execution knobs (exec/exec_context.h): scan chunking and the
   /// parallelism the lowered operators run with.
   ExecOptions exec;
+  /// Reorder commutative inner-join chains by estimated intermediate
+  /// cardinality before lowering (visible in ExplainJoins()). Row order of
+  /// the result may differ from the written order; row content never does.
+  bool reorder_joins = true;
 };
 
 /// The cache-sized scan chunk used when ExecOptions::scan_chunk_rows is 0:
@@ -47,6 +59,31 @@ struct FilterNodeInfo {
   std::string normalized;       // NNF rendering, conjuncts in eval order
   std::vector<std::string> conjuncts;  // one entry per fused pass, in order
   std::vector<int> ranks;              // ConjunctRank per conjunct
+  double estimated_selectivity = 1.0;  // estimator's take on the whole expr
+};
+
+/// Predicted-vs-measured record for one physical operator. Predictions are
+/// made at Lower() time from the *estimated* input cardinality using the
+/// paper's models (§2 scan iterations for scans/selects/aggregates, §3.4
+/// cluster+join for joins); actuals are recorded while Execute() runs.
+/// `measured_inclusive_ns` includes the operator's whole subtree — the
+/// exclusive time reported by ExplainCosts() subtracts the children.
+struct OpCostInfo {
+  std::string label;  // e.g. "Join(fk = id)" or "Select(v in [0, 99])"
+  int depth = 0;      // root operator = 0
+  int parent = -1;    // index into PhysicalPlan::costs(); -1 for the root
+
+  // estimate + prediction (before execution):
+  uint64_t estimated_rows = 0;  // output rows
+  double predicted_cpu_ns = 0;
+  double predicted_l1_misses = 0;
+  double predicted_l2_misses = 0;
+  double predicted_tlb_misses = 0;
+  double predicted_ns = 0;  // cpu + miss events under the profile latencies
+
+  // measured (after execution):
+  uint64_t actual_rows = 0;
+  double measured_inclusive_ns = 0;
 };
 
 /// An executable physical plan. Move-only; run with Execute(). The logical
@@ -59,10 +96,11 @@ class PhysicalPlan {
   /// Open/Next/Close loop over the operator tree, materializing the output.
   StatusOr<QueryResult> Execute();
 
-  /// Per-join diagnostics: inner cardinality, the JoinPlan the cost model
-  /// chose, and accumulated kernel timings. Populated during Execute()
-  /// (join plans are resolved at Open() time); ordered left-to-right,
-  /// bottom-up over the logical tree.
+  /// Per-join diagnostics: estimated vs actual inner cardinality, the
+  /// JoinPlan the cost model chose, and accumulated kernel timings.
+  /// Estimates are filled at Lower() time, actuals during Execute() (join
+  /// plans are resolved at Open()); ordered left-to-right, bottom-up over
+  /// the *lowered* tree — after reordering, the order joins actually run.
   const std::vector<JoinNodeInfo>& joins() const { return *joins_; }
 
   /// Human-readable summary of the join decisions (after Execute()).
@@ -78,6 +116,24 @@ class PhysicalPlan {
   /// selectivity-ordered evaluation order.
   std::string ExplainFilters() const;
 
+  /// Per-operator predicted-vs-measured cost records. Indexes are stable
+  /// but NOT ordered parents-first (join-chain lowering allocates the
+  /// spine after its base subtree); traverse the tree strictly via
+  /// OpCostInfo::parent, as ExplainCosts() does.
+  const std::vector<OpCostInfo>& costs() const { return *costs_; }
+
+  /// Measured *exclusive* wall nanoseconds per cost record (inclusive time
+  /// minus the children's inclusive time, clamped at 0) — the number
+  /// ExplainCosts() prints next to each prediction, for callers (benches)
+  /// that want it machine-readable. Indexed like costs().
+  std::vector<double> MeasuredExclusiveNs() const;
+
+  /// Whole-plan cost report: one line per operator with estimated vs
+  /// actual rows and predicted (cycles + miss events -> ms) vs measured
+  /// (exclusive wall) time. Predictions come from the estimates alone;
+  /// run Execute() first to populate the measured side.
+  std::string ExplainCosts() const;
+
   /// The resolved execution context the operators run with.
   const ExecContext& context() const { return *ctx_; }
 
@@ -85,28 +141,39 @@ class PhysicalPlan {
   friend class Planner;
   PhysicalPlan(std::unique_ptr<Operator> root,
                std::vector<PlanColumn> output_schema,
+               std::vector<size_t> output_map,
                std::unique_ptr<std::vector<JoinNodeInfo>> joins,
                std::vector<FilterNodeInfo> filters,
-               std::unique_ptr<ExecContext> ctx)
+               std::unique_ptr<std::vector<OpCostInfo>> costs,
+               std::unique_ptr<ExecContext> ctx, MachineProfile profile)
       : root_(std::move(root)),
         output_schema_(std::move(output_schema)),
+        output_map_(std::move(output_map)),
         joins_(std::move(joins)),
         filters_(std::move(filters)),
-        ctx_(std::move(ctx)) {}
+        costs_(std::move(costs)),
+        ctx_(std::move(ctx)),
+        profile_(std::move(profile)) {}
 
   std::unique_ptr<Operator> root_;
   std::vector<PlanColumn> output_schema_;
+  /// Chunk column index feeding output column i. Join reordering permutes
+  /// the physical column order; this maps it back to the Build() schema.
+  std::vector<size_t> output_map_;
   std::unique_ptr<std::vector<JoinNodeInfo>> joins_;  // stable addresses
   std::vector<FilterNodeInfo> filters_;
+  std::unique_ptr<std::vector<OpCostInfo>> costs_;    // stable addresses
   std::unique_ptr<ExecContext> ctx_;                  // borrowed by operators
+  MachineProfile profile_;
 };
 
 class Planner {
  public:
   explicit Planner(PlannerOptions options = {}) : options_(options) {}
 
-  /// Lowers logical nodes 1:1 to physical operators. The returned plan
-  /// borrows the logical plan's tables (not the LogicalPlan itself).
+  /// Lowers logical nodes to physical operators (1:1 except join-chain
+  /// reordering). The returned plan borrows the logical plan's tables (not
+  /// the LogicalPlan itself).
   StatusOr<PhysicalPlan> Lower(const LogicalPlan& plan) const;
 
  private:

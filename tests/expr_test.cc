@@ -570,6 +570,93 @@ TEST(HavingTest, EveryAggKindFilters) {
   }
 }
 
+TEST(HavingTest, I64LiteralsCompareAboveU32Range) {
+  // Regression: filter literals used to be u32/f64/string only, so a
+  // Having on an i64 sum could not compare against constants above 2^32 —
+  // this query was inexpressible before Literal::I64 (long long overloads).
+  auto rs = RowStore::Make({{"g", FieldType::kU32}, {"v", FieldType::kU32}},
+                           8);
+  ASSERT_TRUE(rs.ok());
+  // Group 0 sums to 8e9 (past 2^32 = 4294967296); groups 1 and 2 stay tiny.
+  const uint32_t kBig = 4000000000u;
+  struct {
+    uint32_t g, v;
+  } rows[] = {{0, kBig}, {0, kBig}, {1, 5}, {1, 6}, {2, 10}, {2, 20}};
+  for (auto [g, v] : rows) {
+    size_t r = *rs->AppendRow();
+    rs->SetU32(r, 0, g);
+    rs->SetU32(r, 1, v);
+  }
+  Table t = *Table::FromRowStore(*rs);
+
+  auto run = [&](Expr having) {
+    auto plan = QueryBuilder(t)
+                    .GroupByAgg({"g"}, {Agg::Sum("v")})
+                    .Having(std::move(having))
+                    .OrderBy("g")
+                    .Build();
+    CCDB_CHECK(plan.ok());
+    return RunPlan(*plan, 1);
+  };
+
+  // Only group 0's sum exceeds 5e9.
+  QueryResult above = run(Col("sum") > 5'000'000'000LL);
+  ASSERT_EQ(above.num_rows(), 1u);
+  EXPECT_EQ(above.columns[0].u32_values[0], 0u);
+  EXPECT_EQ(above.columns[1].i64_values[0], 2 * (int64_t)kBig);
+
+  QueryResult below = run(Col("sum") <= 5'000'000'000LL);
+  ASSERT_EQ(below.num_rows(), 2u);
+  EXPECT_EQ(below.columns[0].u32_values[0], 1u);
+  EXPECT_EQ(below.columns[0].u32_values[1], 2u);
+
+  QueryResult between = run(Between(Col("sum"), 5'000'000'000LL,
+                                    9'000'000'000LL));
+  ASSERT_EQ(between.num_rows(), 1u);
+  EXPECT_EQ(between.columns[0].u32_values[0], 0u);
+
+  // An i64 literal on a plain u32 column evaluates widened: v < 5e9 holds
+  // for every u32 value (a u32 narrowing would have wrapped to 705032704).
+  auto all = QueryBuilder(t).Filter(Col("v") < 5'000'000'000LL).Build();
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_EQ(RunPlan(*all, 1).num_rows(), 6u);
+
+  // Runtime-computed thresholds: int64_t/uint64_t/size_t *variables* (and
+  // mixed-type Between bounds) must resolve without an explicit cast —
+  // these were ambiguous among the uint32_t/int/long long/double
+  // overloads when only literal suffixes were supported.
+  int64_t threshold = 5'000'000'000;
+  QueryResult via_var = run(Col("sum") > threshold);
+  ASSERT_EQ(via_var.num_rows(), 1u);
+  EXPECT_EQ(via_var.columns[0].u32_values[0], 0u);
+  uint64_t uthreshold = 5'000'000'000ull;
+  EXPECT_EQ(run(Col("sum") > uthreshold).num_rows(), 1u);
+  size_t small = 40;
+  EXPECT_EQ(run(Col("sum") < small).num_rows(), 2u);  // groups 1 and 2
+  EXPECT_EQ(run(Between(Col("sum"), 0, 9'000'000'000LL)).num_rows(), 3u);
+  EXPECT_EQ(run(Between(Col("sum"), threshold, int64_t{9'000'000'000}))
+                .num_rows(),
+            1u);
+
+  // Type checking still applies: i64 literals are integral-only.
+  auto rs2 = RowStore::Make({{"f", FieldType::kF64}}, 1);
+  ASSERT_TRUE(rs2.ok());
+  Table ft = *Table::FromRowStore(*rs2);
+  EXPECT_EQ(QueryBuilder(ft).Filter(Col("f") > 5'000'000'000LL).Build()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Inverted i64 ranges are rejected like u32/f64 ones.
+  EXPECT_EQ(QueryBuilder(t)
+                .GroupByAgg({"g"}, {Agg::Sum("v")})
+                .Having(Between(Col("sum"), 9'000'000'000LL,
+                                5'000'000'000LL))
+                .Build()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
 // --- explain and end-to-end determinism --------------------------------------
 
 TEST(ExplainFiltersTest, ReportsNormalizedTreeAndOrder) {

@@ -333,6 +333,41 @@ TEST(LimitZeroTest, EndToEndLimitZeroKeepsSchema) {
 
 // --- satellite regression: aggregate overflow --------------------------------
 
+TEST(GroupAggTableTest, CapacityHintMakesGrowthRehashFree) {
+  // With a hint covering the final group count, growth must never rebuild
+  // the bucket array; the hint-less table (1024 buckets, 4x-load rehash)
+  // must rehash on the same input — and both must agree on the result.
+  constexpr size_t kGroups = 20000;
+  GroupAggTable hinted(/*key_width=*/1, /*num_values=*/1, kGroups);
+  GroupAggTable unhinted(/*key_width=*/1, /*num_values=*/1);
+  for (uint32_t rep = 0; rep < 2; ++rep) {
+    for (uint32_t g = 0; g < kGroups; ++g) {
+      uint32_t key = g;
+      uint32_t value = g % 97;
+      hinted.Add(&key, &value);
+      unhinted.Add(&key, &value);
+    }
+  }
+  EXPECT_EQ(hinted.num_groups(), kGroups);
+  EXPECT_EQ(unhinted.num_groups(), kGroups);
+  EXPECT_EQ(hinted.rehash_count(), 0u);
+  EXPECT_GT(unhinted.rehash_count(), 0u);
+  for (size_t g = 0; g < kGroups; ++g) {
+    ASSERT_EQ(hinted.key(g, 0), unhinted.key(g, 0));
+    ASSERT_EQ(hinted.group_rows(g), unhinted.group_rows(g));
+    ASSERT_EQ(hinted.state(g, 0).sum, unhinted.state(g, 0).sum);
+  }
+  // An 8x-low hint still overflows into a rehash — the hint is a sizing
+  // contract, not a cap.
+  GroupAggTable low_hint(1, 1, kGroups / 64);
+  for (uint32_t g = 0; g < kGroups; ++g) {
+    uint32_t key = g, value = 1;
+    low_hint.Add(&key, &value);
+  }
+  EXPECT_EQ(low_hint.num_groups(), kGroups);
+  EXPECT_GT(low_hint.rehash_count(), 0u);
+}
+
 TEST(AggregateOverflowTest, CheckedNarrowingSurfacesOutOfRange) {
   constexpr uint64_t kMax = static_cast<uint64_t>(
       std::numeric_limits<int64_t>::max());
