@@ -38,9 +38,12 @@ fi
 if [ "$MODE" = "tsan" ]; then
   BUILD_DIR="${1:-build-tsan}"
   echo "== configure (TSan) =="
+  # Bench stays ON here: the concurrent_serving smoke run below is the TSan
+  # pass over the whole serving stack (server threads + plan cache + morsel
+  # yielding on the shared pool).
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-O1 -g -fsanitize=thread" \
-    -DCCDB_BUILD_BENCH=OFF -DCCDB_BUILD_EXAMPLES=OFF
+    -DCCDB_BUILD_BENCH=ON -DCCDB_BUILD_EXAMPLES=OFF
   echo "== build =="
   cmake --build "$BUILD_DIR" -j "$JOBS"
   echo "== parallel executor tests under TSan =="
@@ -48,10 +51,14 @@ if [ "$MODE" = "tsan" ]; then
   # the parallel multi-key aggregate, outer/anti/semi join, and
   # OR-expression union paths) at parallelism {1,2,8}; stats_test runs the
   # reordered join chains at parallelism {1,2,8} and the shared lazy stats
-  # cache; thread_pool_test hammers the pool itself. TSan is the real
-  # reviewer for all of them.
+  # cache; thread_pool_test hammers the pool itself; serve_test and
+  # concurrent_exec_test drive the serving front end, the stats-vs-append
+  # race, and two concurrent plans on one pool. TSan is the real reviewer
+  # for all of them.
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
-    -R 'plan_test|rich_algebra_test|expr_test|exec_test|thread_pool_test|stats_test'
+    -R 'plan_test|rich_algebra_test|expr_test|exec_test|thread_pool_test|stats_test|serve_test|concurrent_exec_test'
+  echo "== concurrent serving smoke under TSan =="
+  "$BUILD_DIR/concurrent_serving" --smoke
   echo "OK (tsan)"
   exit 0
 fi
@@ -77,6 +84,10 @@ echo "== bench artifact (BENCH_ci.json) =="
 # Parallel-join/group-by micro numbers + radix-cluster smoke, written as
 # JSON so CI can upload the perf trajectory per commit.
 "$BUILD_DIR/parallel_exec" --json="$BUILD_DIR/BENCH_ci.json"
+# Serving-layer numbers (per-class p50/p99, qps, cache hit rate, fairness
+# A/B) merged into the same artifact; the run itself asserts that fair
+# dispatch beats FIFO on point-query tail latency.
+"$BUILD_DIR/concurrent_serving" --json-merge="$BUILD_DIR/BENCH_ci.json"
 
 echo "== examples smoke =="
 "$BUILD_DIR/mil_pipeline" > /dev/null

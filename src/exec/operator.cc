@@ -31,6 +31,30 @@ size_t CtxParallelism(const ExecContext* ctx) {
   return ctx == nullptr ? 1 : ctx->parallelism;
 }
 
+/// ParallelFor wired to the context's ScheduleContext: every morsel polls
+/// cancellation/deadline before running, and worker drives yield their pool
+/// slot after a full quantum so concurrently executing plans interleave on
+/// the shared pool. With no sched attached this degenerates to plain
+/// ParallelFor (hooks stay null — zero overhead on the single-query path).
+Status ExecParallelFor(const ExecContext* ctx, size_t shards,
+                       const std::function<Status(size_t)>& body) {
+  ScheduleContext* sched = ctx == nullptr ? nullptr : ctx->sched;
+  if (sched == nullptr) {
+    return ParallelFor(CtxPool(ctx), CtxParallelism(ctx), shards, body);
+  }
+  ParallelForHooks hooks;
+  hooks.before_morsel = [sched] { return sched->Check(); };
+  hooks.yield_after_morsel = [sched] { return sched->YieldAfterMorsel(); };
+  return ParallelFor(CtxPool(ctx), CtxParallelism(ctx), shards, body, &hooks);
+}
+
+/// Morsel-boundary poll for serial stretches of an operator (chunk
+/// pipelining, single-shard paths) that never enter ExecParallelFor.
+Status SchedCheck(const ExecContext* ctx) {
+  if (ctx == nullptr || ctx->sched == nullptr) return Status::Ok();
+  return ctx->sched->Check();
+}
+
 }  // namespace
 }  // namespace ccdb
 
@@ -871,14 +895,12 @@ StatusOr<std::vector<uint32_t>> EvalLeafFull(const Chunk& in, const Expr& leaf,
   // Morsel-parallel candidate evaluation: shard s fills slot s, and the
   // ordered concatenation equals the serial result exactly.
   std::vector<std::vector<uint32_t>> parts(shards);
-  CCDB_RETURN_IF_ERROR(ParallelFor(
-      ctx->pool, ctx->parallelism, shards, [&](size_t s) -> Status {
-        size_t lo = in.rows * s / shards;
-        size_t hi = in.rows * (s + 1) / shards;
-        CCDB_ASSIGN_OR_RETURN(parts[s],
-                              EvalLeafLazyRange(in, leaf, ci, lo, hi));
-        return Status::Ok();
-      }));
+  CCDB_RETURN_IF_ERROR(ExecParallelFor(ctx, shards, [&](size_t s) -> Status {
+    size_t lo = in.rows * s / shards;
+    size_t hi = in.rows * (s + 1) / shards;
+    CCDB_ASSIGN_OR_RETURN(parts[s], EvalLeafLazyRange(in, leaf, ci, lo, hi));
+    return Status::Ok();
+  }));
   size_t total = 0;
   for (const auto& p : parts) total += p.size();
   std::vector<uint32_t> positions;
@@ -950,15 +972,13 @@ StatusOr<std::vector<uint32_t>> NarrowLeaf(const Chunk& in, const Expr& leaf,
     return NarrowLeafSlice(in, leaf, ci, positions, 0, positions.size());
   }
   std::vector<std::vector<uint32_t>> parts(shards);
-  CCDB_RETURN_IF_ERROR(ParallelFor(
-      ctx->pool, ctx->parallelism, shards, [&](size_t s) -> Status {
-        size_t lo = positions.size() * s / shards;
-        size_t hi = positions.size() * (s + 1) / shards;
-        CCDB_ASSIGN_OR_RETURN(parts[s],
-                              NarrowLeafSlice(in, leaf, ci, positions, lo,
-                                              hi));
-        return Status::Ok();
-      }));
+  CCDB_RETURN_IF_ERROR(ExecParallelFor(ctx, shards, [&](size_t s) -> Status {
+    size_t lo = positions.size() * s / shards;
+    size_t hi = positions.size() * (s + 1) / shards;
+    CCDB_ASSIGN_OR_RETURN(
+        parts[s], NarrowLeafSlice(in, leaf, ci, positions, lo, hi));
+    return Status::Ok();
+  }));
   size_t total = 0;
   for (const auto& p : parts) total += p.size();
   std::vector<uint32_t> out;
@@ -1086,6 +1106,7 @@ Status JoinOp::Open() {
   // cardinality: the per-node cost-model consultation.
   std::vector<Chunk> inner_chunks;
   for (;;) {
+    CCDB_RETURN_IF_ERROR(SchedCheck(ctx_));
     Chunk c;
     CCDB_ASSIGN_OR_RETURN(bool more, right_->Next(&c));
     if (!more) break;
@@ -1236,19 +1257,18 @@ StatusOr<std::vector<Bun>> JoinOp::ProbeSimpleHash(
     return out;
   }
   std::vector<std::vector<Bun>> parts(shards);
-  CCDB_RETURN_IF_ERROR(ParallelFor(
-      ctx_->pool, ctx_->parallelism, shards, [&](size_t s) -> Status {
-        size_t lo = probe.size() * s / shards;
-        size_t hi = probe.size() * (s + 1) / shards;
-        DirectMemory mem;
-        for (size_t i = lo; i < hi; ++i) {
-          Bun lt = probe[i];
-          inner_table_->Probe(lt, mem, [&](Bun rt) {
-            parts[s].push_back({lt.head, rt.head});
-          });
-        }
-        return Status::Ok();
-      }));
+  CCDB_RETURN_IF_ERROR(ExecParallelFor(ctx_, shards, [&](size_t s) -> Status {
+    size_t lo = probe.size() * s / shards;
+    size_t hi = probe.size() * (s + 1) / shards;
+    DirectMemory mem;
+    for (size_t i = lo; i < hi; ++i) {
+      Bun lt = probe[i];
+      inner_table_->Probe(lt, mem, [&](Bun rt) {
+        parts[s].push_back({lt.head, rt.head});
+      });
+    }
+    return Status::Ok();
+  }));
   return ConcatBuns(std::move(parts));
 }
 
@@ -1279,9 +1299,8 @@ StatusOr<std::vector<Bun>> JoinOp::JoinClusteredChunk(
 
   std::vector<std::vector<Bun>> results(parts.size());
   const bool radix = plan_.use_radix_join;
-  CCDB_RETURN_IF_ERROR(ParallelFor(
-      CtxPool(ctx_), CtxParallelism(ctx_), parts.size(),
-      [&](size_t p) -> Status {
+  CCDB_RETURN_IF_ERROR(ExecParallelFor(
+      ctx_, parts.size(), [&](size_t p) -> Status {
         const Part& pt = parts[p];
         std::vector<Bun>& out = results[p];
         if (radix) {
@@ -1625,6 +1644,10 @@ StatusOr<bool> GroupByAggOp::Next(Chunk* out) {
   std::vector<size_t> dict_cols(kw, 0);
 
   for (;;) {
+    // Blocking consume loop: the plan's per-chunk deadline/cancel poll in
+    // PhysicalPlan::Execute never fires while we drain the child, so poll
+    // here (serial shards skip ExecParallelFor's per-morsel check too).
+    CCDB_RETURN_IF_ERROR(SchedCheck(ctx_));
     Chunk in;
     CCDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
     if (!more) break;
@@ -1657,8 +1680,8 @@ StatusOr<bool> GroupByAggOp::Next(Chunk* out) {
     if (shards <= 1) {
       add_range(partials[0], 0, n);
     } else {
-      CCDB_RETURN_IF_ERROR(ParallelFor(
-          ctx_->pool, ctx_->parallelism, shards, [&](size_t s) -> Status {
+      CCDB_RETURN_IF_ERROR(
+          ExecParallelFor(ctx_, shards, [&](size_t s) -> Status {
             add_range(partials[s], n * s / shards, n * (s + 1) / shards);
             return Status::Ok();
           }));
@@ -1765,6 +1788,7 @@ StatusOr<bool> OrderByOp::Next(Chunk* out) {
   done_ = true;
   std::vector<Chunk> chunks;
   for (;;) {
+    CCDB_RETURN_IF_ERROR(SchedCheck(ctx_));
     Chunk c;
     CCDB_ASSIGN_OR_RETURN(bool more, child_->Next(&c));
     if (!more) break;
@@ -1794,8 +1818,8 @@ StatusOr<bool> OrderByOp::Next(Chunk* out) {
     for (size_t s = 0; s <= shards; ++s) {
       bounds[s] = positions.size() * s / shards;
     }
-    CCDB_RETURN_IF_ERROR(ParallelFor(
-        ctx_->pool, ctx_->parallelism, shards, [&](size_t s) -> Status {
+    CCDB_RETURN_IF_ERROR(
+        ExecParallelFor(ctx_, shards, [&](size_t s) -> Status {
           std::stable_sort(positions.begin() + bounds[s],
                            positions.begin() + bounds[s + 1], cmp);
           return Status::Ok();

@@ -50,11 +50,10 @@ size_t Table::MemoryBytes() const {
   return total;
 }
 
-StatusOr<ColumnStats> Table::stats(size_t i) const {
+StatusOr<ColumnStats> Table::StatsLocked(size_t i) const {
   if (i >= num_columns()) {
     return Status::InvalidArgument("stats: column index out of range");
   }
-  std::lock_guard<std::mutex> lock(stats_->mu);
   if (stats_->cols.size() != num_columns()) {
     stats_->cols.assign(num_columns(), std::nullopt);
   }
@@ -65,12 +64,30 @@ StatusOr<ColumnStats> Table::stats(size_t i) const {
   return *stats_->cols[i];
 }
 
+// Everything — the schema lookup, the bounds check, the fill — happens
+// under the cache mutex, which AppendRows holds across its whole
+// rebuild-and-swap. A stats call therefore always reads a consistent
+// (pre- or post-append) table, never a half-replaced one.
+StatusOr<ColumnStats> Table::stats(size_t i) const {
+  std::lock_guard<std::mutex> lock(stats_->mu);
+  return StatsLocked(i);
+}
+
 StatusOr<ColumnStats> Table::stats(const std::string& col) const {
+  std::lock_guard<std::mutex> lock(stats_->mu);
   CCDB_ASSIGN_OR_RETURN(size_t i, Col(col));
-  return stats(i);
+  return StatsLocked(i);
 }
 
 Status Table::AppendRows(const RowStore& extra) {
+  // Hold the stats mutex for the whole read-rebuild-swap: concurrent lazy
+  // stats fills (which scan the old BATs under the same mutex) serialize
+  // against the rebuild instead of racing it, and the cache object itself
+  // is kept — cleared in place, not replaced — so a blocked stats() call
+  // resumes against the invalidated cache, never a dangling one. The local
+  // shared_ptr copy keeps the cache alive across the member swap below.
+  std::shared_ptr<StatsCache> cache = stats_;
+  std::lock_guard<std::mutex> lock(cache->mu);
   if (extra.fields().size() != schema_.num_fields()) {
     return Status::InvalidArgument("AppendRows: field count mismatch");
   }
@@ -128,7 +145,15 @@ Status Table::AppendRows(const RowStore& extra) {
                 extra.record_width());
   }
   CCDB_ASSIGN_OR_RETURN(Table rebuilt, FromRowStore(combined));
-  *this = std::move(rebuilt);  // fresh (empty) stats cache: the invalidation
+  // Field-wise swap instead of *this = move(rebuilt): that would replace
+  // stats_ and drop the mutex we are holding. Clearing `cols` in place is
+  // the invalidation; the version bump is the external signal (plan cache).
+  schema_ = std::move(rebuilt.schema_);
+  rows_ = rebuilt.rows_;
+  bats_ = std::move(rebuilt.bats_);
+  dicts_ = std::move(rebuilt.dicts_);
+  cache->cols.assign(schema_.num_fields(), std::nullopt);
+  cache->data_version.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
 

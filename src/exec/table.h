@@ -7,6 +7,7 @@
 #ifndef CCDB_EXEC_TABLE_H_
 #define CCDB_EXEC_TABLE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -61,6 +62,15 @@ class Table {
   /// decomposed columns (re-encoding string domains), so plans holding lazy
   /// references into the old BATs must not be executing concurrently.
   Status AppendRows(const RowStore& extra);
+
+  /// Monotonic ingest counter, bumped by every AppendRows. It lives in the
+  /// (address-stable) stats cache, so a reader holding the table pointer
+  /// observes the bump even across the rebuild — this is the invalidation
+  /// signal the serving layer's plan cache keys on. Copies restart at 0
+  /// (they also get a fresh stats cache).
+  uint64_t data_version() const {
+    return stats_->data_version.load(std::memory_order_acquire);
+  }
 
   // --- operators (positional OIDs, void-head convention) -------------------
 
@@ -119,10 +129,16 @@ class Table {
 
  private:
   /// Lazily filled per-column stats, shared_ptr so the table stays movable;
-  /// all access goes through the mutex.
+  /// all access goes through the mutex. The object is address-stable for
+  /// the table's lifetime: AppendRows clears `cols` in place (holding `mu`
+  /// for its whole rebuild, which also serializes it against concurrent
+  /// lazy fills reading the old BATs) rather than swapping in a fresh
+  /// cache, so a stats() call blocked on `mu` never dereferences a
+  /// destroyed cache.
   struct StatsCache {
     std::mutex mu;
     std::vector<std::optional<ColumnStats>> cols;
+    std::atomic<uint64_t> data_version{0};
   };
 
   TableSchema schema_;
@@ -134,6 +150,9 @@ class Table {
   StatusOr<size_t> Col(const std::string& name) const {
     return schema_.FieldIndex(name);
   }
+
+  /// Pre: stats_->mu held. The lazy fill behind both stats() overloads.
+  StatusOr<ColumnStats> StatsLocked(size_t i) const;
 };
 
 }  // namespace ccdb

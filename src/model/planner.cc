@@ -679,6 +679,7 @@ StatusOr<PhysicalPlan> Planner::Lower(const LogicalPlan& plan) const {
   if (ctx->pool == nullptr && ctx->parallelism > 1) {
     ctx->pool = &ThreadPool::Shared();
   }
+  ctx->sched = options_.exec.sched;
   size_t chunk_rows = options_.exec.scan_chunk_rows;
   if (chunk_rows == 0) {
     // Auto chunk: one cache-sized morsel per worker per chunk, so the
@@ -746,6 +747,18 @@ StatusOr<QueryResult> PhysicalPlan::Execute() {
   }
   CCDB_RETURN_IF_ERROR(root_->Open());
   for (;;) {
+    // Per-chunk deadline/cancellation poll. Operators also poll at morsel
+    // boundaries (ExecParallelFor hooks, blocking consume loops); either
+    // way a non-ok Status funnels through the error path below, which
+    // closes the root — and Close() recurses, so every operator releases
+    // its prepared state even when a cancel lands mid-pipeline.
+    if (ctx_->sched != nullptr) {
+      Status st = ctx_->sched->Check();
+      if (!st.ok()) {
+        root_->Close();
+        return st;
+      }
+    }
     Chunk chunk;
     auto more = root_->Next(&chunk);
     if (!more.ok()) {

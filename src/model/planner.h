@@ -137,6 +137,13 @@ class PhysicalPlan {
   /// The resolved execution context the operators run with.
   const ExecContext& context() const { return *ctx_; }
 
+  /// Attaches (or detaches, with null) per-query scheduling state —
+  /// deadline, cancellation, fair-share quantum — consulted at every morsel
+  /// boundary of the next Execute(). `sched` must outlive that execution.
+  /// This is how the serving layer reuses one cached PhysicalPlan across
+  /// requests with different deadlines: rebind, execute, repeat.
+  void BindSchedule(ScheduleContext* sched) { ctx_->sched = sched; }
+
  private:
   friend class Planner;
   PhysicalPlan(std::unique_ptr<Operator> root,

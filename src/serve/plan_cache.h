@@ -1,0 +1,105 @@
+// PlanCache: memoizes Planner::Lower for repeated parameterized queries.
+//
+// The cache key is a structural fingerprint of the LogicalPlan — operator
+// tree shape, table identities, filter expressions *including literal
+// values*, join keys, aggregate specs. Literals must participate because a
+// lowered PhysicalPlan embeds them (SelectOp normalizes its Expr at
+// construction); a shape-only key would let a cached plan serve a query
+// with different parameters. Repeated point lookups over a bounded
+// parameter set (the serving workload this exists for) still hit: each
+// distinct parameter binding gets its own small entry.
+//
+// A hit additionally requires every scanned table to sit in the same
+// *cardinality band* (floor(log2(num_rows)), the resolution at which the
+// model/estimator's decisions are stable) as when the entry was built.
+// Table::AppendRows moves num_rows; crossing a power of two invalidates
+// the entry — the plan's join strategy and pre-sizing were chosen for a
+// cardinality that no longer describes the table. Appends *within* a band
+// keep the entry valid: operators resolve BATs, dictionaries and row
+// counts live at execution time, so a cached plan stays correct — only its
+// cost-model decisions age, and a band bounds that aging to < 2x.
+//
+// Entries pool up to a few executed PhysicalPlans (checkout / checkin):
+// concurrent sessions running the same query each need their own operator
+// tree, since operators hold per-execution state between Open and Close.
+//
+// One cache serves one PlannerOptions configuration: the fingerprint does
+// not cover execution knobs (parallelism, chunk size), so callers — in
+// practice one Server, which owns exactly one options struct — must not
+// share a cache across differently configured planners.
+#ifndef CCDB_SERVE_PLAN_CACHE_H_
+#define CCDB_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "exec/plan.h"
+#include "model/planner.h"
+
+namespace ccdb {
+
+/// Structural hash of a validated plan: tree shape, table identities, and
+/// every literal. Collision-tolerant by construction — the cache only
+/// reuses a plan across *equal* fingerprints of the same running process,
+/// and a collision merely executes a wrong-but-valid plan's twin; still,
+/// 64 bits of FNV-1a keeps that out of practical reach.
+uint64_t PlanFingerprint(const LogicalPlan& plan);
+
+/// The tables a plan scans (in tree order, duplicates kept) — the set
+/// whose cardinality bands gate cache validity.
+std::vector<const Table*> PlanTables(const LogicalPlan& plan);
+
+/// floor(log2(rows)) + 1, 0 for an empty table: equal bands mean "within
+/// 2x", the granularity at which cached planning decisions stay fresh.
+uint32_t CardinalityBand(size_t rows);
+
+class PlanCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;         // no entry / no pooled plan available
+    uint64_t invalidations = 0;  // entry dropped on a band mismatch
+  };
+
+  explicit PlanCache(size_t max_entries = 64, size_t max_plans_per_entry = 4)
+      : max_entries_(max_entries), max_plans_per_entry_(max_plans_per_entry) {}
+
+  /// Checks out a pooled PhysicalPlan for `plan` (fingerprint `key`, from
+  /// PlanFingerprint). nullopt = miss: no entry, bands moved (entry is
+  /// dropped), or every pooled plan is checked out by another session.
+  std::optional<PhysicalPlan> Acquire(uint64_t key, const LogicalPlan& plan);
+
+  /// Checks a plan (fresh or previously acquired) back in for reuse. The
+  /// entry records the tables' *current* bands; a stale plan lowered
+  /// before a concurrent append is thereby never served after its band
+  /// moved. Drops the plan silently once the per-entry pool is full.
+  void Release(uint64_t key, const LogicalPlan& plan, PhysicalPlan physical);
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    std::vector<const Table*> tables;
+    std::vector<uint32_t> bands;  // parallel to `tables`
+    std::vector<PhysicalPlan> pool;
+    uint64_t last_used = 0;  // LRU tick
+  };
+
+  /// Pre: lock held. Returns the entry for `key`, or nullptr.
+  Entry* Find(uint64_t key);
+
+  const size_t max_entries_;
+  const size_t max_plans_per_entry_;
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  uint64_t tick_ = 0;
+  Stats stats_;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_SERVE_PLAN_CACHE_H_

@@ -22,6 +22,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "unavailable";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
   }
   return "unknown";
 }

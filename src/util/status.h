@@ -22,6 +22,8 @@ enum class StatusCode : uint8_t {
   kUnimplemented = 6,
   kUnavailable = 7,
   kInternal = 8,
+  kCancelled = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// Returns the canonical lower-case name of `code` ("ok", "invalid argument", ...).
@@ -60,6 +62,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -76,13 +76,19 @@ Status RunBodyCaught(const std::function<Status(size_t)>& body, size_t i) {
 }  // namespace
 
 Status ParallelFor(ThreadPool* pool, size_t parallelism, size_t n,
-                   const std::function<Status(size_t)>& body) {
+                   const std::function<Status(size_t)>& body,
+                   const ParallelForHooks* hooks) {
   if (n == 0) return Status::Ok();
+  const bool has_check =
+      hooks != nullptr && static_cast<bool>(hooks->before_morsel);
+  const bool has_yield =
+      hooks != nullptr && static_cast<bool>(hooks->yield_after_morsel);
   size_t workers = parallelism < n ? parallelism : n;
   if (pool == nullptr || workers <= 1 || n == 1 ||
       ThreadPool::OnWorkerThread()) {
     for (size_t i = 0; i < n; ++i) {
-      Status st = RunBodyCaught(body, i);
+      Status st = has_check ? hooks->before_morsel() : Status::Ok();
+      if (st.ok()) st = RunBodyCaught(body, i);
       if (!st.ok()) return st;
     }
     return Status::Ok();
@@ -106,31 +112,67 @@ Status ParallelFor(ThreadPool* pool, size_t parallelism, size_t n,
   auto state = std::make_shared<Shared>();
   state->n = n;
 
-  auto drive = [state, &body] {
-    state->active.fetch_add(1);
-    for (;;) {
-      size_t i = state->next.fetch_add(1);
-      if (i >= state->n) break;
-      Status st = RunBodyCaught(body, i);
-      if (!st.ok()) {
-        {
-          std::lock_guard<std::mutex> lock(state->mu);
-          if (state->first_error.ok()) state->first_error = std::move(st);
-        }
-        // Stop further claims; late drives see i >= n and exit untouched.
-        state->next.store(state->n);
-        break;
-      }
-    }
-    {
-      std::lock_guard<std::mutex> lock(state->mu);
-      state->active.fetch_sub(1);
-    }
-    state->cv.notify_all();
-  };
+  // One claim-loop "drive", copied by value into every pool task so a task
+  // never references ParallelFor's stack. `body` and `hooks` live on that
+  // stack, so the safety protocol is: increment `active` first, then claim a
+  // morsel, and dereference them only when the claim yielded i < n — at that
+  // point the caller cannot pass its completion wait (next >= n is required,
+  // and once true it stays true) until this drive's matching decrement. A
+  // drive that starts after the caller returned claims i >= n and exits
+  // touching only `state` (kept alive by its shared_ptr copy).
+  struct Drive {
+    std::shared_ptr<Shared> state;
+    const std::function<Status(size_t)>* body;
+    const ParallelForHooks* hooks;
+    ThreadPool* pool;
+    bool has_check;
+    bool has_yield;
 
-  for (size_t w = 1; w < workers; ++w) pool->Submit(drive);
-  drive();
+    void Run(bool is_caller) const {
+      state->active.fetch_add(1);
+      bool requeue = false;
+      for (;;) {
+        size_t i = state->next.fetch_add(1);
+        if (i >= state->n) break;
+        Status st = has_check ? hooks->before_morsel() : Status::Ok();
+        if (st.ok()) st = RunBodyCaught(*body, i);
+        if (!st.ok()) {
+          {
+            std::lock_guard<std::mutex> lock(state->mu);
+            if (state->first_error.ok()) state->first_error = std::move(st);
+          }
+          // Stop further claims; late drives see i >= n and exit untouched.
+          state->next.store(state->n);
+          break;
+        }
+        if (has_yield && !is_caller && state->next.load() < state->n &&
+            hooks->yield_after_morsel()) {
+          // Cooperative preemption at the morsel boundary: requeue a copy of
+          // this drive at the back of the pool's FIFO (behind other queries'
+          // pending tasks) and release the worker. The caller's drive never
+          // yields, so the loop as a whole always makes progress no matter
+          // what else is queued.
+          requeue = true;
+          break;
+        }
+      }
+      if (requeue) {
+        Drive copy = *this;
+        pool->Submit([copy] { copy.Run(false); });
+      }
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->active.fetch_sub(1);
+      }
+      state->cv.notify_all();
+    }
+  };
+  Drive drive{state, &body, hooks, pool, has_check, has_yield};
+
+  for (size_t w = 1; w < workers; ++w) {
+    pool->Submit([drive] { drive.Run(false); });
+  }
+  drive.Run(true);
 
   std::unique_lock<std::mutex> lock(state->mu);
   state->cv.wait(lock, [&] {

@@ -64,18 +64,40 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+/// Scheduling hooks for ParallelFor — the seam the serving layer's fair
+/// scheduler and deadline/cancellation checks plug into. Both callbacks run
+/// at morsel granularity; either may be empty. The hooks object must stay
+/// valid until ParallelFor returns (it is never touched by drive tasks that
+/// start after that).
+struct ParallelForHooks {
+  /// Called before each morsel body (on whichever thread runs it). A non-ok
+  /// Status aborts the loop exactly like a body error: remaining morsels
+  /// are skipped and the Status is returned — this is how a cancelled or
+  /// past-deadline query stops at the next morsel boundary.
+  std::function<Status()> before_morsel;
+
+  /// Called after each completed morsel on pool-worker drives only (never
+  /// on the calling thread, which must keep making progress). Returning
+  /// true makes the drive requeue itself at the back of the pool's FIFO
+  /// queue and release its worker — the cooperative yield that lets morsels
+  /// of other concurrently executing queries interleave, so one huge join
+  /// cannot hold every worker until it finishes.
+  std::function<bool()> yield_after_morsel;
+};
+
 /// Runs `body(i)` for every i in [0, n) on up to `parallelism` concurrent
 /// workers (the caller participates, so only parallelism-1 pool tasks are
 /// spawned). Returns the first non-ok Status; remaining morsels are skipped
 /// once a failure is observed. Exceptions escaping `body` become
-/// StatusCode::kInternal. Runs inline (still honoring error short-circuit)
-/// when `pool` is null, `parallelism` <= 1, n <= 1, or the caller is itself
-/// a pool worker.
+/// StatusCode::kInternal. Runs inline (still honoring error short-circuit
+/// and the before_morsel hook) when `pool` is null, `parallelism` <= 1,
+/// n <= 1, or the caller is itself a pool worker.
 ///
 /// Completion of every morsel happens-before ParallelFor returns, so bodies
 /// may write to disjoint, pre-sized result slots without extra locking.
 Status ParallelFor(ThreadPool* pool, size_t parallelism, size_t n,
-                   const std::function<Status(size_t)>& body);
+                   const std::function<Status(size_t)>& body,
+                   const ParallelForHooks* hooks = nullptr);
 
 }  // namespace ccdb
 

@@ -1,0 +1,506 @@
+// Serving layer: Server admission / deadline / cancellation semantics,
+// deterministic weighted-round-robin fairness (asserted on completion
+// *order*, which is timing-independent), plan-cache hit / band-invalidation
+// semantics, cached-plan execution byte-identical to fresh lowering at
+// parallelism {1, 2, 8}, and clean operator shutdown on the cancel path
+// (every Open() gets its Close(), checked with a tracker operator and —
+// under the ASan CI job — by leak detection).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "exec/operator.h"
+#include "exec/plan.h"
+#include "exec/table.h"
+#include "model/planner.h"
+#include "serve/plan_cache.h"
+#include "serve/server.h"
+#include "util/rng.h"
+
+namespace ccdb {
+namespace {
+
+using std::chrono::milliseconds;
+
+Table MakeFactTable(size_t rows, uint32_t key_domain) {
+  auto rs = RowStore::Make(
+      {{"k", FieldType::kU32}, {"v", FieldType::kU32}}, rows + 1);
+  CCDB_CHECK(rs.ok());
+  Rng rng(7);
+  for (size_t i = 0; i < rows; ++i) {
+    size_t r = *rs->AppendRow();
+    rs->SetU32(r, 0, rng.NextU32() % key_domain);
+    rs->SetU32(r, 1, rng.NextU32() % 1000);
+  }
+  return *Table::FromRowStore(*rs);
+}
+
+Table MakeDimTable(uint32_t keys) {
+  auto rs = RowStore::Make(
+      {{"id", FieldType::kU32}, {"w", FieldType::kU32}}, keys + 1);
+  CCDB_CHECK(rs.ok());
+  for (uint32_t i = 0; i < keys; ++i) {
+    size_t r = *rs->AppendRow();
+    rs->SetU32(r, 0, i);
+    rs->SetU32(r, 1, i * 3 % 100);
+  }
+  return *Table::FromRowStore(*rs);
+}
+
+/// A cheap point query: selective filter + limit.
+LogicalPlan PointPlan(const Table& fact, uint32_t key) {
+  auto plan =
+      QueryBuilder(fact).Filter(Col("k") == key).Limit(16).Build();
+  CCDB_CHECK(plan.ok());
+  return *std::move(plan);
+}
+
+/// A heavy analytic query: join + group-by + order-by over the whole fact
+/// table. OrderBy gives it a canonical output order, so results compare
+/// byte-identically across parallelism.
+LogicalPlan AnalyticPlan(const Table& fact, const Table& dim) {
+  auto plan = QueryBuilder(fact)
+                  .Join(dim, "k", "id")
+                  .GroupByAgg({"w"}, {Agg::Sum("v"), Agg::Count()})
+                  .OrderBy("w")
+                  .Build();
+  CCDB_CHECK(plan.ok());
+  return *std::move(plan);
+}
+
+void ExpectSameResult(const QueryResult& a, const QueryResult& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.num_columns(), b.num_columns()) << what;
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << what;
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    EXPECT_EQ(a.columns[c].u32_values, b.columns[c].u32_values) << what;
+    EXPECT_EQ(a.columns[c].i64_values, b.columns[c].i64_values) << what;
+    EXPECT_EQ(a.columns[c].f64_values, b.columns[c].f64_values) << what;
+    EXPECT_EQ(a.columns[c].str_values, b.columns[c].str_values) << what;
+  }
+}
+
+PlannerOptions TestPlannerOptions(size_t parallelism) {
+  PlannerOptions opts;
+  opts.exec.parallelism = parallelism;
+  opts.exec.scan_chunk_rows = 4096;
+  return opts;
+}
+
+// --- Server basics -----------------------------------------------------------
+
+TEST(ServerTest, ServesQueriesFromMultipleSessions) {
+  Table fact = MakeFactTable(50000, 100);
+  Table dim = MakeDimTable(100);
+  LogicalPlan analytic = AnalyticPlan(fact, dim);
+  QueryResult expected = *Execute(analytic, TestPlannerOptions(1));
+
+  ServerOptions opts;
+  opts.max_inflight = 4;
+  opts.max_queue = 64;
+  opts.planner = TestPlannerOptions(1);
+  Server server(opts);
+
+  constexpr int kClients = 4, kPerClient = 8;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      QuerySession session(&server);
+      for (int q = 0; q < kPerClient; ++q) {
+        auto result = session.Run(analytic);
+        if (!result.ok() || result->num_rows() != expected.num_rows()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.completed, kClients * kPerClient);
+  // Same fingerprint everywhere: after the first few lowerings, pooled
+  // plans serve the rest.
+  EXPECT_GT(stats.cache.hits, 0u);
+}
+
+TEST(ServerTest, AdmissionControlRejectsPastQueueBound) {
+  Table fact = MakeFactTable(400000, 1000);
+  Table dim = MakeDimTable(1000);
+  LogicalPlan analytic = AnalyticPlan(fact, dim);
+
+  ServerOptions opts;
+  opts.max_inflight = 1;
+  opts.max_queue = 2;
+  opts.planner = TestPlannerOptions(1);
+  Server server(opts);
+
+  // Occupy the single executor, then fill the queue. The occupying query
+  // runs for many milliseconds; the submissions below take microseconds.
+  auto running = server.Submit(analytic);
+  ASSERT_TRUE(running.ok());
+  std::vector<QueryTicket> queued;
+  size_t rejected = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto t = server.Submit(analytic);
+    if (t.ok()) {
+      queued.push_back(*std::move(t));
+    } else {
+      EXPECT_EQ(t.status().code(), StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  // The queue holds 2; at most one more may have slipped in if the first
+  // query finished mid-loop. At least 3 of the 6 must have been rejected.
+  EXPECT_GE(rejected, 3u);
+  EXPECT_GE(server.stats().rejected, 3u);
+  for (auto& t : queued) t.Wait();
+  running->Wait();
+}
+
+TEST(ServerTest, DeadlineExceededReturnsCleanStatus) {
+  Table fact = MakeFactTable(800000, 2000);
+  Table dim = MakeDimTable(2000);
+  LogicalPlan analytic = AnalyticPlan(fact, dim);
+
+  ServerOptions opts;
+  opts.max_inflight = 1;
+  opts.planner = TestPlannerOptions(1);
+  Server server(opts);
+
+  Server::SubmitOptions submit;
+  submit.timeout = milliseconds(1);
+  auto ticket = server.Submit(analytic, submit);
+  ASSERT_TRUE(ticket.ok());
+  const QueryOutcome& outcome = ticket->Wait();
+  EXPECT_EQ(outcome.status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ServerTest, CancelWhileQueuedCompletesWithCancelled) {
+  Table fact = MakeFactTable(400000, 1000);
+  Table dim = MakeDimTable(1000);
+  LogicalPlan analytic = AnalyticPlan(fact, dim);
+  LogicalPlan point = PointPlan(fact, 3);
+
+  ServerOptions opts;
+  opts.max_inflight = 1;
+  opts.max_queue = 8;
+  opts.planner = TestPlannerOptions(1);
+  Server server(opts);
+
+  auto running = server.Submit(analytic);
+  ASSERT_TRUE(running.ok());
+  auto victim = server.Submit(point);
+  ASSERT_TRUE(victim.ok());
+  victim->Cancel();  // still queued behind the analytic
+  const QueryOutcome& outcome = victim->Wait();
+  EXPECT_EQ(outcome.status.code(), StatusCode::kCancelled);
+  running->Wait();
+}
+
+TEST(ServerTest, ShutdownCompletesQueuedWithUnavailable) {
+  Table fact = MakeFactTable(400000, 1000);
+  Table dim = MakeDimTable(1000);
+  LogicalPlan analytic = AnalyticPlan(fact, dim);
+  LogicalPlan point = PointPlan(fact, 3);
+
+  std::vector<QueryTicket> tickets;
+  {
+    ServerOptions opts;
+    opts.max_inflight = 1;
+    opts.max_queue = 8;
+    opts.planner = TestPlannerOptions(1);
+    Server server(opts);
+    auto running = server.Submit(analytic);
+    ASSERT_TRUE(running.ok());
+    tickets.push_back(*std::move(running));
+    for (int i = 0; i < 3; ++i) {
+      auto t = server.Submit(point);
+      ASSERT_TRUE(t.ok());
+      tickets.push_back(*std::move(t));
+    }
+  }  // ~Server: queued tickets complete with Unavailable
+  for (QueryTicket& t : tickets) {
+    const QueryOutcome& o = t.Wait();
+    EXPECT_TRUE(o.status.ok() ||
+                o.status.code() == StatusCode::kUnavailable)
+        << o.status.ToString();
+  }
+}
+
+// --- fairness: deterministic completion order --------------------------------
+
+// With one executor and a pre-loaded backlog, dispatch order IS completion
+// order — no timing involved. Weighted round-robin must interleave the
+// point class into an analytic backlog; FIFO must drain in submit order.
+TEST(ServerTest, FairDispatchInterleavesClassesFifoDoesNot) {
+  Table fact = MakeFactTable(200000, 500);
+  Table dim = MakeDimTable(500);
+  LogicalPlan analytic = AnalyticPlan(fact, dim);
+  LogicalPlan point = PointPlan(fact, 42);
+
+  for (bool fair : {true, false}) {
+    ServerOptions opts;
+    opts.max_inflight = 1;
+    opts.max_queue = 64;
+    opts.fair = fair;
+    opts.planner = TestPlannerOptions(1);
+    Server server(opts);
+
+    Server::SubmitOptions a_opts, p_opts;
+    a_opts.query_class = "analytic";
+    p_opts.query_class = "point";
+
+    // Occupy the executor so everything below queues up first.
+    auto blocker = server.Submit(analytic, a_opts);
+    ASSERT_TRUE(blocker.ok());
+    std::vector<QueryTicket> analytics, points;
+    for (int i = 0; i < 6; ++i) {
+      auto t = server.Submit(analytic, a_opts);
+      ASSERT_TRUE(t.ok());
+      analytics.push_back(*std::move(t));
+    }
+    for (int i = 0; i < 2; ++i) {
+      auto t = server.Submit(point, p_opts);
+      ASSERT_TRUE(t.ok());
+      points.push_back(*std::move(t));
+    }
+
+    blocker->Wait();
+    uint64_t max_point_seq = 0, max_analytic_seq = 0;
+    for (QueryTicket& t : points) {
+      const QueryOutcome& o = t.Wait();
+      ASSERT_TRUE(o.status.ok()) << o.status.ToString();
+      max_point_seq = std::max(max_point_seq, o.finish_seq);
+    }
+    for (QueryTicket& t : analytics) {
+      const QueryOutcome& o = t.Wait();
+      ASSERT_TRUE(o.status.ok()) << o.status.ToString();
+      max_analytic_seq = std::max(max_analytic_seq, o.finish_seq);
+    }
+    if (fair) {
+      // Round-robin alternates the classes: both points are dispatched
+      // within the first few slots after the blocker, never behind the
+      // whole analytic backlog.
+      EXPECT_LE(max_point_seq, 6u) << "fair dispatch starved the points";
+      EXPECT_LT(max_point_seq, max_analytic_seq);
+    } else {
+      // FIFO: the points were submitted last, so they finish last
+      // (sequences 8 and 9 of 9).
+      EXPECT_EQ(max_point_seq, 9u);
+    }
+  }
+}
+
+// --- plan cache --------------------------------------------------------------
+
+TEST(PlanCacheTest, FingerprintCoversShapeLiteralsAndTables) {
+  Table fact = MakeFactTable(10000, 100);
+  Table fact2 = MakeFactTable(10000, 100);
+  LogicalPlan a1 = PointPlan(fact, 1);
+  LogicalPlan a2 = PointPlan(fact, 1);
+  LogicalPlan other_literal = PointPlan(fact, 2);
+  LogicalPlan other_table = PointPlan(fact2, 1);
+
+  EXPECT_EQ(PlanFingerprint(a1), PlanFingerprint(a2));
+  EXPECT_NE(PlanFingerprint(a1), PlanFingerprint(other_literal));
+  EXPECT_NE(PlanFingerprint(a1), PlanFingerprint(other_table));
+}
+
+TEST(PlanCacheTest, HitWithinBandMissAcrossBandBoundary) {
+  // 1000 rows: band covers [512, 1023] — small appends stay inside.
+  Table fact = MakeFactTable(1000, 50);
+  LogicalPlan plan = PointPlan(fact, 7);
+  uint64_t key = PlanFingerprint(plan);
+
+  PlanCache cache;
+  Planner planner(TestPlannerOptions(1));
+  cache.Release(key, plan, *planner.Lower(plan));
+
+  // In-band append (1000 -> 1010): the cached plan stays valid.
+  auto extra = RowStore::Make(
+      {{"k", FieldType::kU32}, {"v", FieldType::kU32}}, 8000);
+  ASSERT_TRUE(extra.ok());
+  for (int i = 0; i < 10; ++i) {
+    size_t r = *extra->AppendRow();
+    extra->SetU32(r, 0, 7);
+    extra->SetU32(r, 1, 1);
+  }
+  ASSERT_TRUE(fact.AppendRows(*extra).ok());
+  auto hit = cache.Acquire(key, plan);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  cache.Release(key, plan, *std::move(hit));
+
+  // Cross-band append (1010 -> 8010): planning decisions are stale.
+  auto big = RowStore::Make(
+      {{"k", FieldType::kU32}, {"v", FieldType::kU32}}, 8000);
+  ASSERT_TRUE(big.ok());
+  for (int i = 0; i < 7000; ++i) {
+    size_t r = *big->AppendRow();
+    big->SetU32(r, 0, static_cast<uint32_t>(i % 50));
+    big->SetU32(r, 1, 2);
+  }
+  ASSERT_TRUE(fact.AppendRows(*big).ok());
+  auto miss = cache.Acquire(key, plan);
+  EXPECT_FALSE(miss.has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+
+  // The AppendRows hook (data_version) moved twice along the way.
+  EXPECT_EQ(fact.data_version(), 2u);
+}
+
+TEST(PlanCacheTest, CachedExecutionByteIdenticalAcrossParallelism) {
+  Table fact = MakeFactTable(60000, 200);
+  Table dim = MakeDimTable(200);
+  LogicalPlan plan = AnalyticPlan(fact, dim);
+  uint64_t key = PlanFingerprint(plan);
+
+  for (size_t parallelism : {size_t{1}, size_t{2}, size_t{8}}) {
+    Planner planner(TestPlannerOptions(parallelism));
+    PlanCache cache;  // one cache per planner configuration (see header)
+
+    auto fresh = planner.Lower(plan);
+    ASSERT_TRUE(fresh.ok());
+    auto fresh_result = fresh->Execute();
+    ASSERT_TRUE(fresh_result.ok());
+    cache.Release(key, plan, *std::move(fresh));
+
+    auto cached = cache.Acquire(key, plan);
+    ASSERT_TRUE(cached.has_value());
+    auto cached_result = cached->Execute();
+    ASSERT_TRUE(cached_result.ok());
+    ExpectSameResult(*fresh_result, *cached_result,
+                     "parallelism " + std::to_string(parallelism));
+
+    // And a third run after another checkin/checkout cycle: reuse must be
+    // idempotent, not one-shot.
+    cache.Release(key, plan, *std::move(cached));
+    auto again = cache.Acquire(key, plan);
+    ASSERT_TRUE(again.has_value());
+    auto again_result = again->Execute();
+    ASSERT_TRUE(again_result.ok());
+    ExpectSameResult(*fresh_result, *again_result, "second reuse");
+  }
+}
+
+TEST(PlanCacheTest, PoolBoundsConcurrentCheckouts) {
+  Table fact = MakeFactTable(2000, 50);
+  LogicalPlan plan = PointPlan(fact, 3);
+  uint64_t key = PlanFingerprint(plan);
+  Planner planner(TestPlannerOptions(1));
+
+  PlanCache cache(/*max_entries=*/4, /*max_plans_per_entry=*/1);
+  cache.Release(key, plan, *planner.Lower(plan));
+  auto first = cache.Acquire(key, plan);
+  ASSERT_TRUE(first.has_value());
+  // Second session, same query, while the only pooled plan is out: miss.
+  auto second = cache.Acquire(key, plan);
+  EXPECT_FALSE(second.has_value());
+  cache.Release(key, plan, *std::move(first));
+  EXPECT_TRUE(cache.Acquire(key, plan).has_value());
+}
+
+// --- cancellation closes every operator --------------------------------------
+
+/// Forwards to the wrapped operator while counting lifecycle calls.
+class TrackerOp : public Operator {
+ public:
+  TrackerOp(std::unique_ptr<Operator> child, int* opens, int* closes)
+      : child_(std::move(child)), opens_(opens), closes_(closes) {}
+  Status Open() override {
+    ++*opens_;
+    return child_->Open();
+  }
+  StatusOr<bool> Next(Chunk* out) override { return child_->Next(out); }
+  void Close() override {
+    ++*closes_;
+    child_->Close();
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  int* opens_;
+  int* closes_;
+};
+
+TEST(CancellationTest, CancelledExecutionClosesEveryOperator) {
+  Table fact = MakeFactTable(100000, 100);
+
+  int opens = 0, closes = 0;
+  ScheduleContext sched;
+  ExecContext ctx;
+  ctx.sched = &sched;
+
+  // Scan -> tracker -> Select -> tracker -> OrderBy: the blocking OrderBy
+  // drains its child inside one Next() call, where the sched poll aborts.
+  auto scan = std::make_unique<ScanOp>(&fact, /*chunk_rows=*/4096);
+  auto t1 = std::make_unique<TrackerOp>(std::move(scan), &opens, &closes);
+  auto select = std::make_unique<SelectOp>(std::move(t1),
+                                           Col("v") >= 10u, &ctx);
+  auto t2 = std::make_unique<TrackerOp>(std::move(select), &opens, &closes);
+  OrderByOp root(std::move(t2), "v", /*descending=*/false, &ctx);
+
+  ASSERT_TRUE(root.Open().ok());
+  sched.cancelled.store(true);
+  Chunk out;
+  auto next = root.Next(&out);
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kCancelled);
+  root.Close();  // the PhysicalPlan::Execute error path does exactly this
+  EXPECT_EQ(opens, 2);
+  EXPECT_EQ(closes, 2);
+}
+
+TEST(CancellationTest, PlanIsReusableAfterDeadlineAbort) {
+  Table fact = MakeFactTable(120000, 300);
+  Table dim = MakeDimTable(300);
+  LogicalPlan plan = AnalyticPlan(fact, dim);
+
+  Planner planner(TestPlannerOptions(2));
+  auto physical = planner.Lower(plan);
+  ASSERT_TRUE(physical.ok());
+  QueryResult expected = *physical->Execute();
+
+  // Expired deadline: Execute must fail cleanly with DeadlineExceeded...
+  ScheduleContext sched;
+  sched.deadline = std::chrono::steady_clock::now() - milliseconds(1);
+  physical->BindSchedule(&sched);
+  auto aborted = physical->Execute();
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_EQ(aborted.status().code(), StatusCode::kDeadlineExceeded);
+
+  // ...and the plan must be fully reusable afterwards (operators closed
+  // and re-openable — the plan-cache reuse contract).
+  physical->BindSchedule(nullptr);
+  auto again = physical->Execute();
+  ASSERT_TRUE(again.ok());
+  ExpectSameResult(expected, *again, "re-execute after abort");
+}
+
+TEST(CancellationTest, CancelMidExecutionAbortsAtMorselBoundary) {
+  Table fact = MakeFactTable(800000, 2000);
+  Table dim = MakeDimTable(2000);
+  LogicalPlan plan = AnalyticPlan(fact, dim);
+
+  ServerOptions opts;
+  opts.max_inflight = 1;
+  opts.planner = TestPlannerOptions(2);
+  Server server(opts);
+  auto ticket = server.Submit(plan);
+  ASSERT_TRUE(ticket.ok());
+  // Cancel as soon as (likely) running; whether it lands while queued or
+  // mid-execution, the outcome must be a clean Cancelled status.
+  std::this_thread::sleep_for(milliseconds(2));
+  ticket->Cancel();
+  const QueryOutcome& outcome = ticket->Wait();
+  EXPECT_TRUE(outcome.status.code() == StatusCode::kCancelled ||
+              outcome.status.ok())
+      << outcome.status.ToString();
+}
+
+}  // namespace
+}  // namespace ccdb
