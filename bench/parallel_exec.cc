@@ -13,6 +13,7 @@
 #include <cstring>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "algo/radix_cluster.h"
@@ -69,10 +70,20 @@ int main(int argc, char** argv) {
   const size_t kDim = kFact / 4;
   const size_t kWorkers = ThreadPool::HardwareThreads();
   const int kReps = 3;
+  // On a 1-thread host "parallel" is the same execution plus scheduling
+  // overhead: ≈1.0x is expected there, NOT a scaling regression — and a
+  // real regression would be invisible. The JSON carries this flag so
+  // downstream speedup checks skip rather than silently pass/fail.
+  const bool speedups_meaningful = kWorkers > 1;
 
   std::printf("== parallel_exec: morsel-parallel operator speedups ==\n");
-  std::printf("fact=%zu rows, dim=%zu rows, %zu hardware threads\n\n", kFact,
+  std::printf("fact=%zu rows, dim=%zu rows, %zu hardware threads\n", kFact,
               kDim, kWorkers);
+  if (!speedups_meaningful) {
+    std::printf("NOTE: hardware_concurrency=1 — parallel speedups below are "
+                "not meaningful on this host\n");
+  }
+  std::printf("\n");
 
   Rng rng(2026);
   auto fact_rs = RowStore::Make({{"fk", FieldType::kU32},
@@ -296,8 +307,12 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(f, "{\n  \"fact_rows\": %zu,\n  \"dim_rows\": %zu,\n"
-                 "  \"hardware_threads\": %zu,\n  \"paths\": {\n",
-                 kFact, kDim, kWorkers);
+                 "  \"hardware_threads\": %zu,\n"
+                 "  \"hardware_concurrency\": %u,\n"
+                 "  \"parallel_speedups_meaningful\": %s,\n  \"paths\": {\n",
+                 kFact, kDim, kWorkers,
+                 std::thread::hardware_concurrency(),
+                 speedups_meaningful ? "true" : "false");
     for (size_t i = 0; i < kPaths; ++i) {
       std::fprintf(f,
                    "    \"%s\": {\"serial_ms\": %.3f, \"parallel_ms\": %.3f, "

@@ -56,9 +56,13 @@ if [ "$MODE" = "tsan" ]; then
   # race, and two concurrent plans on one pool. TSan is the real reviewer
   # for all of them.
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
-    -R 'plan_test|rich_algebra_test|expr_test|exec_test|thread_pool_test|stats_test|serve_test|concurrent_exec_test'
+    -R 'plan_test|rich_algebra_test|expr_test|exec_test|thread_pool_test|stats_test|serve_test|concurrent_exec_test|shared_scan_test'
   echo "== concurrent serving smoke under TSan =="
   "$BUILD_DIR/concurrent_serving" --smoke
+  echo "== shared scan smoke under TSan =="
+  # K client threads on one cooperative table cursor: the TSan pass over
+  # the shared-scan registry (drive/fan-out/detach under concurrency).
+  "$BUILD_DIR/shared_scan" --smoke
   echo "OK (tsan)"
   exit 0
 fi
@@ -88,6 +92,10 @@ echo "== bench artifact (BENCH_ci.json) =="
 # A/B) merged into the same artifact; the run itself asserts that fair
 # dispatch beats FIFO on point-query tail latency.
 "$BUILD_DIR/concurrent_serving" --json-merge="$BUILD_DIR/BENCH_ci.json"
+# Shared-scan A/B (K same-table clients, cooperative cursor vs independent
+# scans) merged too; the run asserts sharing is >= 1.3x better on qps or
+# p99 — a work-elimination win, so it holds even at hardware_concurrency=1.
+"$BUILD_DIR/shared_scan" --json-merge="$BUILD_DIR/BENCH_ci.json"
 
 echo "== examples smoke =="
 "$BUILD_DIR/mil_pipeline" > /dev/null

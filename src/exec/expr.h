@@ -277,6 +277,24 @@ const char* ConjunctRankName(int rank);
 /// evaluation cost, never results.
 Expr OrderConjunctsBySelectivity(Expr e);
 
+/// Does `a` imply `b` — is every row satisfying `a` guaranteed to satisfy
+/// `b`? Conservative: a `true` answer is a proof, a `false` answer means
+/// "could not prove it" (never "disproved"). Callers use this to share
+/// work between filters: when ExprSubsumes(a, b), the rows matching `a`
+/// can be computed by *narrowing* `b`'s position list with `a` instead of
+/// re-scanning the column, with byte-identical results.
+///
+/// Both arguments must be normalized (NormalizeExpr output): any kNot node
+/// returns false. Leaves are compared per column as value sets — integral
+/// comparisons/Between/In become i64 interval lists (exact containment),
+/// f64 leaves become open/closed interval lists with NaN tracked
+/// separately (NaN fails every ordering and range, matches only !=), and
+/// string leaves become positive or negated sorted sets. And/Or recurse
+/// structurally, plus a per-column leaf-intersection refinement so e.g.
+/// `x > 5 && x < 10` provably implies `Between(x, 6, 9)`. Columns are
+/// matched by name; cross-type (numeric vs string) never subsumes.
+bool ExprSubsumes(const Expr& a, const Expr& b);
+
 }  // namespace ccdb
 
 #endif  // CCDB_EXEC_EXPR_H_

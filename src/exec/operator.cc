@@ -10,6 +10,7 @@
 #include "algo/radix_sort.h"
 #include "algo/simple_hash_join.h"
 #include "algo/sort_merge_join.h"
+#include "exec/shared_scan.h"
 #include "util/thread_pool.h"
 
 namespace ccdb {
@@ -1065,6 +1066,21 @@ StatusOr<std::vector<uint32_t>> EvalExprNarrow(const Chunk& in, const Expr& e,
 }
 
 }  // namespace
+
+// Public faces of the evaluation walks above (declared in
+// exec/shared_scan.h): shared-scan providers filter fanned-out chunks with
+// the exact kernels SelectOp runs, so sharing cannot change results.
+StatusOr<std::vector<uint32_t>> EvalFilterPositions(const Chunk& chunk,
+                                                    const Expr& normalized,
+                                                    const ExecContext* ctx) {
+  return EvalExprFull(chunk, normalized, ctx);
+}
+
+StatusOr<std::vector<uint32_t>> NarrowFilterPositions(
+    const Chunk& chunk, const Expr& normalized,
+    std::vector<uint32_t> positions, const ExecContext* ctx) {
+  return EvalExprNarrow(chunk, normalized, std::move(positions), ctx);
+}
 
 StatusOr<bool> SelectOp::Next(Chunk* out) {
   Chunk in;

@@ -449,6 +449,21 @@ StatusOr<std::vector<PlanColumn>> ComputeNodeSchema(const LogicalNode& n) {
   return ValidateNode(n);
 }
 
+namespace {
+
+void CollectTables(const LogicalNode& n, std::vector<const Table*>* out) {
+  if (n.table != nullptr) out->push_back(n.table);
+  for (const auto& c : n.children) CollectTables(*c, out);
+}
+
+}  // namespace
+
+std::vector<const Table*> LogicalPlan::Tables() const {
+  std::vector<const Table*> out;
+  CollectTables(*root_, &out);
+  return out;
+}
+
 std::string LogicalPlan::ToString() const {
   std::string out;
   RenderNode(*root_, 0, &out);

@@ -179,6 +179,12 @@ class LogicalPlan {
   const LogicalNode& root() const { return *root_; }
   const std::vector<PlanColumn>& output_schema() const { return schema_; }
 
+  /// The tables this plan scans, in tree order with duplicates kept (a
+  /// self-join lists its table twice). Callers that need set semantics
+  /// dedup themselves; callers that need per-scan facts (cardinality
+  /// bands, shared-scan registration) want every occurrence.
+  std::vector<const Table*> Tables() const;
+
   /// Indented tree rendering, one operator per line (EXPLAIN-style).
   std::string ToString() const;
 

@@ -72,6 +72,15 @@ class Table {
     return stats_->data_version.load(std::memory_order_acquire);
   }
 
+  /// A token that expires when this table is destroyed (it aliases the
+  /// address-stable stats cache). Holders of raw `const Table*` — the plan
+  /// cache, the shared-scan registry — use it to *assert* the documented
+  /// lifetime contract (tables outlive the Server) in debug builds instead
+  /// of silently dereferencing a dangling pointer. Best-effort: moving a
+  /// table transfers the cache, so a moved-from table's token expires only
+  /// when the destination dies.
+  std::weak_ptr<const void> liveness() const { return stats_; }
+
   // --- operators (positional OIDs, void-head convention) -------------------
 
   /// OIDs where string column `col` == `value`. For an encoded column this

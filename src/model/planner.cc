@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "exec/shared_scan.h"
 #include "model/calibrator.h"
 #include "model/cost_model.h"
 #include "model/estimator.h"
@@ -468,8 +469,10 @@ StatusOr<Lowered> LowerNode(const LogicalNode& n, int depth, int parent,
       }
       Lowered out;
       out.est_rows = n.table->num_rows();
-      OpCostInfo* cost = c.NewCost(
-          "Scan(" + std::to_string(out.est_rows) + " rows)", depth, parent);
+      bool shared = c.ctx->shared_scans != nullptr;
+      OpCostInfo* cost = c.NewCost((shared ? "SharedScan(" : "Scan(") +
+                                       std::to_string(out.est_rows) + " rows)",
+                                   depth, parent);
       cost->estimated_rows = out.est_rows;
       // Scans emit lazy column descriptors — near-free; the §2 iteration
       // cost lands on whichever operator touches the values. Charge only
@@ -481,8 +484,15 @@ StatusOr<Lowered> LowerNode(const LogicalNode& n, int depth, int parent,
               : out.est_rows / std::max<size_t>(c.chunk_rows, 1) + 1;
       p.cpu_ns = static_cast<double>(chunks) * 200.0;
       FillPrediction(cost, p, profile.lat);
-      out.op = std::make_unique<TimedOperator>(
-          std::make_unique<ScanOp>(n.table, c.chunk_rows), cost);
+      std::unique_ptr<Operator> scan;
+      if (shared) {
+        scan = std::make_unique<SharedScanOp>(n.table, std::nullopt,
+                                              c.chunk_rows,
+                                              c.ctx->shared_scans, c.ctx);
+      } else {
+        scan = std::make_unique<ScanOp>(n.table, c.chunk_rows);
+      }
+      out.op = std::make_unique<TimedOperator>(std::move(scan), cost);
       out.root_cost = c.CostIndex(cost);
       for (size_t i = 0; i < n.table->num_columns(); ++i) {
         out.layout.push_back(n.table->schema().field(i).name);
@@ -496,22 +506,56 @@ StatusOr<Lowered> LowerNode(const LogicalNode& n, int depth, int parent,
           std::string(name) + "(" + Truncate(n.filter.ToString(), 48) + ")",
           depth, parent);
       int self = c.CostIndex(cost);
-      CCDB_ASSIGN_OR_RETURN(Lowered child,
-                            LowerNode(*n.children[0], depth + 1, self, c));
+      // A Select directly over a Scan fuses into one SharedScanOp when a
+      // provider is bound: the filter must travel to the registry so
+      // co-attached plans can share candidate lists between subsuming
+      // filters. The scan's cost record is still allocated (records are
+      // preallocated one per logical node); its actuals fold into the
+      // fused operator's, timed under this Select record.
+      bool fuse_shared = n.op == LogicalOp::kSelect &&
+                         c.ctx->shared_scans != nullptr &&
+                         n.children[0]->op == LogicalOp::kScan &&
+                         n.children[0]->table != nullptr;
       ColumnSourceMap src = CollectColumnSources(*n.children[0]);
       double sel = EstimateExprSelectivity(n.filter, src);
+      Lowered child;
+      std::optional<Expr> lowered_expr;
+      std::unique_ptr<Operator> op;
+      if (fuse_shared) {
+        const Table* table = n.children[0]->table;
+        child.est_rows = table->num_rows();
+        OpCostInfo* scan_cost = c.NewCost(
+            "SharedScan(" + std::to_string(child.est_rows) + " rows, fused)",
+            depth + 1, self);
+        scan_cost->estimated_rows = child.est_rows;
+        FillPrediction(scan_cost, ModelPrediction{}, profile.lat);
+        child.root_cost = c.CostIndex(scan_cost);
+        for (size_t i = 0; i < table->num_columns(); ++i) {
+          child.layout.push_back(table->schema().field(i).name);
+        }
+        auto fused = std::make_unique<SharedScanOp>(
+            table, n.filter, c.chunk_rows, c.ctx->shared_scans, c.ctx);
+        lowered_expr = fused->expr();
+        op = std::move(fused);
+      } else {
+        CCDB_ASSIGN_OR_RETURN(child,
+                              LowerNode(*n.children[0], depth + 1, self, c));
+        // SelectOp's constructor normalizes to NNF (Not pushed into the
+        // leaves) and orders conjuncts by the selectivity heuristic; read
+        // the result back so ExplainFilters() reports exactly what
+        // executes.
+        auto select = std::make_unique<SelectOp>(std::move(child.op),
+                                                 n.filter, c.ctx);
+        lowered_expr = select->expr();
+        op = std::move(select);
+      }
       cost->estimated_rows = static_cast<uint64_t>(
           static_cast<double>(child.est_rows) * sel + 0.5);
-      // SelectOp's constructor normalizes to NNF (Not pushed into the
-      // leaves) and orders conjuncts by the selectivity heuristic; read the
-      // result back so ExplainFilters() reports exactly what executes.
-      auto op = std::make_unique<SelectOp>(std::move(child.op), n.filter,
-                                           c.ctx);
       FilterNodeInfo info;
       info.node = n.op == LogicalOp::kHaving ? "having" : "select";
       info.estimated_selectivity = sel;
-      if (op->expr().has_value()) {
-        const Expr& lowered = *op->expr();
+      if (lowered_expr.has_value()) {
+        const Expr& lowered = *lowered_expr;
         info.normalized = lowered.ToString();
         if (lowered.kind == Expr::Kind::kAnd) {
           for (const Expr& conj : lowered.children) {
@@ -680,6 +724,7 @@ StatusOr<PhysicalPlan> Planner::Lower(const LogicalPlan& plan) const {
     ctx->pool = &ThreadPool::Shared();
   }
   ctx->sched = options_.exec.sched;
+  ctx->shared_scans = options_.exec.shared_scans;
   size_t chunk_rows = options_.exec.scan_chunk_rows;
   if (chunk_rows == 0) {
     // Auto chunk: one cache-sized morsel per worker per chunk, so the

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/logging.h"
+
 namespace ccdb {
 namespace {
 
@@ -95,23 +97,12 @@ void HashNode(Hasher& h, const LogicalNode& n) {
   for (const auto& c : n.children) HashNode(h, *c);
 }
 
-void CollectTables(const LogicalNode& n, std::vector<const Table*>* out) {
-  if (n.table != nullptr) out->push_back(n.table);
-  for (const auto& c : n.children) CollectTables(*c, out);
-}
-
 }  // namespace
 
 uint64_t PlanFingerprint(const LogicalPlan& plan) {
   Hasher h;
   HashNode(h, plan.root());
   return h.h;
-}
-
-std::vector<const Table*> PlanTables(const LogicalPlan& plan) {
-  std::vector<const Table*> out;
-  CollectTables(plan.root(), &out);
-  return out;
 }
 
 uint32_t CardinalityBand(size_t rows) {
@@ -133,6 +124,30 @@ std::vector<uint32_t> CurrentBands(const std::vector<const Table*>& tables) {
   return bands;
 }
 
+std::vector<std::weak_ptr<const void>> LivenessTokens(
+    const std::vector<const Table*>& tables) {
+  std::vector<std::weak_ptr<const void>> live(tables.size());
+  for (size_t i = 0; i < tables.size(); ++i) live[i] = tables[i]->liveness();
+  return live;
+}
+
+/// The cache's lifetime contract, checked before any stored `const Table*`
+/// is dereferenced: a table scanned by a cached plan must still be alive
+/// (tables outlive the Server). Debug builds abort on a violation; release
+/// builds compile this out and trust the contract.
+void DCheckTablesAlive(
+    const std::vector<std::weak_ptr<const void>>& live) {
+#ifndef NDEBUG
+  for (const auto& token : live) {
+    CCDB_DCHECK(!token.expired() &&
+                "plan-cache entry references a destroyed Table; tables must "
+                "outlive the Server (see serve/plan_cache.h)");
+  }
+#else
+  (void)live;
+#endif
+}
+
 }  // namespace
 
 PlanCache::Entry* PlanCache::Find(uint64_t key) {
@@ -150,6 +165,7 @@ std::optional<PhysicalPlan> PlanCache::Acquire(uint64_t key,
     ++stats_.misses;
     return std::nullopt;
   }
+  DCheckTablesAlive(e->live);
   if (e->bands != CurrentBands(e->tables)) {
     // The table grew (or shrank, via copy-assign) past a power of two since
     // this entry's plans were lowered: their join strategies and pre-sizing
@@ -190,13 +206,15 @@ void PlanCache::Release(uint64_t key, const LogicalPlan& plan,
     }
     Entry fresh;
     fresh.key = key;
-    fresh.tables = PlanTables(plan);
+    fresh.tables = plan.Tables();
     fresh.bands = CurrentBands(fresh.tables);
+    fresh.live = LivenessTokens(fresh.tables);
     fresh.last_used = ++tick_;
     fresh.pool.push_back(std::move(physical));
     entries_.push_back(std::move(fresh));
     return;
   }
+  DCheckTablesAlive(e->live);
   std::vector<uint32_t> now = CurrentBands(e->tables);
   if (e->bands != now) {
     // Bands moved while this plan executed; re-seed the entry with only

@@ -27,10 +27,17 @@
 // not cover execution knobs (parallelism, chunk size), so callers — in
 // practice one Server, which owns exactly one options struct — must not
 // share a cache across differently configured planners.
+//
+// Lifetime contract: entries hold raw `const Table*` identities (both as
+// part of the fingerprint and for band re-checks), so every table a cached
+// plan scans MUST outlive the cache — in practice, tables must outlive the
+// Server. Debug builds assert this on each Acquire/Release via
+// Table::liveness() tokens; release builds trust the contract.
 #ifndef CCDB_SERVE_PLAN_CACHE_H_
 #define CCDB_SERVE_PLAN_CACHE_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -46,10 +53,6 @@ namespace ccdb {
 /// and a collision merely executes a wrong-but-valid plan's twin; still,
 /// 64 bits of FNV-1a keeps that out of practical reach.
 uint64_t PlanFingerprint(const LogicalPlan& plan);
-
-/// The tables a plan scans (in tree order, duplicates kept) — the set
-/// whose cardinality bands gate cache validity.
-std::vector<const Table*> PlanTables(const LogicalPlan& plan);
 
 /// floor(log2(rows)) + 1, 0 for an empty table: equal bands mean "within
 /// 2x", the granularity at which cached planning decisions stay fresh.
@@ -84,6 +87,10 @@ class PlanCache {
     uint64_t key = 0;
     std::vector<const Table*> tables;
     std::vector<uint32_t> bands;  // parallel to `tables`
+    /// Liveness tokens parallel to `tables`; debug builds assert none has
+    /// expired before the raw pointers are dereferenced (the documented
+    /// tables-outlive-the-Server contract).
+    std::vector<std::weak_ptr<const void>> live;
     std::vector<PhysicalPlan> pool;
     uint64_t last_used = 0;  // LRU tick
   };

@@ -6,6 +6,18 @@
 
 namespace ccdb {
 
+namespace {
+
+// Binds the server's registry (possibly null) into the planner options so
+// every Lower() — direct or via the plan cache's initial miss — emits
+// shared-scan operators attached to it.
+ServerOptions WireSharedScans(ServerOptions o, SharedScanRegistry* scans) {
+  o.planner.exec.shared_scans = scans;
+  return o;
+}
+
+}  // namespace
+
 const QueryOutcome& QueryTicket::Wait() const {
   std::unique_lock<std::mutex> lock(state_->mu);
   state_->cv.wait(lock, [&] { return state_->done; });
@@ -21,7 +33,10 @@ bool QueryTicket::done() const {
   return state_->done;
 }
 
-Server::Server(ServerOptions options) : options_(std::move(options)) {
+Server::Server(ServerOptions options)
+    : scans_(options.shared_scan ? std::make_unique<SharedScanRegistry>()
+                                 : nullptr),
+      options_(WireSharedScans(std::move(options), scans_.get())) {
   size_t n = options_.max_inflight == 0 ? 1 : options_.max_inflight;
   executors_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -235,6 +250,7 @@ Server::Stats Server::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s = stats_;
   s.cache = cache_.stats();
+  if (scans_ != nullptr) s.shared_scans = scans_->stats();
   return s;
 }
 

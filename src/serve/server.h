@@ -42,6 +42,7 @@
 #include "exec/result.h"
 #include "model/planner.h"
 #include "serve/plan_cache.h"
+#include "serve/shared_scan.h"
 #include "util/status.h"
 
 namespace ccdb {
@@ -70,6 +71,13 @@ struct ServerOptions {
   uint32_t morsel_quantum = 4;
 
   bool use_plan_cache = true;
+
+  /// true: the server owns a SharedScanRegistry and every query's scans
+  /// lower to cooperative shared-scan operators (exec/shared_scan.h), so
+  /// concurrent plans over one table share a single cursor pass and, where
+  /// filters subsume each other, candidate lists. false: plans execute on
+  /// fully independent ScanOps, byte-identical to the provider-free engine.
+  bool shared_scan = true;
 };
 
 /// Everything a client learns about one finished query.
@@ -148,6 +156,7 @@ class Server {
     uint64_t rejected = 0;   // admission control refusals
     uint64_t completed = 0;  // any terminal status, including errors
     PlanCache::Stats cache;
+    SharedScanRegistry::Stats shared_scans;  // zeros when shared_scan=false
   };
 
   explicit Server(ServerOptions options);
@@ -186,6 +195,11 @@ class Server {
   void Finish(const RequestPtr& req, Status status, QueryResult result,
               bool cache_hit, double exec_ms);
 
+  /// Declared before options_: the constructor's init list builds the
+  /// registry first, then stores its address into the planner options every
+  /// query is lowered with. Declared-before also means destroyed-after, so
+  /// cached plans holding SharedScanOps never outlive their provider.
+  std::unique_ptr<SharedScanRegistry> scans_;
   const ServerOptions options_;
   PlanCache cache_;
 

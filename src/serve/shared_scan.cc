@@ -1,0 +1,473 @@
+#include "serve/shared_scan.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace ccdb {
+
+namespace {
+
+/// How long a waiter sleeps before re-polling its own deadline/cancel
+/// while another participant drives the chunk it needs.
+constexpr std::chrono::milliseconds kDriveWait{2};
+
+Status OwnSchedCheck(const ExecContext* ctx) {
+  if (ctx == nullptr || ctx->sched == nullptr) return Status::Ok();
+  return ctx->sched->Check();
+}
+
+size_t NumChunks(size_t rows, size_t chunk_rows) {
+  if (rows == 0 || chunk_rows >= rows) return 1;  // empty table: one 0-row chunk
+  return (rows + chunk_rows - 1) / chunk_rows;
+}
+
+}  // namespace
+
+/// One plan's attachment. NextChunk() is called from exactly one thread
+/// (the plan's executor); cross-participant coordination goes through the
+/// Group's mutex only.
+class SharedScanHandle : public SharedScanParticipant {
+ public:
+  /// `filter` is copied for private handles (member == null); shared
+  /// handles read theirs from the Member, which the registry owns.
+  SharedScanHandle(SharedScanRegistry* registry,
+                   SharedScanRegistry::Group* group,
+                   std::shared_ptr<SharedScanRegistry::Member> member,
+                   const Table* table, size_t chunk_rows, size_t pass_rows,
+                   size_t num_chunks, const ExecContext* ctx,
+                   const Expr* filter)
+      : registry_(registry),
+        group_(group),
+        member_(std::move(member)),
+        table_(table),
+        chunk_rows_(chunk_rows),
+        pass_rows_(pass_rows),
+        num_chunks_(num_chunks),
+        ctx_(ctx) {
+    if (member_ == nullptr && filter != nullptr) filter_ = *filter;
+  }
+
+  ~SharedScanHandle() override {
+    if (member_ == nullptr) return;  // private handle: nothing registered
+    std::lock_guard<std::mutex> lock(group_->mu);
+    member_->detached = true;
+    auto& ms = group_->members;
+    ms.erase(std::remove(ms.begin(), ms.end(), member_), ms.end());
+    // A waiter may be blocked on this participant's drive having ended the
+    // pass; wake everyone to re-examine the cursor.
+    group_->cv.notify_all();
+  }
+
+  StatusOr<bool> NextChunk(Chunk* out) override {
+    size_t idx = next_emit_;
+    if (idx >= num_chunks_) return false;
+    CCDB_RETURN_IF_ERROR(OwnSchedCheck(ctx_));
+    // Private handles, and the catch-up prefix of a mid-pass attach, scan
+    // for themselves with their own filter and context.
+    if (member_ == nullptr) return EmitPrivate(out);
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(group_->mu);
+        if (idx < member_->share_from) break;  // catch-up: scan privately
+        if (!member_->queue.empty()) {
+          SharedScanRegistry::QueueEntry e = std::move(member_->queue.front());
+          member_->queue.pop_front();
+          lock.unlock();
+          CCDB_DCHECK(e.index == idx);
+          return EmitEntry(e, out);
+        }
+        if (member_->overflowed) break;  // queue drained; private from here
+        if (group_->driving) {
+          // Another participant is building the chunk we need; wait with a
+          // timeout so our own cancel/deadline stays responsive.
+          group_->cv.wait_for(lock, kDriveWait);
+          lock.unlock();
+          CCDB_RETURN_IF_ERROR(OwnSchedCheck(ctx_));
+          continue;
+        }
+        // Our queue is empty and nobody is driving: the cursor sits at
+        // exactly the chunk we need (we consumed every published entry, so
+        // idx == next_chunk). Become its driver.
+        CCDB_DCHECK(idx == group_->next_chunk);
+        group_->driving = true;
+        snapshot_.clear();
+        for (const auto& m : group_->members) {
+          if (!m->detached && !m->overflowed &&
+              m->pass == group_->pass && m->share_from <= idx) {
+            snapshot_.push_back(m);
+          }
+        }
+      }
+      Status drive = DriveChunk(idx);
+      if (!drive.ok()) {
+        std::lock_guard<std::mutex> lock(group_->mu);
+        group_->driving = false;
+        group_->cv.notify_all();
+        return drive;
+      }
+      // Our own entry for idx is now queued (our queue was empty, so the
+      // publish cannot have overflowed us); loop around to consume it.
+    }
+    return EmitPrivate(out);
+  }
+
+ private:
+  Chunk MakeChunk(size_t idx) const {
+    size_t start = chunk_rows_ == SIZE_MAX ? 0 : idx * chunk_rows_;
+    size_t n = std::min(chunk_rows_, pass_rows_ - start);
+    return MakeTableScanChunk(*table_, static_cast<oid_t>(start), n);
+  }
+
+  StatusOr<bool> EmitPrivate(Chunk* out) {
+    Chunk chunk = MakeChunk(next_emit_);
+    const std::optional<Expr>& filter =
+        member_ != nullptr ? member_->filter : filter_;
+    if (filter.has_value()) {
+      // Catch-up chunks of a shared member align with the group's cursor
+      // geometry, so the filter cache applies; fully-private handles
+      // (geometry mismatch) have different chunk boundaries and do not.
+      std::vector<uint32_t> positions;
+      if (member_ != nullptr) {
+        CCDB_ASSIGN_OR_RETURN(
+            positions, FilteredPositions(chunk, *filter, next_emit_));
+      } else {
+        CCDB_ASSIGN_OR_RETURN(positions,
+                              EvalFilterPositions(chunk, *filter, ctx_));
+        registry_->filter_full_evals_.fetch_add(1, std::memory_order_relaxed);
+      }
+      CCDB_ASSIGN_OR_RETURN(*out, chunk.Take(positions));
+    } else {
+      *out = std::move(chunk);
+    }
+    registry_->chunks_private_.fetch_add(1, std::memory_order_relaxed);
+    ++next_emit_;
+    return true;
+  }
+
+  enum class CacheHit { kNone, kExact, kWeaker };
+
+  /// Pre: group mu NOT held. Looks for a cached survivor list usable for
+  /// `filter` at chunk `idx`: an equivalent filter's list (use as-is) or a
+  /// provably weaker one's (narrow it). Copies the list out under the lock.
+  CacheHit LookupFilterCache(const Expr& filter, size_t idx,
+                             std::vector<uint32_t>* positions) {
+    std::lock_guard<std::mutex> lock(group_->mu);
+    // A member of an earlier pass may still be catching up after a newer
+    // pass re-captured different geometry; the cache tracks the group's
+    // CURRENT geometry, so such a straggler must bypass it.
+    if (group_->chunk_rows != chunk_rows_ || group_->pass_rows != pass_rows_) {
+      return CacheHit::kNone;
+    }
+    SharedScanRegistry::CachedFilter* weaker = nullptr;
+    for (auto& e : group_->filter_cache) {
+      if (idx >= e.done.size() || !e.done[idx]) continue;
+      if (!ExprSubsumes(filter, e.filter)) continue;
+      if (ExprSubsumes(e.filter, filter)) {
+        *positions = e.positions[idx];
+        return CacheHit::kExact;
+      }
+      if (weaker == nullptr) weaker = &e;
+    }
+    if (weaker != nullptr) {
+      *positions = weaker->positions[idx];
+      return CacheHit::kWeaker;
+    }
+    return CacheHit::kNone;
+  }
+
+  /// Pre: group mu NOT held; this handle is a member (so the pass — and
+  /// with it the cache's validity — cannot reset concurrently). Records an
+  /// exact survivor list for `filter` at chunk `idx`.
+  void StoreFilterCache(const Expr& filter, size_t idx,
+                        const std::vector<uint32_t>& positions) {
+    if (registry_->options_.max_cached_filters == 0) return;
+    std::lock_guard<std::mutex> lock(group_->mu);
+    if (group_->chunk_rows != chunk_rows_ || group_->pass_rows != pass_rows_) {
+      return;  // stale-geometry straggler: its lists don't fit this cache
+    }
+    for (auto& e : group_->filter_cache) {
+      if (ExprSubsumes(filter, e.filter) && ExprSubsumes(e.filter, filter)) {
+        if (idx < e.done.size() && !e.done[idx]) {
+          e.positions[idx] = positions;
+          e.done[idx] = 1;
+        }
+        return;
+      }
+    }
+    if (group_->filter_cache.size() >= registry_->options_.max_cached_filters) {
+      return;  // cache full: keep the established filters
+    }
+    SharedScanRegistry::CachedFilter fresh;
+    fresh.filter = filter;
+    fresh.positions.resize(num_chunks_);
+    fresh.done.assign(num_chunks_, 0);
+    fresh.positions[idx] = positions;
+    fresh.done[idx] = 1;
+    group_->filter_cache.push_back(std::move(fresh));
+  }
+
+  /// Computes `filter`'s exact survivors of chunk `idx`, sharing work with
+  /// the group's filter cache: equivalent cached list → copy, weaker
+  /// cached list → narrow, otherwise a full evaluation (stored back for
+  /// later queries). Pre: this handle is a shared member.
+  StatusOr<std::vector<uint32_t>> FilteredPositions(const Chunk& chunk,
+                                                    const Expr& filter,
+                                                    size_t idx) {
+    std::vector<uint32_t> donor;
+    CacheHit hit = LookupFilterCache(filter, idx, &donor);
+    if (hit == CacheHit::kExact) {
+      registry_->filter_copied_.fetch_add(1, std::memory_order_relaxed);
+      return donor;
+    }
+    if (hit == CacheHit::kWeaker) {
+      CCDB_ASSIGN_OR_RETURN(
+          std::vector<uint32_t> narrowed,
+          NarrowFilterPositions(chunk, filter, std::move(donor), ctx_));
+      registry_->filter_narrowed_.fetch_add(1, std::memory_order_relaxed);
+      StoreFilterCache(filter, idx, narrowed);
+      return narrowed;
+    }
+    CCDB_ASSIGN_OR_RETURN(std::vector<uint32_t> positions,
+                          EvalFilterPositions(chunk, filter, ctx_));
+    registry_->filter_full_evals_.fetch_add(1, std::memory_order_relaxed);
+    StoreFilterCache(filter, idx, positions);
+    return positions;
+  }
+
+  StatusOr<bool> EmitEntry(const SharedScanRegistry::QueueEntry& e,
+                           Chunk* out) {
+    Chunk chunk = MakeChunk(e.index);
+    if (e.pass_through) {
+      *out = std::move(chunk);
+    } else {
+      CCDB_ASSIGN_OR_RETURN(*out, chunk.Take(e.positions));
+    }
+    ++next_emit_;
+    return true;
+  }
+
+  /// Builds chunk `idx` once and evaluates every snapshot member's filter,
+  /// sharing candidate lists between filters in a subsumption relation;
+  /// then publishes all results atomically under the group lock. On error
+  /// nothing is published and the caller re-opens the driver seat.
+  Status DriveChunk(size_t idx) {
+    Chunk chunk = MakeChunk(idx);
+    size_t n = snapshot_.size();
+    std::vector<SharedScanRegistry::QueueEntry> results(n);
+    // Pick each filtered member a donor: an equivalent filter (copy its
+    // list) or a strictly weaker one (narrow its list). The tie-break on
+    // equivalence (lower index donates) makes the donor graph acyclic, so
+    // the ready-loop below always completes.
+    std::vector<int> donor(n, -1);
+    std::vector<bool> equiv(n, false);
+    for (size_t k = 0; k < n; ++k) {
+      if (!snapshot_[k]->filter.has_value()) continue;
+      const Expr& fk = *snapshot_[k]->filter;
+      for (size_t j = 0; j < n; ++j) {
+        if (j == k || !snapshot_[j]->filter.has_value()) continue;
+        const Expr& fj = *snapshot_[j]->filter;
+        if (!ExprSubsumes(fk, fj)) continue;
+        if (ExprSubsumes(fj, fk)) {
+          if (j < k) {
+            donor[k] = static_cast<int>(j);
+            equiv[k] = true;
+            break;  // a copy donor is the best possible; stop looking
+          }
+        } else if (donor[k] == -1 || !equiv[k]) {
+          donor[k] = static_cast<int>(j);
+          equiv[k] = false;
+        }
+      }
+    }
+    std::vector<bool> done(n, false);
+    size_t remaining = n;
+    while (remaining > 0) {
+      bool progressed = false;
+      for (size_t k = 0; k < n; ++k) {
+        if (done[k]) continue;
+        // The driver's own schedule gates the whole fan-out: its cancel or
+        // deadline aborts the drive between member evaluations.
+        CCDB_RETURN_IF_ERROR(OwnSchedCheck(ctx_));
+        if (!snapshot_[k]->filter.has_value()) {
+          results[k].pass_through = true;
+        } else if (donor[k] >= 0) {
+          size_t j = static_cast<size_t>(donor[k]);
+          if (!done[j]) continue;  // donor not evaluated yet
+          if (equiv[k]) {
+            results[k].positions = results[j].positions;
+            registry_->filter_copied_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            CCDB_ASSIGN_OR_RETURN(
+                results[k].positions,
+                NarrowFilterPositions(chunk, *snapshot_[k]->filter,
+                                      results[j].positions, ctx_));
+            registry_->filter_narrowed_.fetch_add(1,
+                                                  std::memory_order_relaxed);
+            StoreFilterCache(*snapshot_[k]->filter, idx, results[k].positions);
+          }
+        } else {
+          // No donor among this drive's members: the cross-pass filter
+          // cache may still have an equivalent or weaker list from an
+          // earlier pass over the same data.
+          CCDB_ASSIGN_OR_RETURN(
+              results[k].positions,
+              FilteredPositions(chunk, *snapshot_[k]->filter, idx));
+        }
+        results[k].index = idx;
+        done[k] = true;
+        --remaining;
+        progressed = true;
+      }
+      if (!progressed) {
+        // Donor cycle: possible when semantically equivalent filters are
+        // syntactically different enough that ExprSubsumes sees a strict
+        // chain in a ring (it is conservative, not logically complete).
+        // Break it by evaluating one stuck member fully — always correct.
+        for (size_t k = 0; k < n; ++k) {
+          if (!done[k]) {
+            donor[k] = -1;
+            break;
+          }
+        }
+      }
+    }
+    registry_->chunks_driven_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(group_->mu);
+    for (size_t k = 0; k < n; ++k) {
+      SharedScanRegistry::Member& m = *snapshot_[k];
+      if (m.detached || m.overflowed) continue;
+      if (m.queue.size() >= registry_->options_.max_buffered_chunks) {
+        // This participant stopped consuming; stop queueing for it. It
+        // finishes its remaining chunks privately — correct, just unshared.
+        m.overflowed = true;
+        registry_->overflows_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      m.queue.push_back(std::move(results[k]));
+      registry_->chunks_fanned_out_.fetch_add(1, std::memory_order_relaxed);
+    }
+    group_->next_chunk = idx + 1;
+    group_->driving = false;
+    group_->cv.notify_all();
+    return Status::Ok();
+  }
+
+  SharedScanRegistry* registry_;
+  SharedScanRegistry::Group* group_;
+  std::shared_ptr<SharedScanRegistry::Member> member_;  // null: private
+  const Table* table_;
+  size_t chunk_rows_;
+  size_t pass_rows_;
+  size_t num_chunks_;
+  const ExecContext* ctx_;
+  std::optional<Expr> filter_;  // private handles only (no Member)
+  size_t next_emit_ = 0;
+  /// Scratch for DriveChunk (members this drive fans out to); a handle
+  /// drives at most one chunk at a time.
+  std::vector<std::shared_ptr<SharedScanRegistry::Member>> snapshot_;
+
+  friend class SharedScanRegistry;
+};
+
+SharedScanRegistry::SharedScanRegistry()
+    : SharedScanRegistry(Options()) {}
+
+SharedScanRegistry::SharedScanRegistry(Options options)
+    : options_(options) {}
+
+SharedScanRegistry::~SharedScanRegistry() = default;
+
+SharedScanRegistry::Group* SharedScanRegistry::GroupFor(const Table* table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& g : groups_) {
+    if (g->table == table) return g.get();
+  }
+  groups_.push_back(std::make_unique<Group>());
+  Group* g = groups_.back().get();
+  g->table = table;
+  g->live = table->liveness();
+  return g;
+}
+
+StatusOr<std::unique_ptr<SharedScanParticipant>> SharedScanRegistry::Attach(
+    const Table* table, const Expr* normalized_filter, size_t chunk_rows,
+    const ExecContext* ctx) {
+  if (table == nullptr) return Status::InvalidArgument("shared scan: no table");
+  if (chunk_rows == 0) chunk_rows = SIZE_MAX;
+  attaches_.fetch_add(1, std::memory_order_relaxed);
+  Group* g = GroupFor(table);
+  std::lock_guard<std::mutex> lock(g->mu);
+  if (g->members.empty()) {
+    CCDB_DCHECK(!g->driving);  // the driver is always a member
+  } else {
+    // Same contract as the plan cache: a registered table must be alive.
+    CCDB_DCHECK(!g->live.expired() &&
+                "shared-scan group references a destroyed Table; tables must "
+                "outlive the Server (see serve/plan_cache.h)");
+  }
+  if (g->members.empty() ||
+      (g->next_chunk >= g->num_chunks && !g->driving)) {
+    // Open a fresh pass: capture the cursor geometry and re-arm the
+    // lifetime token (a previous pass's table may have died and this
+    // address been reused by a new Table). When the previous pass is fully
+    // driven, its members hold every entry they still need in their
+    // queues, so restarting the cursor under a new generation cannot
+    // disturb them.
+    g->live = table->liveness();
+    ++g->pass;
+    // The filter cache carries over to the new pass only when it will
+    // describe the same chunks: same chunking, same row count, and the
+    // table's data unchanged since the cache was filled.
+    uint64_t version = table->data_version();
+    if (g->chunk_rows != chunk_rows || g->pass_rows != table->num_rows() ||
+        g->data_version != version) {
+      g->filter_cache.clear();
+    }
+    g->data_version = version;
+    g->chunk_rows = chunk_rows;
+    g->pass_rows = table->num_rows();
+    g->num_chunks = NumChunks(g->pass_rows, chunk_rows);
+    g->next_chunk = 0;
+  }
+  size_t rows_now = table->num_rows();
+  if (g->chunk_rows != chunk_rows || g->pass_rows != rows_now) {
+    // Mid-pass geometry mismatch (different chunk size, or AppendRows moved
+    // the row count since the pass opened): serve this plan privately. The
+    // group's current pass finishes undisturbed; the next fresh pass
+    // re-captures geometry.
+    attaches_private_.fetch_add(1, std::memory_order_relaxed);
+    return std::unique_ptr<SharedScanParticipant>(new SharedScanHandle(
+        this, g, nullptr, table, chunk_rows, rows_now,
+        NumChunks(rows_now, chunk_rows), ctx, normalized_filter));
+  }
+  auto member = std::make_shared<Member>();
+  if (normalized_filter != nullptr) member->filter = *normalized_filter;
+  member->pass = g->pass;
+  // Chunks at or past the cursor arrive via fan-out; if a drive is in
+  // flight its snapshot is already fixed, so sharing starts one later.
+  member->share_from = g->next_chunk + (g->driving ? 1 : 0);
+  g->members.push_back(member);
+  auto handle = std::make_unique<SharedScanHandle>(
+      this, g, std::move(member), table, g->chunk_rows, g->pass_rows,
+      g->num_chunks, ctx, nullptr);
+  return std::unique_ptr<SharedScanParticipant>(std::move(handle));
+}
+
+SharedScanRegistry::Stats SharedScanRegistry::stats() const {
+  Stats s;
+  s.attaches = attaches_.load(std::memory_order_relaxed);
+  s.attaches_private = attaches_private_.load(std::memory_order_relaxed);
+  s.chunks_driven = chunks_driven_.load(std::memory_order_relaxed);
+  s.chunks_fanned_out = chunks_fanned_out_.load(std::memory_order_relaxed);
+  s.chunks_private = chunks_private_.load(std::memory_order_relaxed);
+  s.filter_full_evals = filter_full_evals_.load(std::memory_order_relaxed);
+  s.filter_narrowed = filter_narrowed_.load(std::memory_order_relaxed);
+  s.filter_copied = filter_copied_.load(std::memory_order_relaxed);
+  s.overflows = overflows_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace ccdb

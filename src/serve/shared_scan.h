@@ -1,0 +1,184 @@
+// SharedScanRegistry: the concrete per-table cooperative cursor behind
+// exec/shared_scan.h's provider interface.
+//
+// One Group exists per scanned table. Attached participants (one per
+// executing plan's SharedScanOp) advance a single chunk cursor
+// *cooperatively*: whichever participant needs the next chunk first
+// becomes its driver, builds the chunk once, evaluates every attached
+// filter against it, and publishes per-participant results — so N plans
+// over one table cost one pass through memory plus one evaluation per
+// *distinct* filter, instead of N scans. Filter work is shared further by
+// subsumption (ExprSubsumes): a filter equivalent to an already-evaluated
+// one copies its candidate list outright, and a strictly stronger filter
+// narrows the weaker filter's survivors instead of re-reading the column
+// (sound because Narrow({p: B(p)}, A) = {p: A(p)} whenever A ⇒ B).
+//
+// Correctness model — byte-identical to independent execution:
+//  * every participant receives exactly the chunk sequence its private
+//    ScanOp(+SelectOp) would produce: same boundaries, same layout, same
+//    filter kernels (EvalFilterPositions IS SelectOp's evaluation);
+//  * a participant attaching mid-pass catches up on already-driven chunks
+//    privately, then rides the shared cursor;
+//  * results are published atomically per chunk under the group lock: a
+//    driver failing mid-chunk (cancel, deadline, eval error) publishes
+//    nothing, and the next participant re-drives the same chunk.
+//
+// Liveness model — no participant can block another indefinitely:
+//  * the only wait is for the current driver's single chunk, and waiters
+//    poll their own deadline/cancel while waiting;
+//  * a slow or stalled consumer (a Limit that stopped pulling, a plan
+//    stuck behind its own pipeline breaker) is never waited for: once its
+//    unconsumed queue hits max_buffered_chunks it is marked overflowed,
+//    dropped from future fan-outs, and silently degrades to private
+//    scanning for the rest of its execution — still correct, just not
+//    shared. Queue memory is thereby bounded per participant.
+#ifndef CCDB_SERVE_SHARED_SCAN_H_
+#define CCDB_SERVE_SHARED_SCAN_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "exec/shared_scan.h"
+
+namespace ccdb {
+
+class SharedScanRegistry : public SharedScanProvider {
+ public:
+  struct Options {
+    /// Published-but-unconsumed chunks a participant may queue before it
+    /// overflows to private scanning. Bounds both queue memory and how far
+    /// the shared cursor can run ahead of the slowest participant. Entries
+    /// are position lists (a few KB at most, nothing for pass-through), so
+    /// the default favors staying shared even when one participant drives
+    /// a long stretch of the pass while the others are descheduled.
+    size_t max_buffered_chunks = 1024;
+
+    /// Distinct filters whose per-chunk survivor lists are retained per
+    /// table group — and kept across pass restarts while the table's row
+    /// count and data version are unchanged — so a later query with an
+    /// equal filter copies the list and one with a strictly stronger
+    /// filter narrows it, instead of re-reading the column. This is the
+    /// cross-time half of candidate-list sharing: it pays off even when
+    /// concurrent queries end up serialized (one hardware thread). 0
+    /// disables the cache.
+    size_t max_cached_filters = 8;
+  };
+
+  /// Counters are cumulative and monotonically increasing; read with
+  /// stats(). `chunks_driven` vs `chunks_private` is the memory-traffic
+  /// proxy: driven chunks are read once for all sharers, private chunks
+  /// are per-plan re-reads (catch-up, overflow, or unshareable attach).
+  struct Stats {
+    uint64_t attaches = 0;
+    uint64_t attaches_private = 0;  // chunk-size/row-count mismatch
+    uint64_t chunks_driven = 0;     // shared chunks built (once each)
+    uint64_t chunks_fanned_out = 0; // per-participant deliveries of those
+    uint64_t chunks_private = 0;    // chunks a participant scanned itself
+    uint64_t filter_full_evals = 0; // filters evaluated against a chunk
+    uint64_t filter_narrowed = 0;   // computed by narrowing a donor's list
+    uint64_t filter_copied = 0;     // equivalent filter: list copied
+    uint64_t overflows = 0;         // participants degraded to private
+  };
+
+  SharedScanRegistry();
+  explicit SharedScanRegistry(Options options);
+  ~SharedScanRegistry() override;
+
+  SharedScanRegistry(const SharedScanRegistry&) = delete;
+  SharedScanRegistry& operator=(const SharedScanRegistry&) = delete;
+
+  StatusOr<std::unique_ptr<SharedScanParticipant>> Attach(
+      const Table* table, const Expr* normalized_filter, size_t chunk_rows,
+      const ExecContext* ctx) override;
+
+  Stats stats() const;
+
+ private:
+  friend class SharedScanHandle;
+
+  /// One participant's per-chunk delivery: the chunk index plus either
+  /// "emit the whole chunk" (unfiltered plan) or the surviving positions.
+  struct QueueEntry {
+    size_t index = 0;
+    bool pass_through = false;
+    std::vector<uint32_t> positions;
+  };
+
+  /// Shared-cursor state of one attached participant. `queue`, `share_from`,
+  /// `overflowed` and `detached` are guarded by the owning Group's mutex;
+  /// `filter` is immutable after attach (the registry's own copy, so a
+  /// detaching operator cannot dangle it mid-drive).
+  struct Member {
+    std::optional<Expr> filter;
+    std::deque<QueueEntry> queue;
+    uint64_t pass = 0;      // the pass generation this member rides
+    size_t share_from = 0;  // first chunk index served from the cursor
+    bool overflowed = false;
+    bool detached = false;
+  };
+
+  /// One distinct filter's exact survivor lists, filled in chunk by chunk
+  /// as they are computed. Guarded by the owning Group's mutex.
+  struct CachedFilter {
+    Expr filter;  // normalized
+    std::vector<std::vector<uint32_t>> positions;  // per chunk index
+    std::vector<uint8_t> done;                     // per chunk index
+  };
+
+  /// The cooperative cursor over one table. A "pass" opens (capturing the
+  /// row count and chunking) when a participant attaches to an empty
+  /// group, or to one whose pass is fully driven — every entry the
+  /// previous pass's members still need is already in their queues, so
+  /// the cursor can restart at 0 under a new `pass` generation without
+  /// touching them. Participants attaching while the row count has moved
+  /// mid-pass (AppendRows), or with a different chunk size, scan
+  /// privately instead.
+  struct Group {
+    const Table* table = nullptr;
+    std::weak_ptr<const void> live;  // lifetime-contract debug token
+
+    std::mutex mu;
+    std::condition_variable cv;
+    uint64_t pass = 0;      // generation; bumped at each pass open
+    size_t chunk_rows = SIZE_MAX;
+    size_t pass_rows = 0;
+    size_t num_chunks = 1;
+    size_t next_chunk = 0;  // next index the cursor will drive
+    bool driving = false;   // a participant is building next_chunk now
+    std::vector<std::shared_ptr<Member>> members;
+
+    /// Filter cache: valid for the current geometry + data_version;
+    /// cleared when a pass opens with either changed.
+    uint64_t data_version = 0;
+    std::vector<CachedFilter> filter_cache;
+  };
+
+  /// Pre: registry lock NOT held. Finds or creates the group for `table`.
+  Group* GroupFor(const Table* table);
+
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Group>> groups_;
+
+  // Cumulative counters (relaxed: they are diagnostics, not synchronization).
+  std::atomic<uint64_t> attaches_{0};
+  std::atomic<uint64_t> attaches_private_{0};
+  std::atomic<uint64_t> chunks_driven_{0};
+  std::atomic<uint64_t> chunks_fanned_out_{0};
+  std::atomic<uint64_t> chunks_private_{0};
+  std::atomic<uint64_t> filter_full_evals_{0};
+  std::atomic<uint64_t> filter_narrowed_{0};
+  std::atomic<uint64_t> filter_copied_{0};
+  std::atomic<uint64_t> overflows_{0};
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_SERVE_SHARED_SCAN_H_

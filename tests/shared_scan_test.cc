@@ -1,0 +1,648 @@
+// Shared scans: ExprSubsumes soundness against oracle evaluation (the
+// subsumption matrix: Eq⊂Range, In⊂In, Between⊂Range, negated leaves,
+// And/Or refinements, f64 open/closed endpoints and NaN, strings, and
+// non-subsuming pairs), the cooperative cursor protocol (deterministic
+// single-threaded fan-out: chunks driven once, subsumed filters narrowed,
+// equivalent filters copied, mid-pass attach catch-up, detach and
+// cancel mid-scan, overflow-to-private backpressure, geometry-mismatch
+// private attach), and end-to-end byte-identity: K concurrent plans over
+// one table produce exactly the independent-execution results at
+// parallelism {1, 2, 8}, with and without the serving layer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/operator.h"
+#include "exec/plan.h"
+#include "exec/shared_scan.h"
+#include "exec/table.h"
+#include "model/planner.h"
+#include "serve/server.h"
+#include "serve/shared_scan.h"
+
+namespace ccdb {
+namespace {
+
+// items(order u32, qty u32, price f64, shipmode char10): qty = 1 + i % 5,
+// price = 10 + i % 97 with every 250th price NaN (exercises the IEEE
+// semantics subsumption must respect), shipmode cycles MAIL/AIR/TRUCK/SHIP.
+Table MakeItems(size_t n) {
+  auto rs = RowStore::Make(
+      {
+          {"order", FieldType::kU32},
+          {"qty", FieldType::kU32},
+          {"price", FieldType::kF64},
+          {"shipmode", FieldType::kChar10},
+      },
+      n + 1);
+  CCDB_CHECK(rs.ok());
+  const char* modes[] = {"MAIL", "AIR", "TRUCK", "SHIP"};
+  for (size_t i = 0; i < n; ++i) {
+    size_t r = *rs->AppendRow();
+    rs->SetU32(r, 0, static_cast<uint32_t>(i / 3));
+    rs->SetU32(r, 1, static_cast<uint32_t>(1 + i % 5));
+    rs->SetF64(r, 2,
+               i % 250 == 249 ? std::numeric_limits<double>::quiet_NaN()
+                              : 10.0 + static_cast<double>(i % 97));
+    const char* m = modes[i % 4];
+    rs->SetBytes(r, 3, m, strlen(m));
+  }
+  return *Table::FromRowStore(*rs);
+}
+
+Expr N(Expr e) { return NormalizeExpr(std::move(e)); }
+
+/// Ground truth: the filter evaluated over the whole table with the same
+/// kernels SelectOp uses.
+std::vector<uint32_t> Oracle(const Table& t, const Expr& normalized) {
+  Chunk chunk = MakeTableScanChunk(t, 0, t.num_rows());
+  auto r = EvalFilterPositions(chunk, normalized, nullptr);
+  CCDB_CHECK(r.ok());
+  return *std::move(r);
+}
+
+bool IsSubset(const std::vector<uint32_t>& small,
+              const std::vector<uint32_t>& big) {
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+// --- ExprSubsumes: the subsumption matrix ------------------------------------
+
+TEST(ExprSubsumesTest, MatrixMatchesOracle) {
+  Table t = MakeItems(3000);
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  struct Case {
+    const char* what;
+    Expr a, b;
+    bool expect;  // does ExprSubsumes(a, b) prove a => b?
+  };
+  std::vector<Case> cases;
+  auto add = [&](const char* what, Expr a, Expr b, bool expect) {
+    cases.push_back({what, std::move(a), std::move(b), expect});
+  };
+  // Eq within a range.
+  add("eq in between", Col("qty") == 3u, Between(Col("qty"), 1, 4), true);
+  add("eq in ordering", Col("qty") == 3u, Col("qty") >= 2u, true);
+  // In-list within a superset In-list.
+  add("in in in", InU32(Col("qty"), {2, 4}), InU32(Col("qty"), {1, 2, 4}),
+      true);
+  // Between within a wider range.
+  add("between in between", Between(Col("qty"), 2, 3),
+      Between(Col("qty"), 1, 4), true);
+  add("between in ordering", Between(Col("qty"), 2, 3), Col("qty") >= 2u,
+      true);
+  // Integer closed-interval tightening: qty > 3 is exactly qty >= 4, so a
+  // range starting at 4 is contained in it.
+  add("int tightening", Between(Col("qty"), 4, 9), Col("qty") > 3u, true);
+  // Negated leaves: smaller complement set implies larger complement hole.
+  add("negated in", !InU32(Col("qty"), {1, 2, 3}), !InU32(Col("qty"), {1, 2}),
+      true);
+  add("negated between", !Between(Col("qty"), 1, 4),
+      !Between(Col("qty"), 2, 3), true);
+  add("ne from eq-other", Col("qty") == 2u, Col("qty") != 3u, true);
+  // And refinement: the conjunction's intersection proves what no single
+  // conjunct does.
+  add("and intersection", Col("qty") > 1u && Col("qty") < 4u,
+      Between(Col("qty"), 2, 3), true);
+  add("and one-conjunct", Between(Col("qty"), 2, 3) && Col("order") < 100u,
+      Between(Col("qty"), 1, 4), true);
+  // Or on either side.
+  add("or of eqs into between", Col("qty") == 2u || Col("qty") == 3u,
+      Between(Col("qty"), 2, 3), true);
+  add("between into or union", Between(Col("qty"), 2, 4),
+      Col("qty") == 2u || Col("qty") == 3u || Col("qty") == 4u, true);
+  // f64: endpoint openness matters.
+  add("f64 lt in le", Col("price") < 20.0, Col("price") <= 20.0, true);
+  add("f64 le NOT in lt", Col("price") <= 20.0, Col("price") < 20.0, false);
+  add("f64 between in ge", Between(Col("price"), 12.0, 18.0),
+      Col("price") >= 10.0, true);
+  // != matches NaN as well as every other value, so any NaN-free range
+  // implies it.
+  add("f64 between in ne", Between(Col("price"), 12.0, 18.0),
+      Col("price") != 11.0, true);
+  // Strings.
+  add("str eq in in", Col("shipmode") == "MAIL",
+      InStr(Col("shipmode"), {"MAIL", "AIR"}), true);
+  add("str eq in ne-other", Col("shipmode") == "MAIL",
+      Col("shipmode") != "AIR", true);
+  add("str ne in ne", !InStr(Col("shipmode"), {"AIR", "SHIP"}),
+      Col("shipmode") != "AIR", true);
+  // Non-subsuming pairs: the checker must say "no proof".
+  add("wider not in narrower", Between(Col("qty"), 1, 4), Col("qty") == 3u,
+      false);
+  add("different columns", Col("qty") == 3u, Col("order") == 3u, false);
+  add("different domains", Col("qty") == 3u, Col("price") >= 0.0, false);
+  add("overlapping ins", InU32(Col("qty"), {1, 2}), InU32(Col("qty"), {2, 3}),
+      false);
+  add("str eq other", Col("shipmode") == "MAIL", Col("shipmode") == "AIR",
+      false);
+  // NaN literals are unconvertible: no proof either way, even reflexively.
+  add("nan literal", Col("price") != nan, Col("price") != nan, false);
+
+  for (const Case& c : cases) {
+    Expr a = N(c.a), b = N(c.b);
+    EXPECT_EQ(ExprSubsumes(a, b), c.expect)
+        << c.what << ": " << a.ToString() << "  =>  " << b.ToString();
+    if (c.expect) {
+      // A claimed implication must hold on real data (NaN rows included).
+      EXPECT_TRUE(IsSubset(Oracle(t, a), Oracle(t, b))) << c.what;
+    }
+  }
+}
+
+// Every true answer across a pool of assorted filters must be sound
+// against oracle evaluation — in both orders, including self-pairs.
+TEST(ExprSubsumesTest, PairwiseSoundnessSweep) {
+  Table t = MakeItems(4000);
+  std::vector<Expr> pool;
+  for (Expr& e : std::vector<Expr>{
+           Col("qty") == 3u, Col("qty") != 3u, Col("qty") >= 2u,
+           Col("qty") < 4u, Between(Col("qty"), 2, 3),
+           !Between(Col("qty"), 2, 3), InU32(Col("qty"), {1, 3, 5}),
+           !InU32(Col("qty"), {2, 4}), Col("qty") > 1u && Col("qty") <= 3u,
+           Col("qty") == 1u || Col("qty") == 5u, Col("price") < 40.0,
+           Col("price") <= 40.0, Col("price") != 40.0,
+           Between(Col("price"), 15.0, 30.0), !Between(Col("price"), 15.0, 30.0),
+           Col("shipmode") == "MAIL", Col("shipmode") != "MAIL",
+           InStr(Col("shipmode"), {"MAIL", "AIR"}),
+           !InStr(Col("shipmode"), {"TRUCK"}),
+           Col("qty") >= 2u && Col("price") < 50.0}) {
+    pool.push_back(N(std::move(e)));
+  }
+  std::vector<std::vector<uint32_t>> rows;
+  rows.reserve(pool.size());
+  for (const Expr& e : pool) rows.push_back(Oracle(t, e));
+  size_t proofs = 0;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = 0; j < pool.size(); ++j) {
+      if (!ExprSubsumes(pool[i], pool[j])) continue;
+      ++proofs;
+      EXPECT_TRUE(IsSubset(rows[i], rows[j]))
+          << pool[i].ToString() << "  =>  " << pool[j].ToString();
+    }
+  }
+  // The pool is built to contain implications; a checker that never proves
+  // anything would pass the soundness sweep vacuously.
+  EXPECT_GT(proofs, pool.size());  // at least self-pairs plus real pairs
+}
+
+// The identity candidate-list sharing rests on: narrowing the weaker
+// filter's survivors by the stronger filter gives exactly the stronger
+// filter's survivors.
+TEST(ExprSubsumesTest, NarrowingEqualsDirectEvaluation) {
+  Table t = MakeItems(5000);
+  Chunk chunk = MakeTableScanChunk(t, 0, t.num_rows());
+  struct Pair {
+    Expr strong, weak;
+  };
+  std::vector<Pair> pairs;
+  pairs.push_back({N(Col("qty") == 3u), N(Between(Col("qty"), 1, 4))});
+  pairs.push_back({N(Between(Col("price"), 15.0, 30.0)),
+                   N(Col("price") >= 12.0)});
+  pairs.push_back({N(Col("shipmode") == "MAIL"),
+                   N(InStr(Col("shipmode"), {"MAIL", "AIR"}))});
+  for (const Pair& p : pairs) {
+    ASSERT_TRUE(ExprSubsumes(p.strong, p.weak)) << p.strong.ToString();
+    auto weak_rows = EvalFilterPositions(chunk, p.weak, nullptr);
+    ASSERT_TRUE(weak_rows.ok());
+    auto narrowed =
+        NarrowFilterPositions(chunk, p.strong, *weak_rows, nullptr);
+    ASSERT_TRUE(narrowed.ok());
+    auto direct = EvalFilterPositions(chunk, p.strong, nullptr);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(*narrowed, *direct) << p.strong.ToString();
+  }
+}
+
+// --- the cooperative cursor, driven deterministically ------------------------
+
+constexpr size_t kChunk = 1024;
+
+size_t PullAll(SharedScanParticipant* p) {
+  size_t rows = 0;
+  Chunk out;
+  for (;;) {
+    auto more = p->NextChunk(&out);
+    CCDB_CHECK(more.ok());
+    if (!*more) return rows;
+    rows += out.rows;
+  }
+}
+
+TEST(SharedScanRegistryTest, FanOutDrivesEachChunkOnceAndNarrowsSubsumed) {
+  Table t = MakeItems(10 * kChunk);
+  SharedScanRegistry reg;
+  Expr weak = N(Between(Col("qty"), 1, 4));
+  Expr strong = N(Col("qty") == 3u);
+  auto a = reg.Attach(&t, &weak, kChunk, nullptr);
+  auto b = reg.Attach(&t, &strong, kChunk, nullptr);
+  auto c = reg.Attach(&t, nullptr, kChunk, nullptr);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+
+  // One thread, pulls interleaved: whoever needs the next chunk first
+  // drives it; the others consume from their queues.
+  size_t ra = 0, rb = 0, rc = 0;
+  Chunk out;
+  for (;;) {
+    auto ma = (*a)->NextChunk(&out);
+    ASSERT_TRUE(ma.ok());
+    if (!*ma) break;
+    ra += out.rows;
+    auto mb = (*b)->NextChunk(&out);
+    ASSERT_TRUE(mb.ok() && *mb);
+    rb += out.rows;
+    auto mc = (*c)->NextChunk(&out);
+    ASSERT_TRUE(mc.ok() && *mc);
+    rc += out.rows;
+  }
+  EXPECT_EQ(ra, Oracle(t, weak).size());
+  EXPECT_EQ(rb, Oracle(t, strong).size());
+  EXPECT_EQ(rc, t.num_rows());
+
+  SharedScanRegistry::Stats s = reg.stats();
+  EXPECT_EQ(s.attaches, 3u);
+  EXPECT_EQ(s.attaches_private, 0u);
+  EXPECT_EQ(s.chunks_driven, 10u);       // each chunk built exactly once
+  EXPECT_EQ(s.chunks_fanned_out, 30u);   // ... and delivered to all three
+  EXPECT_EQ(s.chunks_private, 0u);
+  EXPECT_EQ(s.filter_full_evals, 10u);   // the weak filter, once per chunk
+  EXPECT_EQ(s.filter_narrowed, 10u);     // strong = narrow(weak survivors)
+  EXPECT_EQ(s.filter_copied, 0u);
+  EXPECT_EQ(s.overflows, 0u);
+}
+
+TEST(SharedScanRegistryTest, EquivalentFiltersCopyTheCandidateList) {
+  Table t = MakeItems(6 * kChunk);
+  SharedScanRegistry reg;
+  // Same predicate, different syntax: a conjunction of bounds vs Between.
+  Expr f1 = N(Col("qty") >= 2u && Col("qty") <= 3u);
+  Expr f2 = N(Between(Col("qty"), 2, 3));
+  ASSERT_TRUE(ExprSubsumes(f1, f2) && ExprSubsumes(f2, f1));
+  auto a = reg.Attach(&t, &f1, kChunk, nullptr);
+  auto b = reg.Attach(&t, &f2, kChunk, nullptr);
+  ASSERT_TRUE(a.ok() && b.ok());
+  size_t ra = 0, rb = 0;
+  Chunk out;
+  for (;;) {
+    auto ma = (*a)->NextChunk(&out);
+    ASSERT_TRUE(ma.ok());
+    if (!*ma) break;
+    ra += out.rows;
+    auto mb = (*b)->NextChunk(&out);
+    ASSERT_TRUE(mb.ok() && *mb);
+    rb += out.rows;
+  }
+  EXPECT_EQ(ra, rb);
+  EXPECT_EQ(ra, Oracle(t, f1).size());
+  SharedScanRegistry::Stats s = reg.stats();
+  EXPECT_EQ(s.filter_full_evals, 6u);  // one of the pair, once per chunk
+  EXPECT_EQ(s.filter_copied, 6u);      // the other copies its list
+  EXPECT_EQ(s.filter_narrowed, 0u);
+}
+
+TEST(SharedScanRegistryTest, MidPassAttachCatchesUpPrivately) {
+  Table t = MakeItems(8 * kChunk);
+  SharedScanRegistry reg;
+  auto a = reg.Attach(&t, nullptr, kChunk, nullptr);
+  ASSERT_TRUE(a.ok());
+  Chunk out;
+  for (int i = 0; i < 3; ++i) {  // cursor moves to chunk 3
+    auto m = (*a)->NextChunk(&out);
+    ASSERT_TRUE(m.ok() && *m);
+  }
+  Expr f = N(Col("qty") <= 3u);
+  auto b = reg.Attach(&t, &f, kChunk, nullptr);
+  ASSERT_TRUE(b.ok());
+  size_t rb = PullAll(b->get());
+  size_t ra = 3 * kChunk + PullAll(a->get());
+  EXPECT_EQ(ra, t.num_rows());
+  EXPECT_EQ(rb, Oracle(t, f).size());  // chunks 0-2 privately, 3-7 shared
+  SharedScanRegistry::Stats s = reg.stats();
+  EXPECT_EQ(s.chunks_private, 3u);
+  EXPECT_EQ(s.attaches_private, 0u);  // a real member, just catching up
+}
+
+TEST(SharedScanRegistryTest, DetachMidPassLeavesRemainingCorrect) {
+  Table t = MakeItems(8 * kChunk);
+  SharedScanRegistry reg;
+  Expr f = N(Col("qty") != 2u);
+  auto a = reg.Attach(&t, nullptr, kChunk, nullptr);
+  auto b = reg.Attach(&t, &f, kChunk, nullptr);
+  ASSERT_TRUE(a.ok() && b.ok());
+  Chunk out;
+  size_t ra = 0;
+  for (int i = 0; i < 2; ++i) {
+    auto ma = (*a)->NextChunk(&out);
+    ASSERT_TRUE(ma.ok() && *ma);
+    ra += out.rows;
+    auto mb = (*b)->NextChunk(&out);
+    ASSERT_TRUE(mb.ok() && *mb);
+  }
+  b->reset();  // detach mid-pass (what cancel / Close / Limit does)
+  ra += PullAll(a->get());
+  EXPECT_EQ(ra, t.num_rows());
+}
+
+TEST(SharedScanRegistryTest, CancelledParticipantFailsCleanOthersFinish) {
+  Table t = MakeItems(6 * kChunk);
+  SharedScanRegistry reg;
+  ScheduleContext sched;
+  ExecContext cancelled_ctx;
+  cancelled_ctx.sched = &sched;
+  auto a = reg.Attach(&t, nullptr, kChunk, nullptr);
+  auto b = reg.Attach(&t, nullptr, kChunk, &cancelled_ctx);
+  ASSERT_TRUE(a.ok() && b.ok());
+  Chunk out;
+  auto ma = (*a)->NextChunk(&out);
+  ASSERT_TRUE(ma.ok() && *ma);
+  auto mb = (*b)->NextChunk(&out);
+  ASSERT_TRUE(mb.ok() && *mb);
+  sched.cancelled.store(true);
+  auto aborted = (*b)->NextChunk(&out);
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_EQ(aborted.status().code(), StatusCode::kCancelled);
+  b->reset();  // the operator's Close on the error path
+  EXPECT_EQ(kChunk + PullAll(a->get()), t.num_rows());
+}
+
+TEST(SharedScanRegistryTest, SlowConsumerOverflowsToPrivateScanning) {
+  Table t = MakeItems(10 * kChunk);
+  SharedScanRegistry::Options opts;
+  opts.max_buffered_chunks = 2;
+  SharedScanRegistry reg(opts);
+  auto fast = reg.Attach(&t, nullptr, kChunk, nullptr);
+  auto slow = reg.Attach(&t, nullptr, kChunk, nullptr);
+  ASSERT_TRUE(fast.ok() && slow.ok());
+  // The fast participant runs the whole pass without the slow one
+  // consuming anything: the slow queue caps at 2, then overflows.
+  EXPECT_EQ(PullAll(fast->get()), t.num_rows());
+  SharedScanRegistry::Stats mid = reg.stats();
+  EXPECT_EQ(mid.overflows, 1u);
+  // The slow participant still produces the complete, correct scan.
+  EXPECT_EQ(PullAll(slow->get()), t.num_rows());
+  SharedScanRegistry::Stats s = reg.stats();
+  EXPECT_EQ(s.chunks_driven, 10u);
+  EXPECT_EQ(s.chunks_fanned_out, 12u);  // fast: 10, slow: 2 before overflow
+  EXPECT_EQ(s.chunks_private, 8u);      // slow finishes privately
+}
+
+TEST(SharedScanRegistryTest, GeometryMismatchFallsBackToPrivate) {
+  Table t = MakeItems(4 * kChunk);
+  SharedScanRegistry reg;
+  Expr f = N(Col("qty") >= 3u);
+  auto a = reg.Attach(&t, &f, kChunk, nullptr);
+  ASSERT_TRUE(a.ok());
+  auto b = reg.Attach(&t, &f, kChunk / 2, nullptr);  // different chunking
+  ASSERT_TRUE(b.ok());
+  size_t expect = Oracle(t, f).size();
+  EXPECT_EQ(PullAll(a->get()), expect);
+  EXPECT_EQ(PullAll(b->get()), expect);
+  EXPECT_EQ(reg.stats().attaches_private, 1u);
+}
+
+TEST(SharedScanRegistryTest, EmptyTableEmitsOneEmptyChunkPerParticipant) {
+  auto rs = RowStore::Make({{"k", FieldType::kU32}}, 4);
+  ASSERT_TRUE(rs.ok());
+  Table t = *Table::FromRowStore(*rs);
+  SharedScanRegistry reg;
+  auto a = reg.Attach(&t, nullptr, kChunk, nullptr);
+  auto b = reg.Attach(&t, nullptr, kChunk, nullptr);
+  ASSERT_TRUE(a.ok() && b.ok());
+  Chunk out;
+  auto ma = (*a)->NextChunk(&out);
+  ASSERT_TRUE(ma.ok() && *ma);
+  EXPECT_EQ(out.rows, 0u);
+  auto again = (*a)->NextChunk(&out);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(*again);
+  EXPECT_EQ(PullAll(b->get()), 0u);
+}
+
+// The cross-pass filter cache: a repeat query over unchanged data copies
+// last pass's candidate lists instead of re-reading the column, and a
+// later stronger filter narrows them.
+TEST(SharedScanRegistryTest, FilterCachePersistsAcrossPasses) {
+  Table t = MakeItems(5 * kChunk);
+  SharedScanRegistry reg;
+  Expr weak = N(Between(Col("qty"), 1, 4));
+  Expr strong = N(Col("qty") == 3u);
+  size_t expect_weak = Oracle(t, weak).size();
+  size_t expect_strong = Oracle(t, strong).size();
+
+  // Pass 1: the filter is evaluated for real, once per chunk, and cached.
+  auto a = reg.Attach(&t, &weak, kChunk, nullptr);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(PullAll(a->get()), expect_weak);
+  a->reset();  // detach: the group is empty, but the cache survives
+  EXPECT_EQ(reg.stats().filter_full_evals, 5u);
+  EXPECT_EQ(reg.stats().filter_copied, 0u);
+
+  // Pass 2, same filter: every chunk's list is copied from the cache.
+  auto b = reg.Attach(&t, &weak, kChunk, nullptr);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(PullAll(b->get()), expect_weak);
+  b->reset();
+  EXPECT_EQ(reg.stats().filter_full_evals, 5u);  // no new column reads
+  EXPECT_EQ(reg.stats().filter_copied, 5u);
+
+  // Pass 3, strictly stronger filter: narrowed from the cached survivors.
+  auto c = reg.Attach(&t, &strong, kChunk, nullptr);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(PullAll(c->get()), expect_strong);
+  EXPECT_EQ(reg.stats().filter_full_evals, 5u);
+  EXPECT_EQ(reg.stats().filter_narrowed, 5u);
+}
+
+TEST(SharedScanRegistryTest, FilterCacheInvalidatedByDataVersion) {
+  auto rs = RowStore::Make({{"qty", FieldType::kU32}}, 3 * kChunk + 8);
+  ASSERT_TRUE(rs.ok());
+  for (size_t i = 0; i < 3 * kChunk; ++i) {
+    size_t r = *rs->AppendRow();
+    rs->SetU32(r, 0, static_cast<uint32_t>(1 + i % 5));
+  }
+  Table t = *Table::FromRowStore(*rs);
+  SharedScanRegistry reg;
+  Expr f = N(Col("qty") <= 2u);
+  auto a = reg.Attach(&t, &f, kChunk, nullptr);
+  ASSERT_TRUE(a.ok());
+  size_t before = PullAll(a->get());
+  a->reset();
+  EXPECT_EQ(reg.stats().filter_full_evals, 3u);
+
+  // Ingest moves the data version (and the row count): the next pass must
+  // re-evaluate rather than serve stale lists.
+  auto extra = RowStore::Make({{"qty", FieldType::kU32}}, 8);
+  ASSERT_TRUE(extra.ok());
+  for (size_t i = 0; i < 8; ++i) {
+    size_t r = *extra->AppendRow();
+    extra->SetU32(r, 0, 2);
+  }
+  ASSERT_TRUE(t.AppendRows(*extra).ok());
+
+  auto b = reg.Attach(&t, &f, kChunk, nullptr);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(PullAll(b->get()), before + 8);
+  EXPECT_EQ(reg.stats().filter_copied, 0u);
+  EXPECT_EQ(reg.stats().filter_full_evals, 7u);  // 3 + 4 chunks, all fresh
+}
+
+// --- end-to-end byte-identity ------------------------------------------------
+
+void ExpectSameResult(const QueryResult& a, const QueryResult& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.num_columns(), b.num_columns()) << what;
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << what;
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    EXPECT_EQ(a.columns[c].u32_values, b.columns[c].u32_values) << what;
+    EXPECT_EQ(a.columns[c].i64_values, b.columns[c].i64_values) << what;
+    EXPECT_EQ(a.columns[c].f64_values, b.columns[c].f64_values) << what;
+    EXPECT_EQ(a.columns[c].str_values, b.columns[c].str_values) << what;
+  }
+}
+
+/// K analytic plans over one table: overlapping filters (two in a
+/// subsumption relation), one unfiltered, all with a canonical output
+/// order so results compare byte-identically across parallelism.
+std::vector<LogicalPlan> MakeWorkload(const Table& t) {
+  std::vector<LogicalPlan> plans;
+  auto build = [&](std::optional<Expr> filter) {
+    QueryBuilder qb(t);
+    if (filter.has_value()) qb.Filter(*std::move(filter));
+    auto p = qb.GroupByAgg({"qty"}, {Agg::Sum("order"), Agg::Count()})
+                 .OrderBy("qty")
+                 .Build();
+    CCDB_CHECK(p.ok());
+    plans.push_back(*std::move(p));
+  };
+  build(Between(Col("qty"), 1, 4));
+  build(Col("qty") == 3u);  // subsumed by the filter above
+  build(Col("shipmode") == "MAIL");
+  build(std::nullopt);  // unfiltered
+  return plans;
+}
+
+PlannerOptions TestPlannerOptions(size_t parallelism) {
+  PlannerOptions opts;
+  opts.exec.parallelism = parallelism;
+  opts.exec.scan_chunk_rows = 4096;
+  return opts;
+}
+
+TEST(SharedScanExecTest, ConcurrentPlansByteIdenticalToIndependent) {
+  Table t = MakeItems(120000);
+  std::vector<LogicalPlan> plans = MakeWorkload(t);
+  for (size_t parallelism : {size_t{1}, size_t{2}, size_t{8}}) {
+    PlannerOptions independent = TestPlannerOptions(parallelism);
+    std::vector<QueryResult> expected;
+    for (const LogicalPlan& p : plans) {
+      expected.push_back(*Execute(p, independent));
+    }
+
+    SharedScanRegistry reg;
+    PlannerOptions shared = independent;
+    shared.exec.shared_scans = &reg;
+    constexpr int kRounds = 3;  // re-attach across fresh passes
+    std::vector<std::thread> threads;
+    std::vector<Status> errors(plans.size(), Status::Ok());
+    for (size_t i = 0; i < plans.size(); ++i) {
+      threads.emplace_back([&, i] {
+        for (int round = 0; round < kRounds; ++round) {
+          auto got = Execute(plans[i], shared);
+          if (!got.ok()) {
+            errors[i] = got.status();
+            return;
+          }
+          ExpectSameResult(expected[i], *got,
+                           "plan " + std::to_string(i) + " round " +
+                               std::to_string(round) + " parallelism " +
+                               std::to_string(parallelism));
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    for (const Status& s : errors) ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(reg.stats().attaches,
+              static_cast<uint64_t>(plans.size()) * kRounds);
+  }
+}
+
+TEST(SharedScanExecTest, ServerResultsIdenticalWithSharingOnAndOff) {
+  Table t = MakeItems(150000);
+  std::vector<LogicalPlan> plans = MakeWorkload(t);
+  std::vector<QueryResult> expected;
+  for (const LogicalPlan& p : plans) {
+    expected.push_back(*Execute(p, TestPlannerOptions(1)));
+  }
+  for (bool sharing : {false, true}) {
+    ServerOptions opts;
+    opts.max_inflight = 4;
+    opts.max_queue = 64;
+    opts.planner = TestPlannerOptions(1);
+    opts.shared_scan = sharing;
+    Server server(opts);
+    constexpr int kPerPlan = 4;
+    std::vector<std::thread> clients;
+    std::atomic<int> failures{0};
+    for (size_t i = 0; i < plans.size(); ++i) {
+      clients.emplace_back([&, i] {
+        QuerySession session(&server);
+        for (int q = 0; q < kPerPlan; ++q) {
+          auto result = session.Run(plans[i]);
+          if (!result.ok() ||
+              result->num_rows() != expected[i].num_rows()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          for (size_t c = 0; c < expected[i].num_columns(); ++c) {
+            if (result->columns[c].u32_values !=
+                    expected[i].columns[c].u32_values ||
+                result->columns[c].i64_values !=
+                    expected[i].columns[c].i64_values) {
+              failures.fetch_add(1);
+            }
+          }
+        }
+      });
+    }
+    for (auto& th : clients) th.join();
+    EXPECT_EQ(failures.load(), 0) << "sharing=" << sharing;
+    Server::Stats stats = server.stats();
+    if (sharing) {
+      EXPECT_GT(stats.shared_scans.attaches, 0u);
+    } else {
+      EXPECT_EQ(stats.shared_scans.attaches, 0u);
+    }
+  }
+}
+
+TEST(SharedScanExecTest, PlannerLowersFusedSharedScanWithFilterInfo) {
+  Table t = MakeItems(20000);
+  auto plan = QueryBuilder(t)
+                  .Filter(Col("qty") >= 2u && Col("price") < 50.0)
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  SharedScanRegistry reg;
+  PlannerOptions opts = TestPlannerOptions(1);
+  opts.exec.shared_scans = &reg;
+  Planner planner(opts);
+  auto physical = planner.Lower(*plan);
+  ASSERT_TRUE(physical.ok());
+  std::string explain = physical->ExplainCosts();
+  EXPECT_NE(explain.find("SharedScan"), std::string::npos) << explain;
+  auto result = physical->Execute();
+  ASSERT_TRUE(result.ok());
+  auto expected = Execute(*plan, TestPlannerOptions(1));
+  ASSERT_TRUE(expected.ok());
+  ExpectSameResult(*expected, *result, "fused shared scan");
+}
+
+}  // namespace
+}  // namespace ccdb
