@@ -47,7 +47,7 @@ int32_t TTree::BuildRange(size_t first_run, size_t last_run,
                                  : -1;
   int32_t right = mid < last_run ? BuildRange(mid + 1, last_run, runs_total)
                                  : -1;
-  Node& n = nodes_[me];
+  Node& n = nodes_[static_cast<size_t>(me)];
   n.start = static_cast<uint32_t>(start);
   n.count = static_cast<uint32_t>(count);
   n.min_key = keys_[start];
@@ -59,8 +59,8 @@ int32_t TTree::BuildRange(size_t first_run, size_t last_run,
 
 size_t TTree::HeightOf(int32_t node) const {
   if (node < 0) return 0;
-  return 1 + std::max(HeightOf(nodes_[node].left),
-                      HeightOf(nodes_[node].right));
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  return 1 + std::max(HeightOf(n.left), HeightOf(n.right));
 }
 
 size_t TTree::height() const { return HeightOf(root_); }

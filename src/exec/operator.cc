@@ -743,7 +743,9 @@ StatusOr<std::vector<uint32_t>> EvalLeafLazyRange(const Chunk& in,
   std::vector<uint32_t> pos;
   if (cd.dense()) {
     CCDB_ASSIGN_OR_RETURN(
-        pos, BatSelectPositionsUnionDense(bat, ranges, cd.base + row_lo, n));
+        pos, BatSelectPositionsUnionDense(bat, ranges,
+                                          static_cast<oid_t>(cd.base + row_lo),
+                                          n));
   } else {
     CCDB_ASSIGN_OR_RETURN(
         pos,
@@ -1830,9 +1832,9 @@ StatusOr<bool> OrderByOp::Next(Chunk* out) {
     // fold left to right. inplace_merge takes from the left run on ties —
     // exactly stable_sort's tie-break — so any parallelism produces the
     // byte-identical permutation.
-    std::vector<size_t> bounds(shards + 1);
+    std::vector<std::ptrdiff_t> bounds(shards + 1);
     for (size_t s = 0; s <= shards; ++s) {
-      bounds[s] = positions.size() * s / shards;
+      bounds[s] = static_cast<std::ptrdiff_t>(positions.size() * s / shards);
     }
     CCDB_RETURN_IF_ERROR(
         ExecParallelFor(ctx_, shards, [&](size_t s) -> Status {

@@ -69,12 +69,12 @@ StatusOr<ColumnStats> Table::StatsLocked(size_t i) const {
 // rebuild-and-swap. A stats call therefore always reads a consistent
 // (pre- or post-append) table, never a half-replaced one.
 StatusOr<ColumnStats> Table::stats(size_t i) const {
-  std::lock_guard<std::mutex> lock(stats_->mu);
+  MutexLock lock(&stats_->mu);
   return StatsLocked(i);
 }
 
 StatusOr<ColumnStats> Table::stats(const std::string& col) const {
-  std::lock_guard<std::mutex> lock(stats_->mu);
+  MutexLock lock(&stats_->mu);
   CCDB_ASSIGN_OR_RETURN(size_t i, Col(col));
   return StatsLocked(i);
 }
@@ -83,11 +83,10 @@ Status Table::AppendRows(const RowStore& extra) {
   // Hold the stats mutex for the whole read-rebuild-swap: concurrent lazy
   // stats fills (which scan the old BATs under the same mutex) serialize
   // against the rebuild instead of racing it, and the cache object itself
-  // is kept — cleared in place, not replaced — so a blocked stats() call
-  // resumes against the invalidated cache, never a dangling one. The local
-  // shared_ptr copy keeps the cache alive across the member swap below.
-  std::shared_ptr<StatsCache> cache = stats_;
-  std::lock_guard<std::mutex> lock(cache->mu);
+  // is kept — cleared in place, not replaced (see the field-wise swap
+  // below, which deliberately leaves stats_ alone) — so a blocked stats()
+  // call resumes against the invalidated cache, never a dangling one.
+  MutexLock lock(&stats_->mu);
   if (extra.fields().size() != schema_.num_fields()) {
     return Status::InvalidArgument("AppendRows: field count mismatch");
   }
@@ -152,8 +151,8 @@ Status Table::AppendRows(const RowStore& extra) {
   rows_ = rebuilt.rows_;
   bats_ = std::move(rebuilt.bats_);
   dicts_ = std::move(rebuilt.dicts_);
-  cache->cols.assign(schema_.num_fields(), std::nullopt);
-  cache->data_version.fetch_add(1, std::memory_order_release);
+  stats_->cols.assign(schema_.num_fields(), std::nullopt);
+  stats_->data_version.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
 

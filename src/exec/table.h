@@ -9,7 +9,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,6 +20,7 @@
 #include "exec/schema.h"
 #include "model/stats.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace ccdb {
 
@@ -145,8 +145,10 @@ class Table {
   /// cache, so a stats() call blocked on `mu` never dereferences a
   /// destroyed cache.
   struct StatsCache {
-    std::mutex mu;
-    std::vector<std::optional<ColumnStats>> cols;
+    Mutex mu;
+    std::vector<std::optional<ColumnStats>> cols CCDB_GUARDED_BY(mu);
+    /// Atomic, not guarded: data_version() reads it lock-free while
+    /// AppendRows may be mid-rebuild under `mu`.
     std::atomic<uint64_t> data_version{0};
   };
 
@@ -160,8 +162,8 @@ class Table {
     return schema_.FieldIndex(name);
   }
 
-  /// Pre: stats_->mu held. The lazy fill behind both stats() overloads.
-  StatusOr<ColumnStats> StatsLocked(size_t i) const;
+  /// The lazy fill behind both stats() overloads.
+  StatusOr<ColumnStats> StatsLocked(size_t i) const CCDB_REQUIRES(stats_->mu);
 };
 
 }  // namespace ccdb

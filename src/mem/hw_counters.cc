@@ -21,7 +21,8 @@ int OpenEvent(uint32_t type, uint64_t config, int group_fd) {
   attr.size = sizeof(attr);
   attr.type = type;
   attr.config = config;
-  attr.disabled = group_fd < 0 ? 1 : 0;
+  attr.disabled = 0;
+  if (group_fd < 0) attr.disabled = 1;
   attr.exclude_kernel = 1;
   attr.exclude_hv = 1;
   return static_cast<int>(

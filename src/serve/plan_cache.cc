@@ -71,8 +71,11 @@ void HashExpr(Hasher& h, const Expr& e) {
 
 void HashNode(Hasher& h, const LogicalNode& n) {
   h.U64(static_cast<uint64_t>(n.op));
-  // Table identity by address: plans are only comparable within one
-  // process, and the Table must outlive every cached plan anyway.
+  // Fingerprints key on the Table's address by design: plans are only
+  // comparable within one process, equal table copies intentionally miss
+  // (each copy has its own data_version stream), and the Table must
+  // outlive every cached plan anyway (liveness-asserted at lookup).
+  // lint: allow(table-identity)
   h.U64(reinterpret_cast<uintptr_t>(n.table));
   HashExpr(h, n.filter);
   h.Str(n.left_key);
@@ -159,7 +162,7 @@ PlanCache::Entry* PlanCache::Find(uint64_t key) {
 
 std::optional<PhysicalPlan> PlanCache::Acquire(uint64_t key,
                                                const LogicalPlan& plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Entry* e = Find(key);
   if (e == nullptr) {
     ++stats_.misses;
@@ -193,7 +196,7 @@ void PlanCache::Release(uint64_t key, const LogicalPlan& plan,
   // A plan must never carry a previous request's scheduling state (stale
   // deadline or cancel flag) into its next checkout.
   physical.BindSchedule(nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Entry* e = Find(key);
   if (e == nullptr) {
     if (entries_.size() >= max_entries_) {
@@ -202,7 +205,7 @@ void PlanCache::Release(uint64_t key, const LogicalPlan& plan,
       for (size_t i = 1; i < entries_.size(); ++i) {
         if (entries_[i].last_used < entries_[victim].last_used) victim = i;
       }
-      entries_.erase(entries_.begin() + victim);
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(victim));
     }
     Entry fresh;
     fresh.key = key;
@@ -233,7 +236,7 @@ void PlanCache::Release(uint64_t key, const LogicalPlan& plan,
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 

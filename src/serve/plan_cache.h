@@ -38,12 +38,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "exec/plan.h"
 #include "model/planner.h"
+#include "util/thread_annotations.h"
 
 namespace ccdb {
 
@@ -95,16 +95,16 @@ class PlanCache {
     uint64_t last_used = 0;  // LRU tick
   };
 
-  /// Pre: lock held. Returns the entry for `key`, or nullptr.
-  Entry* Find(uint64_t key);
+  /// Returns the entry for `key`, or nullptr.
+  Entry* Find(uint64_t key) CCDB_REQUIRES(mu_);
 
   const size_t max_entries_;
   const size_t max_plans_per_entry_;
 
-  mutable std::mutex mu_;
-  std::vector<Entry> entries_;
-  uint64_t tick_ = 0;
-  Stats stats_;
+  mutable Mutex mu_;
+  std::vector<Entry> entries_ CCDB_GUARDED_BY(mu_);
+  uint64_t tick_ CCDB_GUARDED_BY(mu_) = 0;
+  Stats stats_ CCDB_GUARDED_BY(mu_);
 };
 
 }  // namespace ccdb

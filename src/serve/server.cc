@@ -19,8 +19,10 @@ ServerOptions WireSharedScans(ServerOptions o, SharedScanRegistry* scans) {
 }  // namespace
 
 const QueryOutcome& QueryTicket::Wait() const {
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->cv.wait(lock, [&] { return state_->done; });
+  MutexLock lock(&state_->mu);
+  while (!state_->done) state_->cv.Wait(&state_->mu);
+  // The reference is formed under the lock; once done is set the outcome
+  // is never written again, so the caller may keep it unlocked.
   return state_->outcome;
 }
 
@@ -29,7 +31,7 @@ void QueryTicket::Cancel() {
 }
 
 bool QueryTicket::done() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(&state_->mu);
   return state_->done;
 }
 
@@ -47,7 +49,7 @@ Server::Server(ServerOptions options)
 Server::~Server() {
   std::vector<RequestPtr> orphans;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
     for (ClassQueue& c : classes_) {
       for (RequestPtr& r : c.queue) orphans.push_back(std::move(r));
@@ -55,7 +57,7 @@ Server::~Server() {
     }
     queued_ = 0;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : executors_) t.join();
   for (const RequestPtr& r : orphans) {
     Finish(r, Status::Unavailable("server shutting down"), QueryResult{},
@@ -76,7 +78,7 @@ StatusOr<QueryTicket> Server::Submit(const LogicalPlan& plan,
     state->sched.active_queries = &active_;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.submitted;
     if (stop_) {
       ++stats_.rejected;
@@ -104,7 +106,7 @@ StatusOr<QueryTicket> Server::Submit(const LogicalPlan& plan,
     cq->queue.push_back(state);
     ++queued_;
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return QueryTicket(std::move(state));
 }
 
@@ -158,8 +160,8 @@ void Server::ExecutorLoop() {
   for (;;) {
     RequestPtr req;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stop_ || queued_ > 0; });
+      MutexLock lock(&mu_);
+      while (!stop_ && queued_ == 0) cv_.Wait(&mu_);
       if (stop_) return;
       req = PopLocked();
       if (req == nullptr) continue;
@@ -170,10 +172,15 @@ void Server::ExecutorLoop() {
 }
 
 void Server::Process(const RequestPtr& req) {
-  req->outcome.queue_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - req->submit_time)
-          .count();
+  {
+    // Uncontended (the ticket only reads the outcome after done), but the
+    // guard makes every outcome write provably ordered.
+    MutexLock lock(&req->mu);
+    req->outcome.queue_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - req->submit_time)
+            .count();
+  }
   // Cancel-while-queued and a deadline burned entirely on queue wait
   // resolve here, before any planning work.
   Status pre = req->sched.Check();
@@ -230,11 +237,11 @@ void Server::Finish(const RequestPtr& req, Status status, QueryResult result,
   {
     // Before the ticket is released: a client that returns from Wait()
     // and immediately reads stats() must see this query counted.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.completed;
   }
   {
-    std::lock_guard<std::mutex> lock(req->mu);
+    MutexLock lock(&req->mu);
     req->outcome.status = std::move(status);
     req->outcome.result = std::move(result);
     req->outcome.cache_hit = cache_hit;
@@ -243,11 +250,11 @@ void Server::Finish(const RequestPtr& req, Status status, QueryResult result,
         finish_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
     req->done = true;
   }
-  req->cv.notify_all();
+  req->cv.NotifyAll();
 }
 
 Server::Stats Server::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Stats s = stats_;
   s.cache = cache_.stats();
   if (scans_ != nullptr) s.shared_scans = scans_->stats();

@@ -28,11 +28,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -44,6 +42,7 @@
 #include "serve/plan_cache.h"
 #include "serve/shared_scan.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace ccdb {
 
@@ -104,10 +103,13 @@ struct RequestState {
   uint64_t submit_seq = 0;  // global FIFO order
   ScheduleContext sched;
 
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  QueryOutcome outcome;
+  Mutex mu;
+  CondVar cv;
+  bool done CCDB_GUARDED_BY(mu) = false;
+  /// Written by exactly one executor thread, but the ticket may poll done()
+  /// and then read the outcome reference concurrently, so every write —
+  /// including the pre-execution queue_ms stamp — happens under `mu`.
+  QueryOutcome outcome CCDB_GUARDED_BY(mu);
 };
 
 }  // namespace serve_internal
@@ -189,8 +191,8 @@ class Server {
   };
 
   void ExecutorLoop();
-  /// Pre: mu_ held. Next request per dispatch policy, or null.
-  RequestPtr PopLocked();
+  /// Next request per dispatch policy, or null.
+  RequestPtr PopLocked() CCDB_REQUIRES(mu_);
   void Process(const RequestPtr& req);
   void Finish(const RequestPtr& req, Status status, QueryResult result,
               bool cache_hit, double exec_ms);
@@ -203,14 +205,14 @@ class Server {
   const ServerOptions options_;
   PlanCache cache_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  std::vector<ClassQueue> classes_;
-  size_t cursor_ = 0;   // WRR position
-  size_t queued_ = 0;   // requests sitting in class queues
-  uint64_t submit_seq_ = 0;
-  Stats stats_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool stop_ CCDB_GUARDED_BY(mu_) = false;
+  std::vector<ClassQueue> classes_ CCDB_GUARDED_BY(mu_);
+  size_t cursor_ CCDB_GUARDED_BY(mu_) = 0;  // WRR position
+  size_t queued_ CCDB_GUARDED_BY(mu_) = 0;  // requests in class queues
+  uint64_t submit_seq_ CCDB_GUARDED_BY(mu_) = 0;
+  Stats stats_ CCDB_GUARDED_BY(mu_);
 
   /// Queries currently inside Process(); the ScheduleContexts' yield hooks
   /// read this to skip yielding when running alone.

@@ -52,13 +52,13 @@ class SharedScanHandle : public SharedScanParticipant {
 
   ~SharedScanHandle() override {
     if (member_ == nullptr) return;  // private handle: nothing registered
-    std::lock_guard<std::mutex> lock(group_->mu);
+    MutexLock lock(&group_->mu);
     member_->detached = true;
     auto& ms = group_->members;
     ms.erase(std::remove(ms.begin(), ms.end(), member_), ms.end());
     // A waiter may be blocked on this participant's drive having ended the
     // pass; wake everyone to re-examine the cursor.
-    group_->cv.notify_all();
+    group_->cv.NotifyAll();
   }
 
   StatusOr<bool> NextChunk(Chunk* out) override {
@@ -70,12 +70,12 @@ class SharedScanHandle : public SharedScanParticipant {
     if (member_ == nullptr) return EmitPrivate(out);
     for (;;) {
       {
-        std::unique_lock<std::mutex> lock(group_->mu);
+        MutexLock lock(&group_->mu);
         if (idx < member_->share_from) break;  // catch-up: scan privately
         if (!member_->queue.empty()) {
           SharedScanRegistry::QueueEntry e = std::move(member_->queue.front());
           member_->queue.pop_front();
-          lock.unlock();
+          lock.Unlock();
           CCDB_DCHECK(e.index == idx);
           return EmitEntry(e, out);
         }
@@ -83,8 +83,8 @@ class SharedScanHandle : public SharedScanParticipant {
         if (group_->driving) {
           // Another participant is building the chunk we need; wait with a
           // timeout so our own cancel/deadline stays responsive.
-          group_->cv.wait_for(lock, kDriveWait);
-          lock.unlock();
+          group_->cv.WaitFor(&group_->mu, kDriveWait);
+          lock.Unlock();
           CCDB_RETURN_IF_ERROR(OwnSchedCheck(ctx_));
           continue;
         }
@@ -103,9 +103,9 @@ class SharedScanHandle : public SharedScanParticipant {
       }
       Status drive = DriveChunk(idx);
       if (!drive.ok()) {
-        std::lock_guard<std::mutex> lock(group_->mu);
+        MutexLock lock(&group_->mu);
         group_->driving = false;
-        group_->cv.notify_all();
+        group_->cv.NotifyAll();
         return drive;
       }
       // Our own entry for idx is now queued (our queue was empty, so the
@@ -154,7 +154,7 @@ class SharedScanHandle : public SharedScanParticipant {
   /// provably weaker one's (narrow it). Copies the list out under the lock.
   CacheHit LookupFilterCache(const Expr& filter, size_t idx,
                              std::vector<uint32_t>* positions) {
-    std::lock_guard<std::mutex> lock(group_->mu);
+    MutexLock lock(&group_->mu);
     // A member of an earlier pass may still be catching up after a newer
     // pass re-captured different geometry; the cache tracks the group's
     // CURRENT geometry, so such a straggler must bypass it.
@@ -184,7 +184,7 @@ class SharedScanHandle : public SharedScanParticipant {
   void StoreFilterCache(const Expr& filter, size_t idx,
                         const std::vector<uint32_t>& positions) {
     if (registry_->options_.max_cached_filters == 0) return;
-    std::lock_guard<std::mutex> lock(group_->mu);
+    MutexLock lock(&group_->mu);
     if (group_->chunk_rows != chunk_rows_ || group_->pass_rows != pass_rows_) {
       return;  // stale-geometry straggler: its lists don't fit this cache
     }
@@ -335,7 +335,7 @@ class SharedScanHandle : public SharedScanParticipant {
       }
     }
     registry_->chunks_driven_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(group_->mu);
+    MutexLock lock(&group_->mu);
     for (size_t k = 0; k < n; ++k) {
       SharedScanRegistry::Member& m = *snapshot_[k];
       if (m.detached || m.overflowed) continue;
@@ -351,7 +351,7 @@ class SharedScanHandle : public SharedScanParticipant {
     }
     group_->next_chunk = idx + 1;
     group_->driving = false;
-    group_->cv.notify_all();
+    group_->cv.NotifyAll();
     return Status::Ok();
   }
 
@@ -381,14 +381,18 @@ SharedScanRegistry::SharedScanRegistry(Options options)
 SharedScanRegistry::~SharedScanRegistry() = default;
 
 SharedScanRegistry::Group* SharedScanRegistry::GroupFor(const Table* table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& g : groups_) {
+    // lint: allow(table-identity) — groups key on the Table's address by
+    // design; equal table copies never share a cursor (documented with the
+    // caveat in serve/shared_scan.h, token-identity asserted in Attach).
     if (g->table == table) return g.get();
   }
   groups_.push_back(std::make_unique<Group>());
   Group* g = groups_.back().get();
+  // `live` is armed when Attach opens the group's first pass (it holds
+  // g->mu, which this function deliberately does not take).
   g->table = table;
-  g->live = table->liveness();
   return g;
 }
 
@@ -399,7 +403,7 @@ StatusOr<std::unique_ptr<SharedScanParticipant>> SharedScanRegistry::Attach(
   if (chunk_rows == 0) chunk_rows = SIZE_MAX;
   attaches_.fetch_add(1, std::memory_order_relaxed);
   Group* g = GroupFor(table);
-  std::lock_guard<std::mutex> lock(g->mu);
+  MutexLock lock(&g->mu);
   if (g->members.empty()) {
     CCDB_DCHECK(!g->driving);  // the driver is always a member
   } else {
@@ -407,6 +411,19 @@ StatusOr<std::unique_ptr<SharedScanParticipant>> SharedScanRegistry::Attach(
     CCDB_DCHECK(!g->live.expired() &&
                 "shared-scan group references a destroyed Table; tables must "
                 "outlive the Server (see serve/plan_cache.h)");
+#ifndef NDEBUG
+    // Identity caveat (see Group in serve/shared_scan.h): the group is
+    // keyed on the Table's address, so the liveness token of an active
+    // group must still be the one this Table hands out now. A mismatch
+    // means the address was copy-assigned a new value (fresh stats cache,
+    // same address) while members were mid-pass — the pass geometry no
+    // longer describes the object behind the pointer.
+    std::weak_ptr<const void> now = table->liveness();
+    CCDB_DCHECK(!g->live.owner_before(now) && !now.owner_before(g->live) &&
+                "shared-scan group's Table was replaced in place "
+                "(copy-assignment over a registered table?); cursor groups "
+                "key on table identity, not value");
+#endif
   }
   if (g->members.empty() ||
       (g->next_chunk >= g->num_chunks && !g->driving)) {

@@ -36,15 +36,14 @@
 #define CCDB_SERVE_SHARED_SCAN_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "exec/shared_scan.h"
+#include "util/thread_annotations.h"
 
 namespace ccdb {
 
@@ -111,7 +110,10 @@ class SharedScanRegistry : public SharedScanProvider {
   };
 
   /// Shared-cursor state of one attached participant. `queue`, `share_from`,
-  /// `overflowed` and `detached` are guarded by the owning Group's mutex;
+  /// `overflowed` and `detached` are guarded by the owning Group's mutex —
+  /// a cross-object guard the thread-safety analysis cannot express
+  /// (GUARDED_BY needs an expression reachable from the annotated class),
+  /// so these fields stay unannotated and TSan remains their reviewer.
   /// `filter` is immutable after attach (the registry's own copy, so a
   /// detaching operator cannot dangle it mid-drive).
   struct Member {
@@ -124,7 +126,9 @@ class SharedScanRegistry : public SharedScanProvider {
   };
 
   /// One distinct filter's exact survivor lists, filled in chunk by chunk
-  /// as they are computed. Guarded by the owning Group's mutex.
+  /// as they are computed. Guarded by the owning Group's mutex (held via
+  /// the `filter_cache` field it lives in; see Member for why the guard is
+  /// not annotated on this struct's own fields).
   struct CachedFilter {
     Expr filter;  // normalized
     std::vector<std::vector<uint32_t>> positions;  // per chunk index
@@ -139,33 +143,50 @@ class SharedScanRegistry : public SharedScanProvider {
   /// touching them. Participants attaching while the row count has moved
   /// mid-pass (AppendRows), or with a different chunk size, scan
   /// privately instead.
+  /// Identity caveat (documented since PR 7, allowlisted for the engine
+  /// lint's table-identity rule): groups are keyed on the Table's
+  /// *address*, not its value. Two equal copies of a table therefore never
+  /// share a cursor — each copy is its own group and pays its own pass —
+  /// and a Table must outlive every group that references it (the same
+  /// tables-outlive-the-Server contract as serve/plan_cache.h, checked in
+  /// debug builds via the `live` token, and in GroupFor via a
+  /// token-identity assert that catches copy-assignment over a registered
+  /// table). Value-keying would need a content fingerprint per attach —
+  /// a full scan, defeating the point of sharing the scan.
   struct Group {
+    /// Set once at creation (under the registry lock, before the group is
+    /// published); immutable afterwards, so handles read it lock-free.
     const Table* table = nullptr;
-    std::weak_ptr<const void> live;  // lifetime-contract debug token
 
-    std::mutex mu;
-    std::condition_variable cv;
-    uint64_t pass = 0;      // generation; bumped at each pass open
-    size_t chunk_rows = SIZE_MAX;
-    size_t pass_rows = 0;
-    size_t num_chunks = 1;
-    size_t next_chunk = 0;  // next index the cursor will drive
-    bool driving = false;   // a participant is building next_chunk now
-    std::vector<std::shared_ptr<Member>> members;
+    Mutex mu;
+    CondVar cv;
+    /// Lifetime-contract debug token; re-armed at each pass open.
+    std::weak_ptr<const void> live CCDB_GUARDED_BY(mu);
+    uint64_t pass CCDB_GUARDED_BY(mu) = 0;  // bumped at each pass open
+    size_t chunk_rows CCDB_GUARDED_BY(mu) = SIZE_MAX;
+    size_t pass_rows CCDB_GUARDED_BY(mu) = 0;
+    size_t num_chunks CCDB_GUARDED_BY(mu) = 1;
+    /// Next index the cursor will drive.
+    size_t next_chunk CCDB_GUARDED_BY(mu) = 0;
+    /// A participant is building next_chunk now.
+    bool driving CCDB_GUARDED_BY(mu) = false;
+    std::vector<std::shared_ptr<Member>> members CCDB_GUARDED_BY(mu);
 
     /// Filter cache: valid for the current geometry + data_version;
     /// cleared when a pass opens with either changed.
-    uint64_t data_version = 0;
-    std::vector<CachedFilter> filter_cache;
+    uint64_t data_version CCDB_GUARDED_BY(mu) = 0;
+    std::vector<CachedFilter> filter_cache CCDB_GUARDED_BY(mu);
   };
 
-  /// Pre: registry lock NOT held. Finds or creates the group for `table`.
-  Group* GroupFor(const Table* table);
+  /// Finds or creates the group for `table` (see the Group identity
+  /// caveat above). Groups are never erased, so the returned pointer is
+  /// stable for the registry's lifetime.
+  Group* GroupFor(const Table* table) CCDB_EXCLUDES(mu_);
 
   const Options options_;
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Group>> groups_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Group>> groups_ CCDB_GUARDED_BY(mu_);
 
   // Cumulative counters (relaxed: they are diagnostics, not synchronization).
   std::atomic<uint64_t> attaches_{0};

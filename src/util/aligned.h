@@ -38,6 +38,8 @@ class AlignedBuffer {
 
  private:
   struct FreeDeleter {
+    // lint: allow(raw-buffer: this IS the owning layer — aligned_alloc's
+    // contract requires std::free, and ownership never leaves data_)
     void operator()(uint8_t* p) const { std::free(p); }
   };
   std::unique_ptr<uint8_t, FreeDeleter> data_;

@@ -30,8 +30,11 @@ enum class StatusCode : uint8_t {
 const char* StatusCodeToString(StatusCode code);
 
 /// Value-semantic result of a fallible operation. Cheap to copy when ok
-/// (no message allocation on the success path).
-class Status {
+/// (no message allocation on the success path). [[nodiscard]] at class
+/// level: every function returning a Status by value makes its callers
+/// check (or explicitly void-cast, with a reason) the result — enforced
+/// with -Werror=unused-result, so a dropped error cannot compile.
+class [[nodiscard]] Status {
  public:
   /// Constructs an ok status.
   Status() : code_(StatusCode::kOk) {}
@@ -87,8 +90,9 @@ class Status {
 };
 
 /// Either a value of type T or a non-ok Status explaining why there is none.
+/// [[nodiscard]] like Status: discarding one silently drops an error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from value: the common success path.
   StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}

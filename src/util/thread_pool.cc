@@ -19,19 +19,19 @@ ThreadPool::ThreadPool(size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -39,8 +39,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(&mu_);
       if (queue_.empty()) return;  // stop_ set and queue drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -104,10 +104,10 @@ Status ParallelFor(ThreadPool* pool, size_t parallelism, size_t n,
   struct Shared {
     std::atomic<size_t> next{0};    // morsel claim counter
     std::atomic<size_t> active{0};  // drives between entry and exit
-    std::mutex mu;
-    std::condition_variable cv;
-    Status first_error;
-    size_t n = 0;
+    Mutex mu;
+    CondVar cv;
+    Status first_error CCDB_GUARDED_BY(mu);
+    size_t n = 0;  // set once before any drive starts
   };
   auto state = std::make_shared<Shared>();
   state->n = n;
@@ -138,7 +138,7 @@ Status ParallelFor(ThreadPool* pool, size_t parallelism, size_t n,
         if (st.ok()) st = RunBodyCaught(*body, i);
         if (!st.ok()) {
           {
-            std::lock_guard<std::mutex> lock(state->mu);
+            MutexLock lock(&state->mu);
             if (state->first_error.ok()) state->first_error = std::move(st);
           }
           // Stop further claims; late drives see i >= n and exit untouched.
@@ -161,10 +161,13 @@ Status ParallelFor(ThreadPool* pool, size_t parallelism, size_t n,
         pool->Submit([copy] { copy.Run(false); });
       }
       {
-        std::lock_guard<std::mutex> lock(state->mu);
+        // The lock orders the decrement against the caller's predicate
+        // re-check, so the final notify cannot slip between its predicate
+        // evaluation and its sleep.
+        MutexLock lock(&state->mu);
         state->active.fetch_sub(1);
       }
-      state->cv.notify_all();
+      state->cv.NotifyAll();
     }
   };
   Drive drive{state, &body, hooks, pool, has_check, has_yield};
@@ -174,10 +177,10 @@ Status ParallelFor(ThreadPool* pool, size_t parallelism, size_t n,
   }
   drive.Run(true);
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] {
-    return state->next.load() >= state->n && state->active.load() == 0;
-  });
+  MutexLock lock(&state->mu);
+  while (state->next.load() < state->n || state->active.load() != 0) {
+    state->cv.Wait(&state->mu);
+  }
   return state->first_error;
 }
 

@@ -14,15 +14,14 @@
 #ifndef CCDB_UTIL_THREAD_POOL_H_
 #define CCDB_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace ccdb {
 
@@ -57,10 +56,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ CCDB_GUARDED_BY(mu_);
+  bool stop_ CCDB_GUARDED_BY(mu_) = false;
+  /// Written once by the constructor before any concurrency exists, then
+  /// only joined by the destructor — no guard needed.
   std::vector<std::thread> workers_;
 };
 

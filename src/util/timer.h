@@ -22,8 +22,12 @@ class WallTimer {
         .count();
   }
 
-  double ElapsedMillis() const { return ElapsedNanos() * 1e-6; }
-  double ElapsedSeconds() const { return ElapsedNanos() * 1e-9; }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

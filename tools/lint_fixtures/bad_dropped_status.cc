@@ -1,0 +1,22 @@
+// Seeded violations for lint_engine.py --self-test: a statement-position
+// call of a Status-returning function whose result is dropped (rule:
+// dropped-status) and a Status class defined without [[nodiscard]] (rule:
+// nodiscard-status). Never compiled.
+
+namespace ccdb_fixture {
+
+class Status {  // rule: nodiscard-status
+ public:
+  bool ok() const { return true; }
+};
+
+Status Flush();
+Status Compact(int level);
+
+void Shutdown() {
+  Flush();  // rule: dropped-status
+  Status st = Compact(0);
+  (void)st;
+}
+
+}  // namespace ccdb_fixture

@@ -1,0 +1,12 @@
+// Seeded violation for lint_engine.py --self-test: a chunk buffer allocated
+// with naked new[] outside src/bat/ and src/mem/. Never compiled.
+#include <cstdint>
+#include <cstddef>
+
+namespace ccdb_fixture {
+
+uint8_t* AllocChunkBuffer(size_t n) {
+  return new uint8_t[n];  // rule: raw-buffer
+}
+
+}  // namespace ccdb_fixture

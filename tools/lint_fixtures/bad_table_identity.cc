@@ -1,0 +1,20 @@
+// Seeded violation for lint_engine.py --self-test: keying on a Table
+// pointer's identity without a justification marker. Never compiled.
+#include <cstdint>
+
+namespace ccdb_fixture {
+
+struct Table {};
+struct Entry {
+  const Table* table;
+};
+
+bool SameGroup(const Entry* e, const Table* table) {
+  return e->table == table;  // rule: table-identity
+}
+
+uint64_t Fingerprint(const Entry& e) {
+  return reinterpret_cast<uintptr_t>(e.table);  // rule: table-identity
+}
+
+}  // namespace ccdb_fixture

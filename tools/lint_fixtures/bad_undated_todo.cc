@@ -1,0 +1,9 @@
+// Seeded violation for lint_engine.py --self-test: a TODO without a date.
+// Never compiled.
+
+namespace ccdb_fixture {
+
+// TODO: make this configurable  <-- rule: undated-todo
+int BufferRows() { return 1024; }
+
+}  // namespace ccdb_fixture

@@ -1,0 +1,24 @@
+// Seeded violations for lint_engine.py --self-test: a raw std::mutex member
+// (rule: std-mutex) and a ccdb Mutex with no CCDB_GUARDED_BY field anywhere
+// in the file (rule: unguarded-mutex). Never compiled.
+#ifndef CCDB_TOOLS_LINT_FIXTURES_BAD_UNGUARDED_MUTEX_H_
+#define CCDB_TOOLS_LINT_FIXTURES_BAD_UNGUARDED_MUTEX_H_
+
+#include <mutex>
+#include <vector>
+
+namespace ccdb_fixture {
+
+class Registry {
+ public:
+  void Add(int v);
+
+ private:
+  std::mutex raw_;  // rule: std-mutex
+  Mutex mu_;        // rule: unguarded-mutex (nothing is GUARDED_BY(mu_))
+  std::vector<int> values_;
+};
+
+}  // namespace ccdb_fixture
+
+#endif  // CCDB_TOOLS_LINT_FIXTURES_BAD_UNGUARDED_MUTEX_H_

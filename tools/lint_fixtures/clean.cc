@@ -1,0 +1,46 @@
+// Negative control for lint_engine.py --self-test: exercises every rule's
+// *allowed* form — justification markers, dated TODOs, checked Status —
+// and must produce zero findings. Never compiled.
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace ccdb_fixture {
+
+struct Table {};
+struct Entry {
+  const Table* table;
+};
+
+class [[nodiscard]] Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status Flush();
+
+// TODO(2026-08-07): tune the default once the bench lands.
+class Pool {
+ public:
+  uint8_t* Alloc(size_t n) {
+    // lint: allow(raw-buffer: arena backing store, freed in bulk by ~Pool)
+    return new uint8_t[n];
+  }
+
+  bool Same(const Entry* e, const Table* t) const {
+    // lint: allow(table-identity: groups are per-instance by design)
+    return e->table == t;
+  }
+
+ private:
+  Mutex mu_;
+  std::vector<int> values_ CCDB_GUARDED_BY(mu_);
+};
+
+Status Drain() {
+  Status st = Flush();
+  if (!st.ok()) return st;
+  return Flush();
+}
+
+}  // namespace ccdb_fixture
