@@ -1,0 +1,313 @@
+// Exchange benchmark: one join+aggregate workload A/B'd across the three
+// scale-out lowerings — local (no exchange), forced repartition-both, and
+// forced broadcast-small-side — plus the cost-modeled auto choice. Two
+// dimension sizes bracket the planner's decision boundary: a tiny dim
+// where N*|R| transfer bytes make broadcast the obvious win, and a dim as
+// large as the fact where repartition moves strictly fewer bytes.
+//
+// Every mode's result is checked byte-identical against the local plan
+// before any time is reported, so the numbers can't come from a wrong
+// answer. Per exchange node we also report the planner's predicted
+// transfer bytes next to the bytes the transports actually counted.
+//
+// On a 1-hardware-thread host partition parallelism cannot pay for its
+// routing work; like bench/parallel_exec we then emit
+// parallel_speedups_meaningful: false and skip the speedup gate.
+//
+//   --smoke             tiny scale, no assertions beyond correctness
+//   --json-merge=PATH   merge an "exchange" section into BENCH_ci.json
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/plan.h"
+#include "exec/table.h"
+#include "model/planner.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace ccdb;
+
+namespace {
+
+/// Rewrites `path` with `section` spliced in before the final closing brace
+/// (or as a fresh object if the file is missing/empty) — the same
+/// hand-rolled merge as bench/shared_scan.
+bool MergeJsonSection(const std::string& path, const std::string& section) {
+  std::string existing;
+  if (FILE* in = std::fopen(path.c_str(), "r")) {
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, in)) > 0) existing.append(buf, n);
+    std::fclose(in);
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t brace = existing.find_last_of('}');
+  if (brace == std::string::npos) {
+    std::fprintf(f, "{\n%s\n}\n", section.c_str());
+  } else {
+    std::string head = existing.substr(0, brace);
+    while (!head.empty() &&
+           std::isspace(static_cast<unsigned char>(head.back()))) {
+      head.pop_back();
+    }
+    const char* comma = (!head.empty() && head.back() == '{') ? "" : ",";
+    std::fprintf(f, "%s%s\n%s\n}\n", head.c_str(), comma, section.c_str());
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool SameResult(const QueryResult& a, const QueryResult& b) {
+  if (a.num_columns() != b.num_columns() || a.num_rows() != b.num_rows()) {
+    return false;
+  }
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    const MaterializedColumn& x = a.columns[c];
+    const MaterializedColumn& y = b.columns[c];
+    if (x.name != y.name || x.type != y.type ||
+        x.u32_values != y.u32_values || x.i64_values != y.i64_values ||
+        x.f64_values != y.f64_values || x.str_values != y.str_values) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const char* StrategyName(ExchangeStrategy s) {
+  switch (s) {
+    case ExchangeStrategy::kRepartition:
+      return "repartition";
+    case ExchangeStrategy::kBroadcast:
+      return "broadcast";
+    default:
+      return "local";
+  }
+}
+
+struct ModeResult {
+  double best_ms = 0;
+  ExchangeStrategy strategy = ExchangeStrategy::kNone;  // from the plan
+  double predicted_bytes = 0;   // summed over exchange nodes
+  double measured_bytes = 0;
+  bool correct = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--json-merge=", 13) == 0) {
+      json_path = argv[i] + 13;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const size_t kFact = smoke ? 60000 : 400000;
+  const size_t kSmallDim = 64;         // broadcast territory
+  const size_t kBigDim = kFact;        // repartition territory
+  const size_t kPartitions = 4;
+  const int kReps = smoke ? 2 : 5;
+  unsigned hc = std::thread::hardware_concurrency();
+  bool speedups_meaningful = hc >= 2;
+
+  std::printf("== exchange: join+agg across %zu partitions, "
+              "local vs repartition vs broadcast ==\n",
+              kPartitions);
+  std::printf("fact=%zu rows, dims {%zu, %zu}, %d reps%s "
+              "(hardware_concurrency=%u)\n\n",
+              kFact, kSmallDim, kBigDim, kReps, smoke ? " (smoke)" : "", hc);
+
+  Rng rng(7);
+  auto make_fact = [&](uint32_t key_mod) {
+    auto rs = RowStore::Make({{"fk", FieldType::kU32},
+                              {"val", FieldType::kU32},
+                              {"price", FieldType::kF64},
+                              {"mode", FieldType::kChar10}},
+                             kFact + 1);
+    CCDB_CHECK(rs.ok());
+    const char* modes[] = {"MAIL", "AIR", "TRUCK", "SHIP"};
+    for (size_t i = 0; i < kFact; ++i) {
+      size_t r = *rs->AppendRow();
+      rs->SetU32(r, 0, rng.NextU32() % key_mod);
+      rs->SetU32(r, 1, rng.NextU32() % 97);
+      rs->SetF64(r, 2, 0.25 * static_cast<double>(i % 1000));
+      const char* m = modes[i % 4];
+      rs->SetBytes(r, 3, m, strlen(m));
+    }
+    return *Table::FromRowStore(*rs);
+  };
+  auto make_dim = [&](size_t n) {
+    auto rs = RowStore::Make({{"id", FieldType::kU32},
+                              {"bonus", FieldType::kU32},
+                              {"w1", FieldType::kU32},
+                              {"w2", FieldType::kU32}},
+                             n + 1);
+    CCDB_CHECK(rs.ok());
+    for (size_t i = 0; i < n; ++i) {
+      size_t r = *rs->AppendRow();
+      rs->SetU32(r, 0, static_cast<uint32_t>(i));
+      rs->SetU32(r, 1, static_cast<uint32_t>(i * 13 % 51));
+      rs->SetU32(r, 2, static_cast<uint32_t>(i % 7));
+      rs->SetU32(r, 3, static_cast<uint32_t>(i % 11));
+    }
+    return *Table::FromRowStore(*rs);
+  };
+
+  struct Workload {
+    const char* name;
+    Table fact;
+    Table dim;
+    ExchangeStrategy expect_auto;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"small_dim", make_fact(kSmallDim), make_dim(kSmallDim),
+                       ExchangeStrategy::kBroadcast});
+  workloads.push_back({"big_dim",
+                       make_fact(static_cast<uint32_t>(kBigDim)),
+                       make_dim(kBigDim), ExchangeStrategy::kRepartition});
+
+  struct ModeSpec {
+    const char* name;
+    ExchangePolicy policy;
+    ExchangeStrategy strategy;
+    size_t partitions;
+  };
+  const ModeSpec kModes[] = {
+      {"local", ExchangePolicy::kOff, ExchangeStrategy::kNone, 1},
+      {"repartition", ExchangePolicy::kForce, ExchangeStrategy::kRepartition,
+       kPartitions},
+      {"broadcast", ExchangePolicy::kForce, ExchangeStrategy::kBroadcast,
+       kPartitions},
+      {"auto", ExchangePolicy::kAuto, ExchangeStrategy::kNone, kPartitions},
+  };
+
+  std::string json = "  \"exchange\": {\n";
+  char line[512];
+  std::snprintf(line, sizeof line,
+                "    \"partitions\": %zu,\n"
+                "    \"hardware_concurrency\": %u,\n"
+                "    \"parallel_speedups_meaningful\": %s,\n",
+                kPartitions, hc, speedups_meaningful ? "true" : "false");
+  json += line;
+
+  bool all_correct = true;
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    Workload& wl = workloads[w];
+    auto plan = QueryBuilder(wl.fact)
+                    .Join(wl.dim, "fk", "id")
+                    .GroupByAgg({"mode"}, {AggSpec::Sum("val"),
+                                           AggSpec::Count(),
+                                           AggSpec::Max("bonus")})
+                    .OrderBy("mode")
+                    .Build();
+    CCDB_CHECK(plan.ok());
+
+    std::printf("-- %s (dim=%zu rows) --\n", wl.name, wl.dim.num_rows());
+
+    QueryResult reference;  // local mode's answer, set on the first mode
+    std::vector<ModeResult> results;
+    for (const ModeSpec& mode : kModes) {
+      PlannerOptions po;
+      po.exec.parallelism = mode.partitions > 1 ? kPartitions : 1;
+      po.exec.partitions = mode.partitions;
+      po.exec.exchange = mode.policy;
+      po.exec.exchange_strategy = mode.strategy;
+
+      ModeResult mr;
+      mr.best_ms = 1e300;
+      for (int rep = 0; rep < kReps; ++rep) {
+        Planner planner(po);
+        auto phys = planner.Lower(*plan);
+        CCDB_CHECK(phys.ok());
+        WallTimer timer;
+        auto res = phys->Execute();
+        double ms = timer.ElapsedMillis();
+        CCDB_CHECK(res.ok());
+        mr.best_ms = std::min(mr.best_ms, ms);
+        mr.predicted_bytes = 0;
+        mr.measured_bytes = 0;
+        mr.strategy = ExchangeStrategy::kNone;
+        for (const ExchangeNodeInfo& x : phys->exchanges()) {
+          mr.predicted_bytes += x.predicted_transfer_bytes;
+          mr.measured_bytes += static_cast<double>(x.measured_transfer_bytes);
+          if (mr.strategy == ExchangeStrategy::kNone) mr.strategy = x.strategy;
+        }
+        if (reference.num_columns() == 0) {
+          reference = *std::move(res);
+          mr.correct = true;
+        } else {
+          mr.correct = SameResult(*res, reference);
+        }
+      }
+      results.push_back(mr);
+      all_correct = all_correct && mr.correct;
+      std::printf("  %-12s %8.2f ms   strategy %-11s   "
+                  "xfer pred %8.1f KB  meas %8.1f KB   %s\n",
+                  mode.name, mr.best_ms, StrategyName(mr.strategy),
+                  mr.predicted_bytes / 1024.0, mr.measured_bytes / 1024.0,
+                  mr.correct ? "ok" : "WRONG RESULT");
+    }
+
+    // The cost-modeled choice must match the transfer-byte arithmetic:
+    // broadcast iff N*|R| is strictly below |L|+|R| (when it exchanges
+    // at all — on a saturated host auto may correctly stay local).
+    const ModeResult& auto_mr = results[3];
+    bool auto_ok = auto_mr.strategy == wl.expect_auto ||
+                   auto_mr.strategy == ExchangeStrategy::kNone;
+    if (!auto_ok) {
+      std::fprintf(stderr, "FAIL: auto picked %s for %s, expected %s\n",
+                   StrategyName(auto_mr.strategy), wl.name,
+                   StrategyName(wl.expect_auto));
+      return 1;
+    }
+    std::printf("  auto choice: %s (expected %s when exchanging)\n\n",
+                StrategyName(auto_mr.strategy), StrategyName(wl.expect_auto));
+
+    std::snprintf(
+        line, sizeof line,
+        "    \"%s\": {\n"
+        "      \"local_ms\": %.3f,\n"
+        "      \"repartition_ms\": %.3f,\n"
+        "      \"broadcast_ms\": %.3f,\n"
+        "      \"auto_ms\": %.3f,\n"
+        "      \"auto_strategy\": \"%s\",\n"
+        "      \"repartition_pred_bytes\": %.0f,\n"
+        "      \"repartition_meas_bytes\": %.0f,\n"
+        "      \"broadcast_pred_bytes\": %.0f,\n"
+        "      \"broadcast_meas_bytes\": %.0f\n"
+        "    }%s\n",
+        wl.name, results[0].best_ms, results[1].best_ms, results[2].best_ms,
+        results[3].best_ms, StrategyName(results[3].strategy),
+        results[1].predicted_bytes, results[1].measured_bytes,
+        results[2].predicted_bytes, results[2].measured_bytes,
+        w + 1 < workloads.size() ? "," : "");
+    json += line;
+  }
+  json += "  }";
+
+  if (!all_correct) {
+    std::fprintf(stderr, "FAIL: an exchanged plan diverged from local\n");
+    return 1;
+  }
+  std::printf("OK: all exchanged plans byte-identical to local\n");
+
+  if (!json_path.empty()) {
+    if (!MergeJsonSection(json_path, json)) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("merged \"exchange\" into %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+#include "dist/chunk_channel.h"
+
+#include "bat/types.h"
+
+namespace ccdb {
+
+size_t ChunkPayloadBytes(const Chunk& chunk) {
+  size_t bytes = 0;
+  for (size_t c = 0; c < chunk.cols.size(); ++c) {
+    size_t width = PhysTypeWidth(chunk.TypeOf(c));
+    // TypeOf normalizes integrals to kU32 (width 4); kStr reports width 0,
+    // priced at its 4-byte offset stride to match the planner's estimate.
+    if (width == 0) width = 4;
+    bytes += chunk.rows * width;
+  }
+  return bytes;
+}
+
+}  // namespace ccdb

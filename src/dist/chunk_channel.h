@@ -1,0 +1,176 @@
+// The exchange transport seam: a bounded in-process SPSC channel of BAT
+// chunks, behind a ChunkTransport interface so the same exchange operators
+// can later run over a cross-process (serialized) transport — the network
+// as one more level of the memory hierarchy.
+//
+// Flow control and shutdown:
+//  - Push() blocks while the channel is at capacity (bounded producer
+//    run-ahead); Pop() blocks while it is empty. Both poll the query's
+//    ScheduleContext every wait slice, so a cancelled or past-deadline
+//    query never leaves a producer stuck on a full channel (or a consumer
+//    on an empty one).
+//  - CloseSender() is the clean end-of-stream: consumers drain what is
+//    queued, then Pop() returns false.
+//  - Abort() is the teardown path (operator Close, error propagation): it
+//    wakes every waiter and fails all further Push/Pop calls, regardless
+//    of queued chunks.
+#ifndef CCDB_DIST_CHUNK_CHANNEL_H_
+#define CCDB_DIST_CHUNK_CHANNEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "exec/exec_context.h"
+#include "exec/operator.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace ccdb {
+
+namespace dist_internal {
+
+/// Bounded single-producer/single-consumer blocking queue. `T` must be
+/// movable. One mutex + one condvar: exchange channels carry chunk-sized
+/// payloads (thousands of rows each), so queue transitions are far off the
+/// per-row hot path and lock cost is noise.
+template <typename T>
+class BoundedChannel {
+ public:
+  /// `sched` (nullable, borrowed) is polled by every blocking wait.
+  BoundedChannel(size_t capacity, const ScheduleContext* sched)
+      : capacity_(capacity == 0 ? 1 : capacity), sched_(sched) {}
+
+  BoundedChannel(const BoundedChannel&) = delete;
+  BoundedChannel& operator=(const BoundedChannel&) = delete;
+
+  /// Blocks while full. Fails with the ScheduleContext's status on
+  /// cancellation/deadline, or Cancelled after Abort().
+  Status Push(T item) CCDB_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (true) {
+      if (aborted_) return Status::Cancelled("exchange channel aborted");
+      if (sched_ != nullptr) CCDB_RETURN_IF_ERROR(sched_->Check());
+      if (closed_) {
+        return Status::FailedPrecondition("push after CloseSender");
+      }
+      if (queue_.size() < capacity_) {
+        queue_.push_back(std::move(item));
+        cv_.NotifyAll();
+        return Status::Ok();
+      }
+      cv_.WaitFor(&mu_, kWaitSlice);
+    }
+  }
+
+  /// Blocks while empty. Returns false on clean end-of-stream, true with
+  /// `*out` filled otherwise; errors mirror Push().
+  StatusOr<bool> Pop(T* out) CCDB_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (true) {
+      if (aborted_) return Status::Cancelled("exchange channel aborted");
+      if (sched_ != nullptr) CCDB_RETURN_IF_ERROR(sched_->Check());
+      if (!queue_.empty()) {
+        *out = std::move(queue_.front());
+        queue_.pop_front();
+        cv_.NotifyAll();
+        return true;
+      }
+      if (closed_) return false;
+      cv_.WaitFor(&mu_, kWaitSlice);
+    }
+  }
+
+  /// Clean end-of-stream: queued chunks stay poppable, then Pop() -> false.
+  void CloseSender() CCDB_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    closed_ = true;
+    cv_.NotifyAll();
+  }
+
+  /// Teardown: wakes all waiters, fails all further calls, drops queued
+  /// items (nobody will consume them). Idempotent.
+  void Abort() CCDB_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    aborted_ = true;
+    queue_.clear();
+    cv_.NotifyAll();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  /// Wait slice between ScheduleContext polls while blocked — same cadence
+  /// as the shared-scan drive wait.
+  static constexpr std::chrono::milliseconds kWaitSlice{2};
+
+  const size_t capacity_;
+  const ScheduleContext* const sched_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<T> queue_ CCDB_GUARDED_BY(mu_);
+  bool closed_ CCDB_GUARDED_BY(mu_) = false;
+  bool aborted_ CCDB_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace dist_internal
+
+/// The bounded in-process SPSC chunk queue: one per (exchange input,
+/// partition) edge; the producer pump pushes routed sub-chunks, the
+/// partition's worker pops them.
+using ChunkChannel = dist_internal::BoundedChannel<Chunk>;
+
+/// Nominal payload bytes of a chunk: rows x physical column widths, the
+/// same per-column strides the planner's transfer estimate uses (strings
+/// are priced at their 4-byte offset stride — the wire transport counts
+/// their true bytes). Keeping measure and model on one scale makes the
+/// ExplainCosts predicted-vs-measured transfer columns comparable.
+size_t ChunkPayloadBytes(const Chunk& chunk);
+
+/// One exchange edge (producer -> one partition's worker). Send() blocks on
+/// backpressure; Recv() blocks until a chunk, end-of-stream (false), or
+/// abort. bytes_moved() is what actually crossed the edge, folded into
+/// ExchangeNodeInfo::measured_transfer_bytes at Close().
+class ChunkTransport {
+ public:
+  virtual ~ChunkTransport() = default;
+  virtual Status Send(Chunk chunk) = 0;
+  virtual StatusOr<bool> Recv(Chunk* out) = 0;
+  virtual void CloseSend() = 0;
+  virtual void Abort() = 0;
+  virtual uint64_t bytes_moved() const = 0;
+};
+
+/// Shared-memory transport: moves chunk objects through a ChunkChannel.
+/// `count_bytes=false` marks forwarded (zero-copy) edges — the broadcast
+/// join's probe side — which the cost model also prices at zero.
+class InProcessChunkTransport : public ChunkTransport {
+ public:
+  InProcessChunkTransport(size_t capacity, const ScheduleContext* sched,
+                          bool count_bytes)
+      : channel_(capacity, sched), count_bytes_(count_bytes) {}
+
+  Status Send(Chunk chunk) override {
+    if (count_bytes_) {
+      bytes_.fetch_add(ChunkPayloadBytes(chunk), std::memory_order_relaxed);
+    }
+    return channel_.Push(std::move(chunk));
+  }
+  StatusOr<bool> Recv(Chunk* out) override { return channel_.Pop(out); }
+  void CloseSend() override { channel_.CloseSender(); }
+  void Abort() override { channel_.Abort(); }
+  uint64_t bytes_moved() const override {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ChunkChannel channel_;
+  const bool count_bytes_;
+  std::atomic<uint64_t> bytes_{0};
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_DIST_CHUNK_CHANNEL_H_

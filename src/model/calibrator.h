@@ -45,6 +45,15 @@ double MeasureChaseNs(size_t ws_bytes, size_t stride_bytes,
 /// host instead of the generic profile.
 size_t MeasuredL2CacheBytes();
 
+/// The host's large-copy bandwidth as ns per byte — the price of moving
+/// one payload byte through an in-process exchange edge (dist/), measured
+/// with a memory-to-memory copy over an L2-spilling buffer. Cached after
+/// the first call (one ~milliseconds measurement per process); returns 0
+/// when the clock cannot resolve the copy, in which case callers fall back
+/// to a latency-derived estimate from their MachineProfile. Consumed by
+/// the planner's exchange transfer term (CostModel::Transfer).
+double MeasuredCopyNsPerByte();
+
 /// Runs the full calibration (sub-second with default settings).
 CalibrationReport Calibrate();
 

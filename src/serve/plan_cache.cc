@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cstring>
 
-#include "util/logging.h"
-
 namespace ccdb {
 namespace {
 
@@ -71,12 +69,16 @@ void HashExpr(Hasher& h, const Expr& e) {
 
 void HashNode(Hasher& h, const LogicalNode& n) {
   h.U64(static_cast<uint64_t>(n.op));
-  // Fingerprints key on the Table's address by design: plans are only
-  // comparable within one process, equal table copies intentionally miss
-  // (each copy has its own data_version stream), and the Table must
-  // outlive every cached plan anyway (liveness-asserted at lookup).
-  // lint: allow(table-identity)
-  h.U64(reinterpret_cast<uintptr_t>(n.table));
+  // Fingerprints key on the Table's liveness() token (exec/table.h), not
+  // its raw address: the token names the table object *incarnation* — it
+  // changes when a table is copy-assigned over in place and dies with the
+  // object — so a recycled address can never alias a different table's
+  // entry. Equal table copies still intentionally miss (each copy has its
+  // own token and data_version stream). Plans remain comparable only
+  // within one process, which is all a cache key needs.
+  const void* identity =
+      n.table != nullptr ? n.table->liveness().lock().get() : nullptr;
+  h.U64(reinterpret_cast<uintptr_t>(identity));
   HashExpr(h, n.filter);
   h.Str(n.left_key);
   h.Str(n.right_key);
@@ -134,21 +136,16 @@ std::vector<std::weak_ptr<const void>> LivenessTokens(
   return live;
 }
 
-/// The cache's lifetime contract, checked before any stored `const Table*`
-/// is dereferenced: a table scanned by a cached plan must still be alive
-/// (tables outlive the Server). Debug builds abort on a violation; release
-/// builds compile this out and trust the contract.
-void DCheckTablesAlive(
-    const std::vector<std::weak_ptr<const void>>& live) {
-#ifndef NDEBUG
+/// True when any recorded liveness token has expired: the entry refers to
+/// a destroyed (or copy-assigned-over) Table, so its raw pointers must not
+/// be dereferenced. Checked before every band re-check; expired entries
+/// are evicted gracefully, so the cache tolerates table churn instead of
+/// asserting on it.
+bool AnyTableExpired(const std::vector<std::weak_ptr<const void>>& live) {
   for (const auto& token : live) {
-    CCDB_DCHECK(!token.expired() &&
-                "plan-cache entry references a destroyed Table; tables must "
-                "outlive the Server (see serve/plan_cache.h)");
+    if (token.expired()) return true;
   }
-#else
-  (void)live;
-#endif
+  return false;
 }
 
 }  // namespace
@@ -168,7 +165,14 @@ std::optional<PhysicalPlan> PlanCache::Acquire(uint64_t key,
     ++stats_.misses;
     return std::nullopt;
   }
-  DCheckTablesAlive(e->live);
+  if (AnyTableExpired(e->live)) {
+    // A scanned table died (or was replaced in place): the pooled plans
+    // reference it and can never be served again. Evict the entry.
+    ++stats_.invalidations;
+    ++stats_.misses;
+    entries_.erase(entries_.begin() + (e - entries_.data()));
+    return std::nullopt;
+  }
   if (e->bands != CurrentBands(e->tables)) {
     // The table grew (or shrank, via copy-assign) past a power of two since
     // this entry's plans were lowered: their join strategies and pre-sizing
@@ -198,6 +202,14 @@ void PlanCache::Release(uint64_t key, const LogicalPlan& plan,
   physical.BindSchedule(nullptr);
   MutexLock lock(&mu_);
   Entry* e = Find(key);
+  if (e != nullptr && AnyTableExpired(e->live)) {
+    // A recorded table died while this plan was out: the entry is
+    // unusable. Evict it and re-seed below from the returning request,
+    // whose tables are necessarily alive.
+    ++stats_.invalidations;
+    entries_.erase(entries_.begin() + (e - entries_.data()));
+    e = nullptr;
+  }
   if (e == nullptr) {
     if (entries_.size() >= max_entries_) {
       // LRU eviction, linear scan: max_entries_ is small by design.
@@ -217,7 +229,6 @@ void PlanCache::Release(uint64_t key, const LogicalPlan& plan,
     entries_.push_back(std::move(fresh));
     return;
   }
-  DCheckTablesAlive(e->live);
   std::vector<uint32_t> now = CurrentBands(e->tables);
   if (e->bands != now) {
     // Bands moved while this plan executed; re-seed the entry with only

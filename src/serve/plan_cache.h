@@ -28,11 +28,14 @@
 // practice one Server, which owns exactly one options struct — must not
 // share a cache across differently configured planners.
 //
-// Lifetime contract: entries hold raw `const Table*` identities (both as
-// part of the fingerprint and for band re-checks), so every table a cached
-// plan scans MUST outlive the cache — in practice, tables must outlive the
-// Server. Debug builds assert this on each Acquire/Release via
-// Table::liveness() tokens; release builds trust the contract.
+// Lifetime: table identity — in the fingerprint and in the entries — is
+// the Table::liveness() token (exec/table.h), which names the table object
+// incarnation rather than a reusable raw address. Entries still hold raw
+// `const Table*` for band re-checks, but every touch verifies the tokens
+// first and evicts expired entries gracefully, so a table dying (or being
+// copy-assigned over) under the cache costs a re-lower, never a dangling
+// dereference. Tables should still outlive the Server for cache hits to
+// pay off.
 #ifndef CCDB_SERVE_PLAN_CACHE_H_
 #define CCDB_SERVE_PLAN_CACHE_H_
 
@@ -87,9 +90,9 @@ class PlanCache {
     uint64_t key = 0;
     std::vector<const Table*> tables;
     std::vector<uint32_t> bands;  // parallel to `tables`
-    /// Liveness tokens parallel to `tables`; debug builds assert none has
-    /// expired before the raw pointers are dereferenced (the documented
-    /// tables-outlive-the-Server contract).
+    /// Liveness tokens parallel to `tables`; checked on every Acquire and
+    /// Release before the raw pointers are dereferenced — an expired token
+    /// evicts the entry instead of risking a dangling read.
     std::vector<std::weak_ptr<const void>> live;
     std::vector<PhysicalPlan> pool;
     uint64_t last_used = 0;  // LRU tick

@@ -381,18 +381,20 @@ SharedScanRegistry::SharedScanRegistry(Options options)
 SharedScanRegistry::~SharedScanRegistry() = default;
 
 SharedScanRegistry::Group* SharedScanRegistry::GroupFor(const Table* table) {
+  // Match on the liveness token, not the raw address: a token compares
+  // equal exactly when both sides alias the same control block, i.e. the
+  // same table object incarnation (see Group in serve/shared_scan.h).
+  std::weak_ptr<const void> key = table->liveness();
   MutexLock lock(&mu_);
   for (const auto& g : groups_) {
-    // lint: allow(table-identity) — groups key on the Table's address by
-    // design; equal table copies never share a cursor (documented with the
-    // caveat in serve/shared_scan.h, token-identity asserted in Attach).
-    if (g->table == table) return g.get();
+    if (!g->key.owner_before(key) && !key.owner_before(g->key)) {
+      return g.get();
+    }
   }
   groups_.push_back(std::make_unique<Group>());
   Group* g = groups_.back().get();
-  // `live` is armed when Attach opens the group's first pass (it holds
-  // g->mu, which this function deliberately does not take).
   g->table = table;
+  g->key = std::move(key);
   return g;
 }
 
@@ -406,34 +408,16 @@ StatusOr<std::unique_ptr<SharedScanParticipant>> SharedScanRegistry::Attach(
   MutexLock lock(&g->mu);
   if (g->members.empty()) {
     CCDB_DCHECK(!g->driving);  // the driver is always a member
-  } else {
-    // Same contract as the plan cache: a registered table must be alive.
-    CCDB_DCHECK(!g->live.expired() &&
-                "shared-scan group references a destroyed Table; tables must "
-                "outlive the Server (see serve/plan_cache.h)");
-#ifndef NDEBUG
-    // Identity caveat (see Group in serve/shared_scan.h): the group is
-    // keyed on the Table's address, so the liveness token of an active
-    // group must still be the one this Table hands out now. A mismatch
-    // means the address was copy-assigned a new value (fresh stats cache,
-    // same address) while members were mid-pass — the pass geometry no
-    // longer describes the object behind the pointer.
-    std::weak_ptr<const void> now = table->liveness();
-    CCDB_DCHECK(!g->live.owner_before(now) && !now.owner_before(g->live) &&
-                "shared-scan group's Table was replaced in place "
-                "(copy-assignment over a registered table?); cursor groups "
-                "key on table identity, not value");
-#endif
   }
+  // No staleness checks needed here: GroupFor matched this table's
+  // liveness token, so the group necessarily describes this live object —
+  // a destroyed or copy-assigned-over table's token can never match again.
   if (g->members.empty() ||
       (g->next_chunk >= g->num_chunks && !g->driving)) {
-    // Open a fresh pass: capture the cursor geometry and re-arm the
-    // lifetime token (a previous pass's table may have died and this
-    // address been reused by a new Table). When the previous pass is fully
-    // driven, its members hold every entry they still need in their
-    // queues, so restarting the cursor under a new generation cannot
-    // disturb them.
-    g->live = table->liveness();
+    // Open a fresh pass: capture the cursor geometry. When the previous
+    // pass is fully driven, its members hold every entry they still need
+    // in their queues, so restarting the cursor under a new generation
+    // cannot disturb them.
     ++g->pass;
     // The filter cache carries over to the new pass only when it will
     // describe the same chunks: same chunking, same row count, and the

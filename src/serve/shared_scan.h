@@ -143,25 +143,24 @@ class SharedScanRegistry : public SharedScanProvider {
   /// touching them. Participants attaching while the row count has moved
   /// mid-pass (AppendRows), or with a different chunk size, scan
   /// privately instead.
-  /// Identity caveat (documented since PR 7, allowlisted for the engine
-  /// lint's table-identity rule): groups are keyed on the Table's
-  /// *address*, not its value. Two equal copies of a table therefore never
-  /// share a cursor — each copy is its own group and pays its own pass —
-  /// and a Table must outlive every group that references it (the same
-  /// tables-outlive-the-Server contract as serve/plan_cache.h, checked in
-  /// debug builds via the `live` token, and in GroupFor via a
-  /// token-identity assert that catches copy-assignment over a registered
-  /// table). Value-keying would need a content fingerprint per attach —
-  /// a full scan, defeating the point of sharing the scan.
+  /// Identity: groups are keyed on the Table's liveness() token
+  /// (exec/table.h), which names the table *object across time* rather
+  /// than a reusable raw address — it is stable for the object's lifetime,
+  /// replaced by copy-assignment, and expires at destruction. A new Table
+  /// occupying a freed address, or one copy-assigned over in place,
+  /// therefore gets a fresh group instead of silently joining a stale
+  /// pass. Two equal copies of a table still never share a cursor (each
+  /// has its own token): value-keying would need a content fingerprint
+  /// per attach — a full scan, defeating the point of sharing the scan.
   struct Group {
     /// Set once at creation (under the registry lock, before the group is
-    /// published); immutable afterwards, so handles read it lock-free.
+    /// published); immutable afterwards, so handles read them lock-free.
+    /// `key` is the liveness token GroupFor matches attaches against.
     const Table* table = nullptr;
+    std::weak_ptr<const void> key;
 
     Mutex mu;
     CondVar cv;
-    /// Lifetime-contract debug token; re-armed at each pass open.
-    std::weak_ptr<const void> live CCDB_GUARDED_BY(mu);
     uint64_t pass CCDB_GUARDED_BY(mu) = 0;  // bumped at each pass open
     size_t chunk_rows CCDB_GUARDED_BY(mu) = SIZE_MAX;
     size_t pass_rows CCDB_GUARDED_BY(mu) = 0;
@@ -178,9 +177,9 @@ class SharedScanRegistry : public SharedScanProvider {
     std::vector<CachedFilter> filter_cache CCDB_GUARDED_BY(mu);
   };
 
-  /// Finds or creates the group for `table` (see the Group identity
-  /// caveat above). Groups are never erased, so the returned pointer is
-  /// stable for the registry's lifetime.
+  /// Finds or creates the group for `table`, matching on its liveness
+  /// token (see Group). Groups are never erased, so the returned pointer
+  /// is stable for the registry's lifetime.
   Group* GroupFor(const Table* table) CCDB_EXCLUDES(mu_);
 
   const Options options_;
