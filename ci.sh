@@ -105,7 +105,7 @@ if [ "$MODE" = "tsan" ]; then
   # concurrent_exec_test (running it twice) and any future *_exec_test into
   # this filter silently.
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
-    -R '^(plan_test|rich_algebra_test|expr_test|exec_test|thread_pool_test|stats_test|serve_test|concurrent_exec_test|shared_scan_test|exchange_test)$'
+    -R '^(plan_test|rich_algebra_test|expr_test|exec_test|thread_pool_test|stats_test|serve_test|concurrent_exec_test|shared_scan_test|exchange_test|mem_arena_test)$'
   echo "== concurrent serving smoke under TSan =="
   "$BUILD_DIR/concurrent_serving" --smoke
   echo "== shared scan smoke under TSan =="
@@ -116,6 +116,10 @@ if [ "$MODE" = "tsan" ]; then
   # Partitioned join+agg through the exchange operators: the TSan pass over
   # the bounded channels, the merge collector, and pump/worker lifecycles.
   "$BUILD_DIR/exchange" --smoke
+  echo "== tlb_pages smoke under TSan =="
+  # Arena allocate/advise/free cycles (mmap registry under the arena mutex)
+  # exercised from the huge-page A/B kernels.
+  "$BUILD_DIR/tlb_pages" --smoke
   echo "OK (tsan)"
   exit 0
 fi
@@ -154,6 +158,12 @@ echo "== bench artifact (BENCH_ci.json) =="
 # asserts every exchanged plan is byte-identical to the local one and that
 # auto's strategy matches the transfer-byte arithmetic.
 "$BUILD_DIR/exchange" --json-merge="$BUILD_DIR/BENCH_ci.json"
+# Huge-page vs base-page A/B (scan / gather / radix-cluster / join build on
+# arena mappings) merged too. The section records page_size, thp_available
+# and the huge-page bytes the kernel actually granted; when nothing was
+# granted (THP off, locked-down kernel) it is marked
+# tlb_pages_meaningful=false instead of reporting a fake speedup.
+"$BUILD_DIR/tlb_pages" --json-merge="$BUILD_DIR/BENCH_ci.json"
 
 echo "== examples smoke =="
 "$BUILD_DIR/mil_pipeline" > /dev/null

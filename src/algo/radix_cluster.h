@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "algo/join_common.h"
+#include "mem/arena.h"
 #include "util/bits.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -41,10 +42,17 @@ struct RadixClusterStats {
   double total_ms = 0;
 };
 
+/// Arena-backed Bun buffer: large clustered relations and partition scratch
+/// land on huge-page-eligible mappings (mem/arena.h), shrinking the TLB
+/// footprint that §3.1 identifies as the fan-out limit; every buffer start
+/// is cache-line aligned, so concurrent partition writers never share a
+/// line.
+using BunVec = ColVec<Bun>;
+
 /// A relation radix-clustered on `bits` bits: tuples ordered ascending on
 /// (Hash(tail) & LowMask32(bits)).
 struct ClusteredRelation {
-  std::vector<Bun> tuples;
+  BunVec tuples;
   int bits = 0;
 };
 
@@ -118,7 +126,7 @@ StatusOr<ClusteredRelation> RadixCluster(std::span<const Bun> input,
 
   std::vector<int> per_pass = options.EffectiveBits();
   size_t n = input.size();
-  std::vector<Bun> a(n), b;
+  BunVec a(n), b;
   if (per_pass.size() > 1) b.resize(n);
 
   std::vector<uint64_t> bounds = {0, n};

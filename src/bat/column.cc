@@ -21,16 +21,33 @@ const char* PhysTypeName(PhysType t) {
 Column Column::Void(oid_t base, size_t count) {
   return Column(VoidRep{base, count});
 }
-Column Column::U8(std::vector<uint8_t> v) { return Column(Rep(std::move(v))); }
-Column Column::U16(std::vector<uint16_t> v) {
-  return Column(Rep(std::move(v)));
+Column Column::U8(ColVec<uint8_t> v) { return Column(Rep(std::move(v))); }
+Column Column::U16(ColVec<uint16_t> v) { return Column(Rep(std::move(v))); }
+Column Column::U32(ColVec<uint32_t> v) { return Column(Rep(std::move(v))); }
+Column Column::I32(ColVec<int32_t> v) { return Column(Rep(std::move(v))); }
+Column Column::I64(ColVec<int64_t> v) { return Column(Rep(std::move(v))); }
+Column Column::F64(ColVec<double> v) { return Column(Rep(std::move(v))); }
+
+namespace {
+// Copy a plain vector (or an initializer list) into an arena-backed one.
+template <typename T, typename Src>
+ColVec<T> ToArena(const Src& v) {
+  return ColVec<T>(v.begin(), v.end());
 }
-Column Column::U32(std::vector<uint32_t> v) {
-  return Column(Rep(std::move(v)));
-}
-Column Column::I32(std::vector<int32_t> v) { return Column(Rep(std::move(v))); }
-Column Column::I64(std::vector<int64_t> v) { return Column(Rep(std::move(v))); }
-Column Column::F64(std::vector<double> v) { return Column(Rep(std::move(v))); }
+}  // namespace
+
+Column Column::U8(const std::vector<uint8_t>& v) { return U8(ToArena<uint8_t>(v)); }
+Column Column::U16(const std::vector<uint16_t>& v) { return U16(ToArena<uint16_t>(v)); }
+Column Column::U32(const std::vector<uint32_t>& v) { return U32(ToArena<uint32_t>(v)); }
+Column Column::I32(const std::vector<int32_t>& v) { return I32(ToArena<int32_t>(v)); }
+Column Column::I64(const std::vector<int64_t>& v) { return I64(ToArena<int64_t>(v)); }
+Column Column::F64(const std::vector<double>& v) { return F64(ToArena<double>(v)); }
+Column Column::U8(std::initializer_list<uint8_t> v) { return U8(ToArena<uint8_t>(v)); }
+Column Column::U16(std::initializer_list<uint16_t> v) { return U16(ToArena<uint16_t>(v)); }
+Column Column::U32(std::initializer_list<uint32_t> v) { return U32(ToArena<uint32_t>(v)); }
+Column Column::I32(std::initializer_list<int32_t> v) { return I32(ToArena<int32_t>(v)); }
+Column Column::I64(std::initializer_list<int64_t> v) { return I64(ToArena<int64_t>(v)); }
+Column Column::F64(std::initializer_list<double> v) { return F64(ToArena<double>(v)); }
 
 Column Column::Str(const std::vector<std::string>& v) {
   StrRep rep;
@@ -51,12 +68,12 @@ PhysType Column::type() const {
       [](const auto& v) -> PhysType {
         using T = std::decay_t<decltype(v)>;
         if constexpr (std::is_same_v<T, VoidRep>) return PhysType::kVoid;
-        else if constexpr (std::is_same_v<T, std::vector<uint8_t>>) return PhysType::kU8;
-        else if constexpr (std::is_same_v<T, std::vector<uint16_t>>) return PhysType::kU16;
-        else if constexpr (std::is_same_v<T, std::vector<uint32_t>>) return PhysType::kU32;
-        else if constexpr (std::is_same_v<T, std::vector<int32_t>>) return PhysType::kI32;
-        else if constexpr (std::is_same_v<T, std::vector<int64_t>>) return PhysType::kI64;
-        else if constexpr (std::is_same_v<T, std::vector<double>>) return PhysType::kF64;
+        else if constexpr (std::is_same_v<T, ColVec<uint8_t>>) return PhysType::kU8;
+        else if constexpr (std::is_same_v<T, ColVec<uint16_t>>) return PhysType::kU16;
+        else if constexpr (std::is_same_v<T, ColVec<uint32_t>>) return PhysType::kU32;
+        else if constexpr (std::is_same_v<T, ColVec<int32_t>>) return PhysType::kI32;
+        else if constexpr (std::is_same_v<T, ColVec<int64_t>>) return PhysType::kI64;
+        else if constexpr (std::is_same_v<T, ColVec<double>>) return PhysType::kF64;
         else return PhysType::kStr;
       },
       rep_);
@@ -95,7 +112,7 @@ uint64_t Column::GetIntegral(size_t i) const {
 
 Column Column::Materialize() const {
   if (const VoidRep* v = std::get_if<VoidRep>(&rep_)) {
-    std::vector<uint32_t> oids(v->count);
+    ColVec<uint32_t> oids(v->count);
     std::iota(oids.begin(), oids.end(), v->base);
     return U32(std::move(oids));
   }

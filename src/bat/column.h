@@ -8,6 +8,7 @@
 #define CCDB_BAT_COLUMN_H_
 
 #include <cstdint>
+#include <initializer_list>
 #include <span>
 #include <string>
 #include <string_view>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "bat/types.h"
+#include "mem/arena.h"
 #include "util/logging.h"
 #include "util/status.h"
 
@@ -27,13 +29,33 @@ class Column {
  public:
   /// Dense ascending OID sequence [base, base+count) that occupies no memory.
   static Column Void(oid_t base, size_t count);
-  static Column U8(std::vector<uint8_t> v);
-  static Column U16(std::vector<uint16_t> v);
-  static Column U32(std::vector<uint32_t> v);
-  static Column I32(std::vector<int32_t> v);
-  static Column I64(std::vector<int64_t> v);
-  static Column F64(std::vector<double> v);
+
+  // Canonical factories: adopt an arena-backed vector without copying. Large
+  // columns land on huge-page-eligible mappings (see mem/arena.h); small
+  // ones stay on the default heap path. The std::vector overloads copy into
+  // the arena (compatibility for cold callers/tests); the initializer_list
+  // overloads keep `Column::U32({1, 2, 3})` unambiguous.
+  static Column U8(ColVec<uint8_t> v);
+  static Column U16(ColVec<uint16_t> v);
+  static Column U32(ColVec<uint32_t> v);
+  static Column I32(ColVec<int32_t> v);
+  static Column I64(ColVec<int64_t> v);
+  static Column F64(ColVec<double> v);
+  static Column U8(const std::vector<uint8_t>& v);
+  static Column U16(const std::vector<uint16_t>& v);
+  static Column U32(const std::vector<uint32_t>& v);
+  static Column I32(const std::vector<int32_t>& v);
+  static Column I64(const std::vector<int64_t>& v);
+  static Column F64(const std::vector<double>& v);
+  static Column U8(std::initializer_list<uint8_t> v);
+  static Column U16(std::initializer_list<uint16_t> v);
+  static Column U32(std::initializer_list<uint32_t> v);
+  static Column I32(std::initializer_list<int32_t> v);
+  static Column I64(std::initializer_list<int64_t> v);
+  static Column F64(std::initializer_list<double> v);
   /// Builds a string column (offset array + byte arena) from `v`.
+  /// (String storage keeps std::string for the byte arena; only the fixed
+  /// width representations are arena-backed.)
   static Column Str(const std::vector<std::string>& v);
 
   Column() : rep_(VoidRep{0, 0}) {}
@@ -45,13 +67,13 @@ class Column {
   /// expected to have validated types at plan time; use `type()` to branch.
   template <typename T>
   std::span<const T> Span() const {
-    const std::vector<T>* v = std::get_if<std::vector<T>>(&rep_);
+    const ColVec<T>* v = std::get_if<ColVec<T>>(&rep_);
     CCDB_CHECK(v != nullptr);
     return {v->data(), v->size()};
   }
   template <typename T>
   std::span<T> MutableSpan() {
-    std::vector<T>* v = std::get_if<std::vector<T>>(&rep_);
+    ColVec<T>* v = std::get_if<ColVec<T>>(&rep_);
     CCDB_CHECK(v != nullptr);
     return {v->data(), v->size()};
   }
@@ -100,10 +122,9 @@ class Column {
     std::string arena;
   };
 
-  using Rep = std::variant<VoidRep, std::vector<uint8_t>,
-                           std::vector<uint16_t>, std::vector<uint32_t>,
-                           std::vector<int32_t>, std::vector<int64_t>,
-                           std::vector<double>, StrRep>;
+  using Rep = std::variant<VoidRep, ColVec<uint8_t>, ColVec<uint16_t>,
+                           ColVec<uint32_t>, ColVec<int32_t>, ColVec<int64_t>,
+                           ColVec<double>, StrRep>;
 
   explicit Column(Rep rep) : rep_(std::move(rep)) {}
 

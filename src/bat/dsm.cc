@@ -10,12 +10,12 @@ Column DecomposeField(const RowStore& rows, size_t f) {
   size_t n = rows.size();
   switch (rows.fields()[f].type) {
     case FieldType::kU8: {
-      std::vector<uint8_t> v(n);
+      ColVec<uint8_t> v(n);
       for (size_t r = 0; r < n; ++r) v[r] = rows.GetU8(r, f);
       return Column::U8(std::move(v));
     }
     case FieldType::kU16: {
-      std::vector<uint16_t> v(n);
+      ColVec<uint16_t> v(n);
       for (size_t r = 0; r < n; ++r) {
         uint16_t x;
         std::memcpy(&x, rows.GetBytes(r, f), sizeof(x));
@@ -24,12 +24,12 @@ Column DecomposeField(const RowStore& rows, size_t f) {
       return Column::U16(std::move(v));
     }
     case FieldType::kU32: {
-      std::vector<uint32_t> v(n);
+      ColVec<uint32_t> v(n);
       for (size_t r = 0; r < n; ++r) v[r] = rows.GetU32(r, f);
       return Column::U32(std::move(v));
     }
     case FieldType::kI64: {
-      std::vector<int64_t> v(n);
+      ColVec<int64_t> v(n);
       for (size_t r = 0; r < n; ++r) {
         int64_t x;
         std::memcpy(&x, rows.GetBytes(r, f), sizeof(x));
@@ -38,7 +38,7 @@ Column DecomposeField(const RowStore& rows, size_t f) {
       return Column::I64(std::move(v));
     }
     case FieldType::kF64: {
-      std::vector<double> v(n);
+      ColVec<double> v(n);
       for (size_t r = 0; r < n; ++r) v[r] = rows.GetF64(r, f);
       return Column::F64(std::move(v));
     }

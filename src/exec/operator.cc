@@ -1227,8 +1227,10 @@ void JoinOp::Close() {
 namespace {
 
 /// Concatenates per-task result vectors in task order (deterministic join
-/// output regardless of which worker ran which task).
-std::vector<Bun> ConcatBuns(std::vector<std::vector<Bun>> parts) {
+/// output regardless of which worker ran which task). The per-task parts
+/// are arena-backed: every start is cache-line aligned, so no two tasks'
+/// output buffers ever share a line.
+std::vector<Bun> ConcatBuns(std::vector<BunVec> parts) {
   size_t total = 0;
   for (const auto& p : parts) total += p.size();
   std::vector<Bun> out;
@@ -1274,7 +1276,7 @@ StatusOr<std::vector<Bun>> JoinOp::ProbeSimpleHash(
     }
     return out;
   }
-  std::vector<std::vector<Bun>> parts(shards);
+  std::vector<BunVec> parts(shards);
   CCDB_RETURN_IF_ERROR(ExecParallelFor(ctx_, shards, [&](size_t s) -> Status {
     size_t lo = probe.size() * s / shards;
     size_t hi = probe.size() * (s + 1) / shards;
@@ -1315,12 +1317,12 @@ StatusOr<std::vector<Bun>> JoinOp::JoinClusteredChunk(
   }
   if (tasks != nullptr) *tasks += parts.size();
 
-  std::vector<std::vector<Bun>> results(parts.size());
+  std::vector<BunVec> results(parts.size());
   const bool radix = plan_.use_radix_join;
   CCDB_RETURN_IF_ERROR(ExecParallelFor(
       ctx_, parts.size(), [&](size_t p) -> Status {
         const Part& pt = parts[p];
-        std::vector<Bun>& out = results[p];
+        BunVec& out = results[p];
         if (radix) {
           // Radix-join: clusters are tiny (~4-8 tuples); nested loop.
           for (size_t a = pt.l_lo; a < pt.l_hi; ++a) {

@@ -1,0 +1,351 @@
+#include "mem/arena.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <new>
+#include <string>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/thread_annotations.h"
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace ccdb {
+namespace arena {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Global state. Counters are atomics (hot path increments, no lock); the
+// block registry is the only locked structure and is touched once per *large*
+// allocation — never per element, never per small allocation.
+// ---------------------------------------------------------------------------
+
+std::atomic<uint64_t> g_large_allocs{0};
+std::atomic<uint64_t> g_large_bytes{0};
+std::atomic<uint64_t> g_large_mapped_bytes{0};
+std::atomic<uint64_t> g_huge_advised_bytes{0};
+std::atomic<uint64_t> g_fallback_allocs{0};
+std::atomic<uint64_t> g_small_allocs{0};
+std::atomic<uint64_t> g_small_bytes{0};
+
+std::atomic<size_t> g_large_threshold{kDefaultLargeThresholdBytes};
+std::atomic<HugePolicy> g_default_policy{HugePolicy::kRequest};
+
+enum class BlockKind : uint8_t {
+  kMapped,    // mmap region of mapped_len bytes; free via munmap
+  kHeapFall,  // heap fallback; free via aligned operator delete
+};
+
+struct BlockInfo {
+  size_t mapped_len = 0;
+  size_t head_offset = 0;  // user pointer minus mapping base (coloring)
+  BlockKind kind = BlockKind::kMapped;
+};
+
+// Cache-index coloring: buffers whose starts are all congruent modulo the
+// cache's set span alias onto the same sets and conflict-miss in lockstep
+// walks (the classic penalty of power-of-two-aligned allocators, made worse
+// by huge pages, where the low 21 virtual bits ARE the physical bits).
+// Staggering consecutive buffer starts by one cache line each decorrelates
+// them while preserving line alignment.
+std::atomic<uint32_t> g_color{0};
+constexpr size_t kColorSlots = 32;
+constexpr size_t kColorMinBytes = size_t{16} << 10;
+
+size_t NextColorBytes(size_t bytes) {
+  if (bytes < kColorMinBytes) return 0;
+  return (g_color.fetch_add(1, std::memory_order_relaxed) % kColorSlots) *
+         kCacheLineBytes;
+}
+
+// Live large blocks. Deallocate() consults this to route frees, which makes
+// a threshold change between allocate and free safe (the block remembers
+// which path owns it).
+struct Registry {
+  Mutex mu;
+  std::unordered_map<const void*, BlockInfo> blocks CCDB_GUARDED_BY(mu);
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives static vectors
+  return *r;
+}
+
+size_t RoundUp(size_t v, size_t align) {
+  return (v + align - 1) / align * align;
+}
+
+// lint: allow(raw-buffer: mem/arena IS the owning allocation layer — every
+// mmap/munmap below is paired through the registry, and ownership never
+// escapes except through ArenaAllocator/FreeBlock)
+
+#if defined(__linux__)
+// Maps `len` bytes at a HugePageBytes()-aligned address (over-map + trim),
+// so the region is *eligible* for THP backing. Returns nullptr on failure.
+void* MapAligned(size_t len, size_t align) {
+  size_t over = len + align;
+  void* raw = ::mmap(nullptr, over, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (raw == MAP_FAILED) return nullptr;
+  uintptr_t base = reinterpret_cast<uintptr_t>(raw);
+  uintptr_t aligned = RoundUp(base, align);
+  size_t head = aligned - base;
+  size_t tail = over - head - len;
+  if (head != 0) ::munmap(raw, head);
+  if (tail != 0) ::munmap(reinterpret_cast<void*>(aligned + len), tail);
+  return reinterpret_cast<void*>(aligned);
+}
+
+// Reads one size_t value ("AnonHugePages:  N kB" style) for the smaps
+// region(s) overlapping [p, p+len). Returns bytes.
+size_t SmapsAnonHugeBytes(uintptr_t lo, uintptr_t hi) {
+  std::FILE* f = std::fopen("/proc/self/smaps", "re");
+  if (f == nullptr) return 0;
+  char line[512];
+  bool in_region = false;
+  size_t total_kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    uintptr_t start = 0;
+    uintptr_t end = 0;
+    if (std::sscanf(line, "%lx-%lx ", &start, &end) == 2) {
+      in_region = start < hi && end > lo;
+      continue;
+    }
+    if (!in_region) continue;
+    unsigned long kb = 0;
+    if (std::sscanf(line, "AnonHugePages: %lu kB", &kb) == 1) total_kb += kb;
+  }
+  std::fclose(f);
+  return total_kb * 1024;
+}
+#endif  // __linux__
+
+void* HeapFallback(size_t bytes) {
+  void* p = ::operator new(RoundUp(bytes, kCacheLineBytes),
+                           std::align_val_t{kCacheLineBytes});
+  std::memset(p, 0, RoundUp(bytes, kCacheLineBytes));
+  return p;
+}
+
+}  // namespace
+
+ArenaStats Stats() {
+  ArenaStats s;
+  s.large_allocs = g_large_allocs.load(std::memory_order_relaxed);
+  s.large_bytes = g_large_bytes.load(std::memory_order_relaxed);
+  s.large_mapped_bytes = g_large_mapped_bytes.load(std::memory_order_relaxed);
+  s.huge_advised_bytes = g_huge_advised_bytes.load(std::memory_order_relaxed);
+  s.fallback_allocs = g_fallback_allocs.load(std::memory_order_relaxed);
+  s.small_allocs = g_small_allocs.load(std::memory_order_relaxed);
+  s.small_bytes = g_small_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ResetStats() {
+  g_large_allocs = 0;
+  g_large_bytes = 0;
+  g_large_mapped_bytes = 0;
+  g_huge_advised_bytes = 0;
+  g_fallback_allocs = 0;
+  g_small_allocs = 0;
+  g_small_bytes = 0;
+}
+
+bool ThpAvailable() {
+#if defined(__linux__)
+  static const bool kAvailable = [] {
+    std::FILE* f =
+        std::fopen("/sys/kernel/mm/transparent_hugepage/enabled", "re");
+    if (f == nullptr) return false;
+    char buf[256] = {0};
+    size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    buf[n] = '\0';
+    // The bracketed token is the active mode; madvise-based THP works under
+    // both "[always]" and "[madvise]".
+    return std::strstr(buf, "[always]") != nullptr ||
+           std::strstr(buf, "[madvise]") != nullptr;
+  }();
+  return kAvailable;
+#else
+  return false;
+#endif
+}
+
+size_t HugePageBytes() {
+#if defined(__linux__)
+  static const size_t kBytes = [] {
+    std::FILE* f = std::fopen("/proc/meminfo", "re");
+    if (f == nullptr) return size_t{2} << 20;
+    char line[256];
+    unsigned long kb = 0;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::sscanf(line, "Hugepagesize: %lu kB", &kb) == 1) break;
+    }
+    std::fclose(f);
+    return kb != 0 ? size_t{kb} * 1024 : size_t{2} << 20;
+  }();
+  return kBytes;
+#else
+  return size_t{2} << 20;
+#endif
+}
+
+size_t BasePageBytes() {
+#if defined(__linux__)
+  static const size_t kBytes = [] {
+    long v = ::sysconf(_SC_PAGESIZE);
+    return v > 0 ? static_cast<size_t>(v) : size_t{4096};
+  }();
+  return kBytes;
+#else
+  return 4096;
+#endif
+}
+
+size_t HugeBackedBytes(const void* p) {
+#if defined(__linux__)
+  size_t len = 0;
+  size_t head = 0;
+  {
+    Registry& r = registry();
+    MutexLock lock(&r.mu);
+    auto it = r.blocks.find(p);
+    if (it == r.blocks.end() || it->second.kind != BlockKind::kMapped) {
+      return 0;
+    }
+    len = it->second.mapped_len;
+    head = it->second.head_offset;
+  }
+  uintptr_t lo = reinterpret_cast<uintptr_t>(p) - head;
+  return SmapsAnonHugeBytes(lo, lo + len);
+#else
+  (void)p;
+  return 0;
+#endif
+}
+
+HugePolicy SetDefaultHugePolicy(HugePolicy policy) {
+  return g_default_policy.exchange(policy);
+}
+HugePolicy DefaultHugePolicy() { return g_default_policy.load(); }
+
+size_t SetLargeThresholdBytes(size_t bytes) {
+  return g_large_threshold.exchange(bytes);
+}
+size_t LargeThresholdBytes() { return g_large_threshold.load(); }
+
+void* AllocateBlock(size_t bytes, HugePolicy policy) {
+  CCDB_CHECK(bytes > 0);
+  g_large_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_large_bytes.fetch_add(bytes, std::memory_order_relaxed);
+#if defined(__linux__)
+  size_t align = HugePageBytes();
+  size_t color = NextColorBytes(bytes);
+  size_t len = RoundUp(bytes + color, align);
+  void* base = MapAligned(len, align);
+  if (base != nullptr) {
+    if (policy == HugePolicy::kRequest && ThpAvailable()) {
+      if (::madvise(base, len, MADV_HUGEPAGE) == 0) {
+        g_huge_advised_bytes.fetch_add(len, std::memory_order_relaxed);
+      }
+    } else {
+      // Keep this block on base pages even under THP=always — the TLB
+      // calibrator and the bench's base-page arm depend on it.
+      (void)::madvise(base, len, MADV_NOHUGEPAGE);
+    }
+    g_large_mapped_bytes.fetch_add(len, std::memory_order_relaxed);
+    void* p = static_cast<char*>(base) + color;
+    Registry& r = registry();
+    MutexLock lock(&r.mu);
+    r.blocks.emplace(p, BlockInfo{len, color, BlockKind::kMapped});
+    return p;
+  }
+#else
+  (void)policy;
+#endif
+  g_fallback_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* fp = HeapFallback(bytes);
+  Registry& r = registry();
+  MutexLock lock(&r.mu);
+  r.blocks.emplace(fp, BlockInfo{bytes, 0, BlockKind::kHeapFall});
+  return fp;
+}
+
+void FreeBlock(void* p) {
+  if (p == nullptr) return;
+  BlockInfo info;
+  {
+    Registry& r = registry();
+    MutexLock lock(&r.mu);
+    auto it = r.blocks.find(p);
+    CCDB_CHECK(it != r.blocks.end() && "FreeBlock of unknown pointer");
+    info = it->second;
+    r.blocks.erase(it);
+  }
+  if (info.kind == BlockKind::kHeapFall) {
+    ::operator delete(p, std::align_val_t{kCacheLineBytes});
+    return;
+  }
+#if defined(__linux__)
+  ::munmap(static_cast<char*>(p) - info.head_offset, info.mapped_len);
+#endif
+}
+
+bool IsLargeBlock(const void* p) {
+  Registry& r = registry();
+  MutexLock lock(&r.mu);
+  return r.blocks.find(p) != r.blocks.end();
+}
+
+void* Allocate(size_t bytes) {
+  if (bytes >= g_large_threshold.load(std::memory_order_relaxed)) {
+    return AllocateBlock(bytes, g_default_policy.load());
+  }
+  g_small_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_small_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  // One leading cache line carries the base pointer (so Deallocate can undo
+  // the coloring offset); the returned start is cache-line aligned, so
+  // adjacent small buffers written by different threads (per-task partition
+  // outputs) never share a line.
+  size_t color = NextColorBytes(bytes);
+  char* raw = static_cast<char*>(::operator new(
+      bytes + kCacheLineBytes + color, std::align_val_t{kCacheLineBytes}));
+  char* p = raw + kCacheLineBytes + color;
+  reinterpret_cast<void**>(p)[-1] = raw;
+  return p;
+}
+
+void Deallocate(void* p, size_t bytes) {
+  if (p == nullptr) return;
+  // Route by ownership, not by the current threshold: the threshold is a
+  // test/bench knob and may have changed since this block was allocated.
+  {
+    Registry& r = registry();
+    MutexLock lock(&r.mu);
+    auto it = r.blocks.find(p);
+    if (it != r.blocks.end()) {
+      BlockInfo info = it->second;
+      r.blocks.erase(it);
+      if (info.kind == BlockKind::kHeapFall) {
+        ::operator delete(p, std::align_val_t{kCacheLineBytes});
+      } else {
+#if defined(__linux__)
+        ::munmap(p, info.mapped_len);
+#endif
+      }
+      return;
+    }
+  }
+  (void)bytes;
+  void* raw = reinterpret_cast<void**>(p)[-1];
+  ::operator delete(raw, std::align_val_t{kCacheLineBytes});
+}
+
+}  // namespace arena
+}  // namespace ccdb

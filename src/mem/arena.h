@@ -1,0 +1,146 @@
+// Page-aware arena: the engine's allocation layer for large, scan- and
+// partition-hot buffers (BAT columns, radix-cluster scratch, join outputs).
+//
+// The paper's whole argument (§1, §3.1) is that memory access dominates query
+// cost, and its radix-cluster fan-out is capped by *TLB reach* — the number
+// of pages the TLB can map at once. On 4 KB pages a 64-entry TLB reaches
+// 256 KB; backing the same buffers with 2 MB transparent huge pages multiplies
+// reach by 512 and removes most page walks from scans and partition writes.
+//
+// Design:
+//  * Allocations >= LargeThresholdBytes() (default 2 MB) are served from
+//    2 MB-aligned anonymous mmap regions advised MADV_HUGEPAGE, so the kernel
+//    can back them with transparent huge pages. If THP is unavailable or the
+//    advice fails, the mapping transparently stays on base pages — same
+//    pointer, same bytes, just more translations (graceful 4 KB fallback).
+//  * Smaller allocations go to the default path (aligned operator new), but
+//    always with >= 64-byte (cache-line) aligned starts, so concurrent
+//    writers of adjacent arena buffers never share a line.
+//  * ArenaStats reports what was *requested* vs what the kernel actually
+//    *granted* (huge-backed bytes are read back from /proc/self/smaps), so
+//    benchmarks and BENCH_ci.json can record the truth, not the wish.
+//
+// ArenaAllocator<T> is the STL hook: ColVec<T> = std::vector<T,
+// ArenaAllocator<T>> is a drop-in vector whose backing store routes through
+// the arena. Results are byte-identical to plain vectors by construction —
+// only the placement of the bytes changes.
+#ifndef CCDB_MEM_ARENA_H_
+#define CCDB_MEM_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace ccdb {
+namespace arena {
+
+/// Every arena allocation (large or small) starts on a cache-line boundary.
+inline constexpr size_t kCacheLineBytes = 64;
+
+/// Allocations at or above this size take the mmap/huge-page path by
+/// default; below it, the default heap path (with cache-line alignment).
+/// 2 MB: one huge page — smaller blocks could not be huge-backed anyway.
+inline constexpr size_t kDefaultLargeThresholdBytes = size_t{2} << 20;
+
+/// Per-block page policy. kRequest advises MADV_HUGEPAGE (the default);
+/// kDisable advises MADV_NOHUGEPAGE — used by the tlb_pages bench A/B and by
+/// the calibrator's TLB probe, which must measure *base-page* walk behaviour
+/// and would be silently defeated by THP=always hosts otherwise.
+enum class HugePolicy { kRequest, kDisable };
+
+/// Counters since process start (or ResetStats). All monotonic except via
+/// ResetStats; huge-backed bytes are *not* tracked here because backing is
+/// decided at fault time — query HugeBackedBytes(p) for ground truth.
+struct ArenaStats {
+  uint64_t large_allocs = 0;      ///< blocks served by the mmap path
+  uint64_t large_bytes = 0;       ///< requested bytes of those blocks
+  uint64_t large_mapped_bytes = 0;///< bytes actually mapped (2 MB-rounded)
+  uint64_t huge_advised_bytes = 0;///< bytes successfully advised MADV_HUGEPAGE
+  uint64_t fallback_allocs = 0;   ///< large requests that fell back to the
+                                  ///< heap (mmap failed / non-Linux)
+  uint64_t small_allocs = 0;      ///< allocations below the threshold
+  uint64_t small_bytes = 0;
+};
+
+ArenaStats Stats();
+void ResetStats();
+
+/// True when transparent huge pages can be granted via madvise on this host
+/// (/sys/.../transparent_hugepage/enabled is "always" or "madvise").
+bool ThpAvailable();
+
+/// The kernel's huge-page size (from /proc/meminfo), 2 MB when unknown.
+size_t HugePageBytes();
+
+/// Base page size (sysconf), 4096 when unknown.
+size_t BasePageBytes();
+
+/// Bytes of `p`'s block currently backed by anonymous huge pages, read from
+/// /proc/self/smaps. 0 if `p` is not a live large block, the block is on
+/// base pages, or smaps is unavailable. Touch (fault in) the block before
+/// asking: THP backing is decided at fault time.
+size_t HugeBackedBytes(const void* p);
+
+/// Process-wide default policy for the large path (bench A/B hook).
+/// Returns the previous value.
+HugePolicy SetDefaultHugePolicy(HugePolicy policy);
+HugePolicy DefaultHugePolicy();
+
+/// Test/bench hook: route smaller (or only larger) allocations to the large
+/// path. Returns the previous value. Blocks are freed by the path that
+/// allocated them regardless of later threshold changes (registry-routed).
+size_t SetLargeThresholdBytes(size_t bytes);
+size_t LargeThresholdBytes();
+
+/// Explicit block API (the calibrator and benches use it directly).
+/// AllocateBlock never returns nullptr (dies on total exhaustion, like the
+/// rest of the engine's CCDB_CHECK discipline); the block is zero-filled
+/// lazily by the kernel (anonymous mappings) or eagerly on the heap
+/// fallback. FreeBlock accepts only AllocateBlock results.
+void* AllocateBlock(size_t bytes, HugePolicy policy);
+void FreeBlock(void* p);
+
+/// True if `p` is a live block owned by the large path (mmap or heap
+/// fallback). Used by Deallocate routing and tests.
+bool IsLargeBlock(const void* p);
+
+/// Allocator entry points used by ArenaAllocator: route by the current
+/// threshold; Deallocate routes by registry membership, so a threshold
+/// change between allocate and free is safe.
+void* Allocate(size_t bytes);
+void Deallocate(void* p, size_t bytes);
+
+}  // namespace arena
+
+/// Stateless STL allocator over the arena. All instances are equal, so
+/// containers move/swap across instances freely.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using is_always_equal = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+
+  ArenaAllocator() = default;
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>&) {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(arena::Allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t n) { arena::Deallocate(p, n * sizeof(T)); }
+
+  friend bool operator==(const ArenaAllocator&, const ArenaAllocator&) {
+    return true;
+  }
+};
+
+/// Arena-backed vector: the column/scratch representation. Drop-in for
+/// std::vector<T> everywhere spans/data()/size() are used.
+template <typename T>
+using ColVec = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace ccdb
+
+#endif  // CCDB_MEM_ARENA_H_

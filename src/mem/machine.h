@@ -47,6 +47,18 @@ struct Latencies {
   double l2_ns = 0;
   double mem_ns = 0;
   double tlb_ns = 0;
+  /// Effective cost of a *sequential* L2-line miss (streaming sweeps the
+  /// hardware prefetcher overlaps), measured from copy bandwidth. 0 means
+  /// "same as mem_ns" — the paper's in-order machines had no overlap, so
+  /// the static profiles leave it unset and reproduce the printed curves;
+  /// MeasuredHostProfile fills it so wall-clock predictions stop pricing
+  /// prefetched sweeps at the full dependent-load latency.
+  double mem_seq_ns = 0;
+
+  /// The latency charged per sequential L2 miss under this profile.
+  double effective_mem_seq_ns() const {
+    return mem_seq_ns > 0 ? mem_seq_ns : mem_ns;
+  }
 };
 
 /// Cost-model calibration constants (§3.4, footnotes): pure CPU work per

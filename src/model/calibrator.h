@@ -54,6 +54,34 @@ size_t MeasuredL2CacheBytes();
 /// the planner's exchange transfer term (CostModel::Transfer).
 double MeasuredCopyNsPerByte();
 
+/// The host's TLB as measured by a differential page-stride pointer chase
+/// (the Calibrator tool's method): for a growing number of pages P, chase
+/// P slots spread one per page (stride = page + line, so cache sets do not
+/// alias) and P slots packed line-dense (same cache footprint, ~no TLB
+/// pressure); the latency difference isolates translation. The reach
+/// plateau gives `entries`, each jump in the difference curve is a `level`,
+/// and the tail plateau is the full page-walk cost `walk_ns`.
+struct TlbInfo {
+  size_t entries = 0;     ///< total reach in pages (largest TLB level)
+  int levels = 0;         ///< distinct latency steps seen in the curve
+  size_t page_bytes = 0;  ///< base page size the probe ran on
+  double walk_ns = 0;     ///< full page-walk cost past all TLB levels
+  bool measured = false;  ///< false: probe inconclusive (noisy host/VM) —
+                          ///< callers fall back to their static profile
+};
+
+/// Measures (once per process, cached like MeasuredL2CacheBytes) the host
+/// TLB geometry. The probe buffer is forced onto base pages
+/// (HugePolicy::kDisable) so THP=always hosts cannot silently void it.
+const TlbInfo& MeasuredTlbGeometry();
+
+/// The planner's default host profile: GenericX86 geometry refined with
+/// sysconf cache sizes, a quick 3-point latency probe (L1/L2/memory) and
+/// MeasuredTlbGeometry(). Cached after the first call. Falls back to plain
+/// GenericX86 when measurement is unavailable or inconsistent (and always
+/// under CCDB_NO_CALIBRATION=1, the deterministic-CI escape hatch).
+const MachineProfile& MeasuredHostProfile();
+
 /// Runs the full calibration (sub-second with default settings).
 CalibrationReport Calibrate();
 

@@ -76,6 +76,8 @@ ModelPrediction CostModel::Cluster(int passes, int bits, uint64_t c) const {
     p.l1_misses += ClusterCacheMisses(bp, c, 1);
     p.l2_misses += ClusterCacheMisses(bp, c, 2);
     p.tlb_misses += ClusterTlbMisses(bp, c);
+    // The 2|Re|_Li base term is the pass's sequential read+write sweep.
+    p.l2_seq_misses += 2.0 * RelLines(c, 2);
   }
   return p;
 }
@@ -107,6 +109,7 @@ ModelPrediction CostModel::RadixJoinPhase(int bits, uint64_t c) const {
   p.tlb_misses = 3.0 * RelPages(c) +
                  static_cast<double>(c) * cluster_bytes /
                      static_cast<double>(m_.tlb.span_bytes());
+  p.l2_seq_misses = 3.0 * RelLines(c, 2);  // read L, read R, write result
   return p;
 }
 
@@ -141,6 +144,7 @@ ModelPrediction CostModel::PhashJoinPhase(int bits, uint64_t c) const {
           ? static_cast<double>(c) * cluster_bytes / tlb_bytes
           : static_cast<double>(c) * 10.0 * (1.0 - tlb_bytes / cluster_bytes);
   p.tlb_misses = 3.0 * RelPages(c) + tlb_extra;
+  p.l2_seq_misses = 3.0 * RelLines(c, 2);  // read L, read R, write result
   return p;
 }
 
@@ -175,6 +179,7 @@ ModelPrediction CostModel::RadixJoinPhaseAsym(int bits, uint64_t c_inner,
   }
   p.tlb_misses = RelPages(c_inner) + 2.0 * RelPages(c_probe) +
                  cp * cluster_bytes / static_cast<double>(m_.tlb.span_bytes());
+  p.l2_seq_misses = RelLines(c_inner, 2) + 2.0 * RelLines(c_probe, 2);
   return p;
 }
 
@@ -212,6 +217,7 @@ ModelPrediction CostModel::PhashJoinPhaseAsym(int bits, uint64_t c_inner,
                          ? pairs * cluster_bytes / tlb_bytes
                          : pairs * 10.0 * (1.0 - tlb_bytes / cluster_bytes);
   p.tlb_misses = RelPages(c_inner) + 2.0 * RelPages(c_probe) + tlb_extra;
+  p.l2_seq_misses = RelLines(c_inner, 2) + 2.0 * RelLines(c_probe, 2);
   return p;
 }
 

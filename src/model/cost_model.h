@@ -14,6 +14,8 @@
 #ifndef CCDB_MODEL_COST_MODEL_H_
 #define CCDB_MODEL_COST_MODEL_H_
 
+#include <algorithm>
+
 #include "mem/hierarchy.h"
 #include "mem/machine.h"
 #include "util/status.h"
@@ -27,10 +29,16 @@ struct ModelPrediction {
   double l2_misses = 0;
   double tlb_misses = 0;
   double cpu_ns = 0;
+  /// The subset of l2_misses incurred by *sequential* sweeps (the 2|Re|_Li
+  /// read+write terms etc.), priced at Latencies::effective_mem_seq_ns()
+  /// instead of the full lMem. Always <= l2_misses; with mem_seq_ns unset
+  /// the split is cost-neutral, so the paper-profile curves are unchanged.
+  double l2_seq_misses = 0;
 
   double stall_ns(const Latencies& lat) const {
-    return l1_misses * lat.l2_ns + l2_misses * lat.mem_ns +
-           tlb_misses * lat.tlb_ns;
+    double seq = std::min(l2_seq_misses, l2_misses);
+    return l1_misses * lat.l2_ns + (l2_misses - seq) * lat.mem_ns +
+           seq * lat.effective_mem_seq_ns() + tlb_misses * lat.tlb_ns;
   }
   double total_ns(const Latencies& lat) const { return cpu_ns + stall_ns(lat); }
 
@@ -39,6 +47,7 @@ struct ModelPrediction {
     l2_misses += o.l2_misses;
     tlb_misses += o.tlb_misses;
     cpu_ns += o.cpu_ns;
+    l2_seq_misses += o.l2_seq_misses;
     return *this;
   }
 };
@@ -137,6 +146,28 @@ class CostModel {
   /// line of payload.
   double FallbackCopyNsPerByte() const {
     return m_.lat.mem_ns / static_cast<double>(m_.l2.line_bytes);
+  }
+
+  // -- translation (page-walk) term -----------------------------------------
+
+  /// Nanoseconds of page-walk stall for `tlb_misses` translations, priced
+  /// at the profile's lTLB. With a measured profile this is real geometry
+  /// (MeasuredTlbGeometry): entry count bounds the miss count upstream and
+  /// walk_ns prices each miss; with a static profile it is the old constant.
+  double TranslationNs(double tlb_misses) const {
+    return tlb_misses * m_.lat.tlb_ns;
+  }
+
+  /// A copy of this model whose TLB pages are `page_bytes` wide — the
+  /// huge-page pricing view: ||TLB|| grows by page_bytes/4KB, so RelPages
+  /// and every TLB miss term shrink accordingly. Entry count is kept; on
+  /// real parts the 2 MB-page TLB is somewhat smaller, so this bounds the
+  /// benefit from above (documented simplification, validated by
+  /// bench/tlb_pages).
+  CostModel WithPageBytes(size_t page_bytes) const {
+    MachineProfile m = m_;
+    m.tlb.page_bytes = page_bytes;
+    return CostModel(m);
   }
 
   // Convenience: milliseconds of a prediction under this profile.

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "exec/shared_scan.h"
+#include "mem/hw_counters.h"
 #include "model/calibrator.h"
 #include "model/cost_model.h"
 #include "model/estimator.h"
@@ -99,6 +100,7 @@ ModelPrediction ScanRowsPrediction(const MachineProfile& m, double rows,
       rows * std::min(s / static_cast<double>(m.l1.line_bytes), 1.0);
   p.l2_misses =
       rows * std::min(s / static_cast<double>(m.l2.line_bytes), 1.0);
+  p.l2_seq_misses = p.l2_misses;  // a scan is one prefetchable sweep
   p.tlb_misses =
       rows * std::min(s / static_cast<double>(m.tlb.page_bytes), 1.0);
   return p;
@@ -1053,6 +1055,12 @@ StatusOr<QueryResult> PhysicalPlan::Execute() {
     result.columns[i].name = output_schema_[i].name;
     result.columns[i].type = output_schema_[i].type;
   }
+  // Driver-thread hardware counters across the whole plan: the measured
+  // side of the translation term in ExplainCosts(). Best-effort — perf is
+  // often forbidden in containers, and then the report says "unavailable".
+  hw_valid_ = false;
+  HwCounters hw;
+  bool hw_on = hw.Open().ok() && hw.Start().ok();
   CCDB_RETURN_IF_ERROR(root_->Open());
   for (;;) {
     // Per-chunk deadline/cancellation poll. Operators also poll at morsel
@@ -1087,6 +1095,15 @@ StatusOr<QueryResult> PhysicalPlan::Execute() {
     }
   }
   root_->Close();
+  if (hw_on) {
+    uint64_t cycles = 0;
+    StatusOr<MemEvents> events = hw.Stop(&cycles);
+    if (events.ok()) {
+      hw_events_ = *events;
+      hw_cycles_ = cycles;
+      hw_valid_ = true;
+    }
+  }
   return result;
 }
 
@@ -1183,13 +1200,14 @@ std::string PhysicalPlan::ExplainCosts() const {
     double meas_ms = exclusive_ns[i] * 1e-6;
     std::snprintf(line, sizeof(line),
                   "%*s%-40s rows %llu/%llu  pred %.3f ms  meas %.3f ms  "
-                  "%.2f Mcycles  L1 %.0f  L2 %.0f  TLB %.0f\n",
+                  "%.2f Mcycles  L1 %.0f  L2 %.0f  TLB %.0f (xlat %.3f ms)\n",
                   op.depth * 2, "", Truncate(op.label, 40).c_str(),
                   (unsigned long long)op.estimated_rows,
                   (unsigned long long)op.actual_rows, op.predicted_ns * 1e-6,
                   meas_ms, op.predicted_cpu_ns / cycle_ns * 1e-6,
                   op.predicted_l1_misses, op.predicted_l2_misses,
-                  op.predicted_tlb_misses);
+                  op.predicted_tlb_misses,
+                  op.predicted_tlb_misses * profile_.lat.tlb_ns * 1e-6);
     out += line;
     // Exchange annotation records carry the transfer term: predicted vs
     // measured bytes, and (for joins) the margin the strategy decision
@@ -1213,6 +1231,29 @@ std::string PhysicalPlan::ExplainCosts() const {
       out += line;
     }
   }
+  // Plan-level translation term: the model's page-walk prediction priced at
+  // the profile's lTLB against the hardware dTLB-miss count (driver thread,
+  // perf_event_open) priced the same way.
+  double pred_tlb = 0;
+  for (const OpCostInfo& op : costs) pred_tlb += op.predicted_tlb_misses;
+  std::snprintf(line, sizeof(line),
+                "translation: pred %.0f walks = %.3f ms "
+                "(lTLB %.1f ns, |TLB| %zu x %zu KB pages)",
+                pred_tlb, pred_tlb * profile_.lat.tlb_ns * 1e-6,
+                profile_.lat.tlb_ns, profile_.tlb.entries,
+                profile_.tlb.page_bytes / 1024);
+  out += line;
+  if (hw_valid_) {
+    std::snprintf(line, sizeof(line),
+                  " | meas %llu dTLB misses = %.3f ms (driver thread)\n",
+                  (unsigned long long)hw_events_.tlb_misses,
+                  static_cast<double>(hw_events_.tlb_misses) *
+                      profile_.lat.tlb_ns * 1e-6);
+  } else {
+    std::snprintf(line, sizeof(line),
+                  " | meas: hw counters unavailable (perf forbidden)\n");
+  }
+  out += line;
   return out;
 }
 

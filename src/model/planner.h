@@ -23,12 +23,20 @@
 #include "exec/operator.h"
 #include "exec/plan.h"
 #include "exec/result.h"
+#include "mem/hierarchy.h"
 #include "mem/machine.h"
+#include "model/calibrator.h"
 
 namespace ccdb {
 
 struct PlannerOptions {
-  MachineProfile profile = MachineProfile::GenericX86();
+  /// Cost-model machine. Defaults to the Calibrator's measured host profile
+  /// (sysconf geometry + probed latencies + measured TLB entry count and
+  /// page-walk cost, cached per process; model/calibrator.h), so radix-bits
+  /// choices use the real log2(|TLB|) instead of GenericX86's 64 entries.
+  /// Falls back to GenericX86 when the host cannot be measured, and tests
+  /// that assert exact model numbers pass an explicit static profile.
+  MachineProfile profile = MeasuredHostProfile();
   /// Execution knobs (exec/exec_context.h): scan chunking and the
   /// parallelism the lowered operators run with.
   ExecOptions exec;
@@ -139,9 +147,17 @@ class PhysicalPlan {
 
   /// Whole-plan cost report: one line per operator with estimated vs
   /// actual rows and predicted (cycles + miss events -> ms) vs measured
-  /// (exclusive wall) time. Predictions come from the estimates alone;
-  /// run Execute() first to populate the measured side.
+  /// (exclusive wall) time, each op's translation (page-walk) share, and a
+  /// plan-level predicted-vs-measured translation footer (hardware dTLB
+  /// misses when perf is available). Predictions come from the estimates
+  /// alone; run Execute() first to populate the measured side.
   std::string ExplainCosts() const;
+
+  /// Hardware events (cycles, L1/LLC/dTLB misses) captured on the driver
+  /// thread across the last successful Execute(), via perf_event_open.
+  /// nullptr when perf is unavailable (locked-down kernels, containers) —
+  /// ExplainCosts() then says so instead of printing fiction.
+  const MemEvents* hw_events() const { return hw_valid_ ? &hw_events_ : nullptr; }
 
   /// The resolved execution context the operators run with.
   const ExecContext& context() const { return *ctx_; }
@@ -184,6 +200,9 @@ class PhysicalPlan {
   std::unique_ptr<std::vector<ExchangeNodeInfo>> exchanges_;  // stable
   std::unique_ptr<ExecContext> ctx_;                  // borrowed by operators
   MachineProfile profile_;
+  MemEvents hw_events_;     // driver-thread perf counters, last Execute()
+  uint64_t hw_cycles_ = 0;
+  bool hw_valid_ = false;
 };
 
 class Planner {

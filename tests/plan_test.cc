@@ -322,7 +322,13 @@ TEST(PlannerTest, StrategySwitchesWithInnerCardinality) {
                   .Join(big, "bk", "bid")
                   .Build();
   ASSERT_TRUE(plan.ok());
-  Planner planner;
+  // Pinned to the static GenericX86 profile: the assertion below is about
+  // the *model's* bits-vs-cardinality monotonicity at these (cache-sized)
+  // relations, which the measured host profile's much larger TLB/L2
+  // legitimately flattens.
+  PlannerOptions opts;
+  opts.profile = MachineProfile::GenericX86();
+  Planner planner(opts);
   auto physical = planner.Lower(*plan);
   ASSERT_TRUE(physical.ok());
   auto result = physical->Execute();
@@ -363,7 +369,10 @@ TEST(PlannerTest, InnerSelectionChangesJoinPlan) {
       QueryBuilder(fact).Join(std::move(inner), "order_id", "id").Build();
   ASSERT_TRUE(filtered.ok());
 
-  Planner planner;
+  // Static profile for the same reason as StrategySwitchesWithInnerCardinality.
+  PlannerOptions opts;
+  opts.profile = MachineProfile::GenericX86();
+  Planner planner(opts);
   auto p1 = planner.Lower(*unfiltered);
   auto p2 = planner.Lower(*filtered);
   ASSERT_TRUE(p1.ok() && p2.ok());

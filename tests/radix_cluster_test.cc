@@ -25,7 +25,10 @@ std::vector<Bun> RandomRelation(size_t n, uint64_t seed,
   return out;
 }
 
-std::vector<Bun> SortedCopy(std::vector<Bun> v) {
+// Accepts both plain and arena-backed (BunVec) vectors.
+template <class Vec>
+std::vector<Bun> SortedCopy(const Vec& in) {
+  std::vector<Bun> v(in.begin(), in.end());
   std::sort(v.begin(), v.end(), [](const Bun& a, const Bun& b) {
     return a.tail != b.tail ? a.tail < b.tail : a.head < b.head;
   });
@@ -62,7 +65,7 @@ TEST(RadixClusterTest, ZeroBitsCopies) {
   auto out = RadixCluster(std::span<const Bun>(input),
                           RadixClusterOptions{0, 1, {}}, mem);
   ASSERT_TRUE(out.ok());
-  EXPECT_EQ(out->tuples, input);
+  EXPECT_EQ(std::vector<Bun>(out->tuples.begin(), out->tuples.end()), input);
   EXPECT_EQ(out->bits, 0);
 }
 
@@ -142,7 +145,7 @@ TEST(RadixClusterTest, SingleTuple) {
   auto out = RadixCluster(std::span<const Bun>(one),
                           RadixClusterOptions{10, 2, {}}, mem);
   ASSERT_TRUE(out.ok());
-  EXPECT_EQ(out->tuples, one);
+  EXPECT_EQ(std::vector<Bun>(out->tuples.begin(), out->tuples.end()), one);
 }
 
 TEST(RadixClusterTest, InvalidOptionsAreRejected) {

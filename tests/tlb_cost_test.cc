@@ -1,0 +1,168 @@
+// The translation (page-walk) term of the cost model, validated against the
+// software TLB simulator — deterministic in CI, no hardware counters needed:
+//  * the §3.4.2 cluster TLB-miss term tracks the walk counts the simulator
+//    actually records for RadixCluster, in and beyond the TLB-reach regime;
+//  * WithPageBytes(2 MB) shrinks predicted translations by exactly the
+//    page-size ratio, and the simulator agrees;
+//  * TranslationNs prices walks at the profile's lTLB;
+//  * OptimalPasses uses log2(|TLB|) — a measured 1536-entry TLB buys fewer
+//    passes than GenericX86's hardcoded 64 entries.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "algo/radix_cluster.h"
+#include "mem/access.h"
+#include "mem/hierarchy.h"
+#include "mem/tlb_sim.h"
+#include "model/calibrator.h"
+#include "model/cost_model.h"
+#include "util/rng.h"
+
+namespace ccdb {
+namespace {
+
+std::vector<Bun> UniqueRelation(size_t n, uint64_t seed) {
+  auto values = UniqueU32(n, seed);
+  std::vector<Bun> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = {static_cast<oid_t>(i), values[i]};
+  return out;
+}
+
+TEST(TlbCostTest, TranslationNsPricesWalksAtProfileLatency) {
+  MachineProfile m = MachineProfile::Origin2000();
+  CostModel model(m);
+  EXPECT_DOUBLE_EQ(model.TranslationNs(0), 0.0);
+  EXPECT_DOUBLE_EQ(model.TranslationNs(1), m.lat.tlb_ns);
+  EXPECT_DOUBLE_EQ(model.TranslationNs(1e6), 1e6 * m.lat.tlb_ns);
+}
+
+TEST(TlbCostTest, ClusterTlbTermTracksSimulatedWalkCounts) {
+  // One clustering pass on the Origin2000 profile (64-entry TLB, 16 KB
+  // pages), compared against the simulator's counted walks. The model's
+  // term is an idealization (it counts 2 sweeps where the two-phase
+  // histogram+scatter implementation reads the source twice), so the
+  // comparison is a ratio band, not equality — but it must hold both below
+  // TLB reach (page-sweep regime) and far beyond it (thrash regime, where
+  // misses explode by ~100x).
+  MachineProfile profile = MachineProfile::Origin2000();
+  constexpr size_t kC = 1 << 18;  // 2 MB of BUNs = 128 Origin pages
+  auto rel = UniqueRelation(kC, 7);
+  CostModel model(profile);
+
+  for (int bits : {4, 10}) {
+    MemoryHierarchy h(profile);
+    SimulatedMemory mem(&h);
+    auto out = RadixCluster(std::span<const Bun>(rel),
+                            RadixClusterOptions{bits, 1, {}}, mem);
+    ASSERT_TRUE(out.ok());
+    double simulated = static_cast<double>(h.events().tlb_misses);
+    double predicted = model.ClusterTlbMisses(bits, kC);
+    ASSERT_GT(simulated, 0.0);
+    double ratio = predicted / simulated;
+    EXPECT_GT(ratio, 0.3) << "bits " << bits << " sim " << simulated
+                          << " pred " << predicted;
+    EXPECT_LT(ratio, 3.0) << "bits " << bits << " sim " << simulated
+                          << " pred " << predicted;
+  }
+
+  // And the regime change itself: both sides agree the 10-bit pass walks
+  // orders of magnitude more than the 4-bit pass.
+  EXPECT_GT(model.ClusterTlbMisses(10, kC), 50 * model.ClusterTlbMisses(4, kC));
+}
+
+TEST(TlbCostTest, WithPageBytesShrinksTranslationByThePageRatio) {
+  // The huge-page pricing view: 2 MB pages mean 512x fewer pages per
+  // relation, so every page-granular term shrinks by exactly that ratio.
+  MachineProfile m = MachineProfile::GenericX86();
+  ASSERT_EQ(m.tlb.page_bytes, 4096u);
+  CostModel base(m);
+  CostModel huge = base.WithPageBytes(2 << 20);
+  EXPECT_EQ(huge.profile().tlb.page_bytes, size_t{2} << 20);
+  EXPECT_EQ(huge.profile().tlb.entries, m.tlb.entries);  // kept (documented)
+
+  // Below TLB reach the cluster term is pure page sweeps: ratio is exact.
+  constexpr uint64_t kC = 1 << 20;
+  double base_sweep = base.ClusterTlbMisses(2, kC);
+  double huge_sweep = huge.ClusterTlbMisses(2, kC);
+  EXPECT_NEAR(base_sweep / huge_sweep, 512.0, 1.0);
+
+  // Beyond reach the thrash term C*(1 - |TLB|/Hp) dominates and does not
+  // depend on the page size — huge pages cannot fix a too-wide fan-out,
+  // they only widen the reach at which it starts. But the *total* cluster
+  // cost at planner-chosen pass counts must never get worse.
+  ModelPrediction pb = base.Cluster(1, 12, kC);
+  ModelPrediction ph = huge.Cluster(1, 12, kC);
+  EXPECT_LE(ph.tlb_misses, pb.tlb_misses);
+}
+
+TEST(TlbCostTest, SimulatorAgreesWithThePageRatio) {
+  // Sequential touch of an 8 MB range, one access per 4 KB: with 4 KB pages
+  // every touch is a new page (2048 walks); with 2 MB pages 512 touches
+  // share each page (4 walks). The simulator must reproduce the exact
+  // RelPages ratio the model relies on.
+  auto walks = [](size_t page_bytes) {
+    TlbSim tlb(TlbGeometry{64, page_bytes, 0});
+    for (uint64_t addr = 0; addr < (8u << 20); addr += 4096) {
+      tlb.Access(addr);
+    }
+    return tlb.misses();
+  };
+  uint64_t base_walks = walks(4096);
+  uint64_t huge_walks = walks(2 << 20);
+  EXPECT_EQ(base_walks, (8u << 20) / 4096);
+  EXPECT_EQ(huge_walks, (8u << 20) / (2 << 20));
+  EXPECT_EQ(base_walks / huge_walks, 512u);
+}
+
+TEST(TlbCostTest, OptimalPassesFollowTlbEntryCount) {
+  // §3.4.4: at most log2(|TLB|) bits per pass. GenericX86's 64 entries
+  // give 6 bits/pass; a measured 1536-entry TLB (a typical modern dTLB,
+  // and what the calibrator reports on our CI hosts) gives 10 — so deep
+  // clusterings need fewer passes on real hardware than the static profile
+  // claims. This is exactly why PlannerOptions defaults to the measured
+  // profile.
+  MachineProfile generic = MachineProfile::GenericX86();
+  ASSERT_EQ(generic.tlb.entries, 64u);
+  MachineProfile measured = generic;
+  measured.tlb.entries = 1536;
+
+  CostModel small(generic);
+  CostModel big(measured);
+  EXPECT_EQ(small.OptimalPasses(18), 3);  // ceil(18/6)
+  EXPECT_EQ(big.OptimalPasses(18), 2);    // ceil(18/10)
+  EXPECT_EQ(small.OptimalPasses(6), 1);
+  EXPECT_EQ(big.OptimalPasses(20), 2);
+  EXPECT_GE(small.OptimalPasses(20), big.OptimalPasses(20));
+}
+
+TEST(TlbCostTest, MeasuredHostProfileIsUsableByTheModel) {
+  // Whatever the probe concluded on this host (measured or fallback), the
+  // planner's default profile must be a valid model input with a priced
+  // translation term.
+  const MachineProfile& m = MeasuredHostProfile();
+  EXPECT_TRUE(m.Validate().ok()) << m.name;
+  EXPECT_GT(m.tlb.entries, 0u);
+  EXPECT_GT(m.tlb.page_bytes, 0u);
+  EXPECT_GT(m.lat.tlb_ns, 0.0);
+  CostModel model(m);
+  ModelPrediction p = model.Cluster(model.OptimalPasses(10), 10, 1 << 20);
+  EXPECT_GT(p.tlb_misses, 0.0);
+  EXPECT_GT(model.TranslationNs(p.tlb_misses), 0.0);
+  EXPECT_GT(model.Millis(p), 0.0);
+
+  const TlbInfo& tlb = MeasuredTlbGeometry();
+  if (tlb.measured) {
+    // When the probe succeeded, the profile must actually use it.
+    EXPECT_EQ(m.tlb.entries, tlb.entries);
+    EXPECT_EQ(m.tlb.page_bytes, tlb.page_bytes);
+    EXPECT_GE(tlb.entries, 8u);
+    EXPECT_GT(tlb.walk_ns, 0.0);
+    EXPECT_GE(tlb.levels, 1);
+  }
+}
+
+}  // namespace
+}  // namespace ccdb

@@ -5,10 +5,14 @@ Clang Thread Safety Analysis proves the locking protocol and clang-tidy
 covers generic bug patterns; this pass enforces the conventions that are
 *ours*:
 
-  raw-buffer       No naked `new T[]` / malloc / calloc / realloc / free for
-                   data buffers outside src/bat/ and src/mem/ — BAT/chunk
+  raw-buffer       No naked `new T[]` / malloc / calloc / realloc / free —
+                   and no direct mmap / munmap / mremap page mappings — for
+                   data buffers outside src/bat/ and src/mem/. BAT/chunk
                    memory goes through the owning layers (util/aligned.h,
-                   bat/), where lifetime and alignment are audited.
+                   bat/), and page-granular allocations go through the arena
+                   (mem/arena.h), where huge-page policy, alignment and
+                   registry-routed frees are audited. The mem/ exemption is
+                   what allows arena.cc's own mmap internals.
   std-mutex        No std::mutex / std::condition_variable / std::lock_guard
                    / std::unique_lock outside util/thread_annotations.h —
                    engine code uses ccdb::Mutex / MutexLock / CondVar so the
@@ -52,9 +56,12 @@ EXTS = (".h", ".cc", ".cpp")
 ALLOW_RE = re.compile(r"lint:\s*allow\((?P<rule>[\w-]+)")
 
 # raw-buffer: allocation/deallocation primitives that bypass the owning
-# buffer layers. `new T[...]`, malloc-family, free.
+# buffer layers. `new T[...]`, malloc-family, free, and raw page mappings
+# (mmap-family) that bypass the arena's huge-page policy and block registry.
 RAW_BUFFER_RE = re.compile(
-    r"(\bnew\s+[A-Za-z_][\w:<>, ]*\s*\[)|(\b(?:malloc|calloc|realloc|free)\s*\()"
+    r"(\bnew\s+[A-Za-z_][\w:<>, ]*\s*\[)"
+    r"|(\b(?:malloc|calloc|realloc|free)\s*\()"
+    r"|(\b(?:mmap|munmap|mremap)\s*\()"
 )
 RAW_BUFFER_EXEMPT_DIRS = ("src/bat", "src/mem")
 
@@ -305,6 +312,10 @@ def self_test(repo_root):
         ("bad_dist_channel.cc", "raw-buffer"),
         ("bad_dist_channel.cc", "std-mutex"),
         ("bad_dist_channel.cc", "unguarded-mutex"),
+        # arena-era rule: raw mmap outside mem/ bypasses the huge-page
+        # arena; the exemption for src/mem/ itself is proven by the
+        # lint_engine_src ctest pass over arena.cc's real mmap internals.
+        ("bad_arena_mmap.cc", "raw-buffer"),
     }
     ok = True
     for want in sorted(expected):

@@ -1,0 +1,13 @@
+// Seeded violation for lint_engine.py --self-test: a direct anonymous mmap
+// outside src/mem/ — page-granular buffers must come from the arena
+// (mem/arena.h), which owns huge-page policy, cache-line coloring and
+// registry-routed frees. Never compiled.
+#include <cstddef>
+
+namespace ccdb_fixture {
+
+void* MapScratchPages(size_t bytes) {
+  return mmap(nullptr, bytes, 0x3, 0x22, -1, 0);  // rule: raw-buffer
+}
+
+}  // namespace ccdb_fixture
