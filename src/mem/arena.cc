@@ -96,8 +96,10 @@ void* MapAligned(size_t len, size_t align) {
   uintptr_t aligned = RoundUp(base, align);
   size_t head = aligned - base;
   size_t tail = over - head - len;
-  if (head != 0) ::munmap(raw, head);
-  if (tail != 0) ::munmap(reinterpret_cast<void*>(aligned + len), tail);
+  if (head != 0) CCDB_CHECK(::munmap(raw, head) == 0);
+  if (tail != 0) {
+    CCDB_CHECK(::munmap(reinterpret_cast<void*>(aligned + len), tail) == 0);
+  }
   return reinterpret_cast<void*>(aligned);
 }
 
@@ -130,6 +132,26 @@ void* HeapFallback(size_t bytes) {
                            std::align_val_t{kCacheLineBytes});
   std::memset(p, 0, RoundUp(bytes, kCacheLineBytes));
   return p;
+}
+
+// Single release path for registry-owned blocks (FreeBlock and Deallocate).
+// `p` is the *user* pointer; cache-index coloring shifted it head_offset
+// bytes past the mapping base, so munmap must subtract that back — unmapping
+// at `p` would both fail EINVAL on non-page-aligned colors and reach past the
+// mapping end. The CHECK makes any such alignment bug abort loudly instead of
+// silently leaking the mapping.
+void ReleaseBlock(void* p, const BlockInfo& info) {
+  if (info.kind == BlockKind::kHeapFall) {
+    ::operator delete(p, std::align_val_t{kCacheLineBytes});
+    return;
+  }
+#if defined(__linux__)
+  CCDB_CHECK(::munmap(static_cast<char*>(p) - info.head_offset,
+                      info.mapped_len) == 0);
+#else
+  (void)p;
+  (void)info;
+#endif
 }
 
 }  // namespace
@@ -210,20 +232,19 @@ size_t BasePageBytes() {
 
 size_t HugeBackedBytes(const void* p) {
 #if defined(__linux__)
-  size_t len = 0;
-  size_t head = 0;
-  {
-    Registry& r = registry();
-    MutexLock lock(&r.mu);
-    auto it = r.blocks.find(p);
-    if (it == r.blocks.end() || it->second.kind != BlockKind::kMapped) {
-      return 0;
-    }
-    len = it->second.mapped_len;
-    head = it->second.head_offset;
+  // Hold the registry lock across the smaps read: if the block were freed
+  // concurrently, the address range could be remapped and we would attribute
+  // some other mapping's AnonHugePages to `p`. This serialises large
+  // alloc/free against a /proc read, which is fine — this is a stats/test
+  // path, never the execution hot path.
+  Registry& r = registry();
+  MutexLock lock(&r.mu);
+  auto it = r.blocks.find(p);
+  if (it == r.blocks.end() || it->second.kind != BlockKind::kMapped) {
+    return 0;
   }
-  uintptr_t lo = reinterpret_cast<uintptr_t>(p) - head;
-  return SmapsAnonHugeBytes(lo, lo + len);
+  uintptr_t lo = reinterpret_cast<uintptr_t>(p) - it->second.head_offset;
+  return SmapsAnonHugeBytes(lo, lo + it->second.mapped_len);
 #else
   (void)p;
   return 0;
@@ -288,13 +309,7 @@ void FreeBlock(void* p) {
     info = it->second;
     r.blocks.erase(it);
   }
-  if (info.kind == BlockKind::kHeapFall) {
-    ::operator delete(p, std::align_val_t{kCacheLineBytes});
-    return;
-  }
-#if defined(__linux__)
-  ::munmap(static_cast<char*>(p) - info.head_offset, info.mapped_len);
-#endif
+  ReleaseBlock(p, info);
 }
 
 bool IsLargeBlock(const void* p) {
@@ -332,13 +347,7 @@ void Deallocate(void* p, size_t bytes) {
     if (it != r.blocks.end()) {
       BlockInfo info = it->second;
       r.blocks.erase(it);
-      if (info.kind == BlockKind::kHeapFall) {
-        ::operator delete(p, std::align_val_t{kCacheLineBytes});
-      } else {
-#if defined(__linux__)
-        ::munmap(p, info.mapped_len);
-#endif
-      }
+      ReleaseBlock(p, info);
       return;
     }
   }

@@ -32,6 +32,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/logging.h"
+
 namespace ccdb {
 namespace arena {
 
@@ -127,6 +129,9 @@ class ArenaAllocator {
   ArenaAllocator(const ArenaAllocator<U>&) {}  // NOLINT(google-explicit-constructor)
 
   T* allocate(size_t n) {
+    // std::allocator throws length_error on a wrapped n * sizeof(T); here a
+    // wrap would quietly hand back a tiny block for a huge request.
+    CCDB_CHECK(n <= SIZE_MAX / sizeof(T));
     return static_cast<T*>(arena::Allocate(n * sizeof(T)));
   }
   void deallocate(T* p, size_t n) { arena::Deallocate(p, n * sizeof(T)); }

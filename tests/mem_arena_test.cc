@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <vector>
 
@@ -132,6 +133,38 @@ TEST(ArenaAllocTest, StatsTrackRoutingAndMappedBytes) {
   arena::Deallocate(big, kLarge);
   arena::Deallocate(small, 1024);
 }
+
+#if defined(__linux__)
+size_t VmSizeBytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "re");
+  if (f == nullptr) return 0;
+  unsigned long pages = 0;
+  int got = std::fscanf(f, "%lu", &pages);
+  std::fclose(f);
+  return got == 1 ? pages * arena::BasePageBytes() : 0;
+}
+
+TEST(ArenaAllocTest, ColoredLargeBlocksAreFullyUnmappedOnFree) {
+  // Regression: Deallocate used to munmap at the *user* pointer instead of
+  // the mapping base. Coloring makes the user pointer non-page-aligned for
+  // most blocks, so munmap failed (silently, pre-CCDB_CHECK) and every
+  // large ColVec free leaked its whole mapping. 64 leaked 4 MB mappings
+  // would grow VmSize by >= 256 MB; a correct free path keeps it flat.
+  constexpr size_t kLarge = size_t{4} << 20;
+  for (int i = 0; i < 4; ++i) {  // warm-up: allocator/registry internals
+    arena::Deallocate(arena::Allocate(kLarge), kLarge);
+  }
+  size_t before = VmSizeBytes();
+  ASSERT_GT(before, 0u);
+  for (int i = 0; i < 64; ++i) {  // cycles through every coloring slot twice
+    void* p = arena::Allocate(kLarge);
+    std::memset(p, 1, kLarge);
+    arena::Deallocate(p, kLarge);
+  }
+  size_t after = VmSizeBytes();
+  EXPECT_LT(after, before + (size_t{64} << 20));
+}
+#endif  // __linux__
 
 TEST(ArenaAllocTest, ThresholdChangeBetweenAllocAndFreeIsSafe) {
   // Deallocate routes by registry membership, not by re-applying the
